@@ -1,0 +1,182 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper on scaled-down configurations (depth-capped, conflict-budgeted) so
+// `go test -bench=.` finishes in minutes. The full-scale artifacts are
+// produced by cmd/tablegen; EXPERIMENTS.md records both.
+//
+// One benchmark per paper artifact:
+//
+//	BenchmarkTable1          — Table 1 (plain vs static vs dynamic, 37 models)
+//	BenchmarkFigure6         — Figure 6 (the same data as scatter points)
+//	BenchmarkFigure7         — Figure 7 (per-depth decisions/implications)
+//	BenchmarkCDGOverhead     — §3.1 bookkeeping overhead
+//	BenchmarkScoreAblation   — §3.2 score-rule ablation
+//	BenchmarkSwitchThreshold — §3.3 switch-divisor sweep
+//	BenchmarkTimeAxis        — related-work time-axis comparison
+//
+// Per-configuration solver micro-benchmarks live in internal/sat.
+package repro
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/sat"
+)
+
+// quickCfg caps the suite so one experiment pass stays in benchmark
+// territory: depth 6, bounded conflicts, and a short per-model budget.
+func quickCfg() experiments.Config {
+	return experiments.Config{
+		DepthCap:             6,
+		PerInstanceConflicts: 50000,
+		PerModelBudget:       5 * time.Second,
+	}
+}
+
+// report attaches experiment-level counters to the benchmark output.
+func report(b *testing.B, name string, v float64) {
+	b.ReportMetric(v, name)
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 37 {
+			b.Fatalf("got %d rows, want 37", len(res.Rows))
+		}
+		if i == b.N-1 {
+			report(b, "ratio_static_%", 100*res.TotalTime[experiments.ConfStatic].Seconds()/res.TotalTime[experiments.ConfBase].Seconds())
+			report(b, "ratio_dynamic_%", 100*res.TotalTime[experiments.ConfDynamic].Seconds()/res.TotalTime[experiments.ConfBase].Seconds())
+			report(b, "wins_static", float64(res.Wins[experiments.ConfStatic]))
+			report(b, "wins_dynamic", float64(res.Wins[experiments.ConfDynamic]))
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(quickCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		res.WriteFigure6(io.Discard)
+		res.WriteFigure6CSV(io.Discard)
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	cfg := quickCfg()
+	cfg.DepthCap = 8
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure7(cfg, bench.Fig7Model, core.OrderDynamic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			dec, imp := res.TotalReduction()
+			report(b, "dec_ratio", dec)
+			report(b, "imp_ratio", imp)
+		}
+	}
+}
+
+func BenchmarkCDGOverhead(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.OverheadModels()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunOverhead(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, "overhead_%", res.PercentOverhead)
+		}
+	}
+}
+
+func BenchmarkCDGMemory(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.OverheadModels()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCDGMemory(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			report(b, "full_vs_simplified_x", res.MeanRatio)
+		}
+	}
+}
+
+func BenchmarkScoreAblation(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.AblationModels()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunScoreAblation(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSwitchThreshold(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.AblationModels()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunThresholdSweep(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimeAxis(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.AblationModels()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunTimeAxis(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBMCPerOrdering times one full BMC run of the Figure 7 model per
+// ordering — the per-row cost underlying Table 1.
+func BenchmarkBMCPerOrdering(b *testing.B) {
+	m, ok := bench.ByName(bench.Fig7Model)
+	if !ok {
+		b.Fatalf("model %s missing", bench.Fig7Model)
+	}
+	for _, cfg := range []struct {
+		name string
+		st   core.Strategy
+	}{
+		{"vsids", core.OrderVSIDS},
+		{"static", core.OrderStatic},
+		{"dynamic", core.OrderDynamic},
+		{"timeaxis", bmc.TimeAxis},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var dec int64
+			for i := 0; i < b.N; i++ {
+				res, err := bmc.Run(m.Build(), 0, bmc.Options{
+					MaxDepth:             6,
+					Strategy:             cfg.st,
+					Solver:               sat.Defaults(),
+					PerInstanceConflicts: 50000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dec = res.Total.Decisions
+			}
+			report(b, "decisions", float64(dec))
+		})
+	}
+}

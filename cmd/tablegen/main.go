@@ -1,0 +1,172 @@
+// Command tablegen reruns the paper's evaluation and renders each artifact
+// in the layout of the paper:
+//
+//	tablegen -experiment=table1      # Table 1  (the headline comparison)
+//	tablegen -experiment=fig6        # Figure 6 (scatter panes)
+//	tablegen -experiment=fig7        # Figure 7 (per-depth statistics)
+//	tablegen -experiment=overhead    # §3.1 CDG bookkeeping overhead
+//	tablegen -experiment=ablation    # §3.2 score-rule ablation
+//	tablegen -experiment=threshold   # §3.3 switch-divisor sweep
+//	tablegen -experiment=timeaxis    # related-work time-axis comparison
+//	tablegen -experiment=all         # everything
+//
+// -csv switches the output to machine-readable CSV where available, -quick
+// caps depths and budgets for a fast smoke run, and -budget sets the
+// per-model wall-clock cap (the analogue of the paper's 2-hour timeout).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|all")
+		budget = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
+		quick  = flag.Bool("quick", false, "cap depths for a fast smoke run")
+		csv    = flag.Bool("csv", false, "emit CSV instead of the text table")
+		model  = flag.String("model", bench.Fig7Model, "model for -experiment=fig7")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{
+		PerModelBudget: *budget,
+		Repeats:        3,
+		RepeatBelow:    500 * time.Millisecond,
+	}
+	if *quick {
+		cfg.DepthCap = 6
+		cfg.PerModelBudget = 5 * time.Second
+		cfg.PerInstanceConflicts = 50000
+	}
+
+	runTable1 := func() error {
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.WriteTable(os.Stdout)
+		}
+		return nil
+	}
+	runFig6 := func() error {
+		res, err := experiments.RunTable1(cfg)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteFigure6CSV(os.Stdout)
+		} else {
+			res.WriteFigure6(os.Stdout)
+		}
+		return nil
+	}
+	runFig7 := func() error {
+		res, err := experiments.RunFigure7(cfg, *model, core.OrderDynamic)
+		if err != nil {
+			return err
+		}
+		if *csv {
+			res.WriteCSV(os.Stdout)
+		} else {
+			res.Write(os.Stdout)
+		}
+		return nil
+	}
+	// The ablations run on representative subsets (like the paper's
+	// follow-up analyses); the headline table runs the whole suite.
+	overheadCfg := cfg
+	overheadCfg.Models = experiments.OverheadModels()
+	ablationCfg := cfg
+	ablationCfg.Models = experiments.AblationModels()
+
+	runOverhead := func() error {
+		res, err := experiments.RunOverhead(overheadCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
+	runAblation := func() error {
+		res, err := experiments.RunScoreAblation(ablationCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
+	runThreshold := func() error {
+		res, err := experiments.RunThresholdSweep(ablationCfg, nil)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
+	runTimeAxis := func() error {
+		res, err := experiments.RunTimeAxis(ablationCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
+	runCDGMemory := func() error {
+		res, err := experiments.RunCDGMemory(overheadCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
+
+	var err error
+	switch *exp {
+	case "table1":
+		err = runTable1()
+	case "fig6":
+		err = runFig6()
+	case "fig7":
+		err = runFig7()
+	case "overhead":
+		err = runOverhead()
+	case "ablation":
+		err = runAblation()
+	case "threshold":
+		err = runThreshold()
+	case "timeaxis":
+		err = runTimeAxis()
+	case "cdgmemory":
+		err = runCDGMemory()
+	case "all":
+		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis} {
+			if err = step(); err != nil {
+				break
+			}
+			fmt.Println()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "tablegen: unknown experiment %q\n", *exp)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tablegen:", err)
+		return 1
+	}
+	return 0
+}

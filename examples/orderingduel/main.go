@@ -1,0 +1,98 @@
+// Orderingduel: run the same hard model under all four decision orderings
+// (plain VSIDS, the paper's static and dynamic refinements, and the
+// Shtrichman-style time-axis comparator) and print the Figure 7-style
+// per-depth decision and implication counts side by side.
+//
+//	go run ./examples/orderingduel
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/core"
+	"repro/internal/sat"
+)
+
+type series struct {
+	name    string
+	dec     []int64
+	imp     []int64
+	total   time.Duration
+	verdict bmc.Verdict
+}
+
+func main() {
+	m, ok := bench.ByName(bench.Fig7Model)
+	if !ok {
+		log.Fatalf("suite model %s missing", bench.Fig7Model)
+	}
+
+	configs := []struct {
+		name string
+		st   core.Strategy
+	}{
+		{"vsids", core.OrderVSIDS},
+		{"static", core.OrderStatic},
+		{"dynamic", core.OrderDynamic},
+		{"timeaxis", bmc.TimeAxis},
+	}
+
+	depth := m.MaxDepth
+	results := make([]series, 0, len(configs))
+	for _, cfg := range configs {
+		res, err := bmc.Run(m.Build(), 0, bmc.Options{
+			MaxDepth: depth,
+			Strategy: cfg.st,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(30 * time.Second),
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		s := series{name: cfg.name, total: res.TotalTime, verdict: res.Verdict}
+		for _, d := range res.PerDepth {
+			s.dec = append(s.dec, d.Stats.Decisions)
+			s.imp = append(s.imp, d.Stats.Implications)
+		}
+		results = append(results, s)
+	}
+
+	fmt.Printf("model %s (the paper's 02_3_b2 analogue), depth 0..%d\n\n", m.Name, depth)
+	fmt.Println("decisions per unrolling depth:")
+	printTable(results, depth, func(s series) []int64 { return s.dec })
+	fmt.Println("\nimplications per unrolling depth:")
+	printTable(results, depth, func(s series) []int64 { return s.imp })
+
+	fmt.Println("\ntotals:")
+	for _, s := range results {
+		fmt.Printf("  %-9s %10s  (%s)\n", s.name, s.total.Round(time.Millisecond), s.verdict)
+	}
+	fmt.Println("\nThe refined orderings keep the search tree flat as the depth grows;")
+	fmt.Println("plain VSIDS (and the time-axis order) blow up — the paper's Fig. 7.")
+}
+
+// printTable renders one counter (decisions or implications) for every
+// configuration, one row per unrolling depth.
+func printTable(results []series, depth int, pick func(series) []int64) {
+	fmt.Printf("%-4s", "k")
+	for _, s := range results {
+		fmt.Printf(" %12s", s.name)
+	}
+	fmt.Println()
+	for k := 0; k <= depth; k++ {
+		fmt.Printf("%-4d", k)
+		for _, s := range results {
+			vals := pick(s)
+			if k < len(vals) {
+				fmt.Printf(" %12d", vals[k])
+			} else {
+				fmt.Printf(" %12s", "-")
+			}
+		}
+		fmt.Println()
+	}
+}

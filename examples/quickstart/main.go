@@ -1,0 +1,55 @@
+// Quickstart: build a small sequential circuit programmatically, model-check
+// an invariant with the refined decision ordering, and print the verdict
+// together with the per-depth statistics the refinement is based on.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bmc"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sat"
+)
+
+func main() {
+	// A 6-bit counter that increments only while `en` is high and wraps at
+	// 40. The invariant "the counter never reaches 45" holds (45 is
+	// unreachable past the wrap), so every BMC instance is UNSAT — the
+	// regime the paper's heuristic feeds on.
+	c := circuit.New("quickstart")
+	en := c.Input("en")
+	cnt := c.LatchWord("cnt", 6, 0)
+	inc, _ := c.IncWord(cnt)
+	wrap := c.EqConst(cnt, 40)
+	next := c.MuxWord(wrap, c.ConstWord(6, 0), inc)
+	c.SetNextWord(cnt, c.MuxWord(en, next, cnt))
+	c.AddProperty("never_45", c.EqConst(cnt, 45))
+
+	res, err := bmc.Run(c, 0, bmc.Options{
+		MaxDepth: 20,
+		Strategy: core.OrderDynamic, // the paper's best configuration
+		Solver:   sat.Defaults(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("model %s: property %q %s up to depth %d\n",
+		c.Name(), "never_45", res.Verdict, res.Depth)
+	fmt.Printf("total: %d decisions, %d implications, %d conflicts in %s\n\n",
+		res.Total.Decisions, res.Total.Implications, res.Total.Conflicts, res.TotalTime)
+
+	fmt.Printf("%-4s %-8s %10s %12s %10s %10s %10s\n",
+		"k", "status", "decisions", "implications", "conflicts", "coreCls", "coreVars")
+	for _, d := range res.PerDepth {
+		fmt.Printf("%-4d %-8s %10d %12d %10d %10d %10d\n",
+			d.K, d.Status, d.Stats.Decisions, d.Stats.Implications, d.Stats.Conflicts,
+			d.CoreClauses, d.CoreVars)
+	}
+	fmt.Println("\ncoreCls/coreVars: size of each instance's unsat core — the")
+	fmt.Println("variables that feed the next instance's decision ordering (§3.2).")
+}

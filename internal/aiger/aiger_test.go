@@ -1,0 +1,229 @@
+package aiger
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// toggle is the canonical AIGER toy example: a latch that toggles.
+const toggleSrc = `aag 1 0 1 1 0
+2 3 0
+2
+l0 toggle
+c
+toggle
+`
+
+func TestReadToggle(t *testing.T) {
+	c, err := ReadString(toggleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumLatches() != 1 || c.NumInputs() != 0 || len(c.Properties()) != 1 {
+		t.Fatalf("shape: %s", c.Stats())
+	}
+	if c.Name() != "toggle" {
+		t.Errorf("name=%q", c.Name())
+	}
+	// Simulate: latch starts 0, bad=latch, so bad at frames 1,3,5...
+	seq := [][]bool{{}, {}, {}, {}}
+	bads := c.Simulate(seq, 0)
+	want := []bool{false, true, false, true}
+	for i := range want {
+		if bads[i] != want[i] {
+			t.Errorf("frame %d: bad=%v want %v", i, bads[i], want[i])
+		}
+	}
+}
+
+func TestReadWithAnds(t *testing.T) {
+	// Two inputs, output = a & !b.
+	src := `aag 3 2 0 1 1
+2
+4
+6
+6 2 5
+i0 a
+i1 b
+o0 and_out
+`
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := c.Eval(circuit.State{}, []bool{true, false})
+	if !circuit.SignalValue(vals, c.Properties()[0].Bad) {
+		t.Errorf("a&!b with a=1,b=0 must be true")
+	}
+	vals = c.Eval(circuit.State{}, []bool{true, true})
+	if circuit.SignalValue(vals, c.Properties()[0].Bad) {
+		t.Errorf("a&!b with a=1,b=1 must be false")
+	}
+}
+
+func TestReadOutOfOrderAnds(t *testing.T) {
+	// AND 6 references AND 8 defined later.
+	src := `aag 4 1 0 1 2
+2
+6
+6 8 8
+8 2 2
+`
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := c.Eval(circuit.State{}, []bool{true})
+	if !circuit.SignalValue(vals, c.Properties()[0].Bad) {
+		t.Errorf("identity chain broken")
+	}
+}
+
+func TestReadLatchInitOne(t *testing.T) {
+	src := `aag 1 0 1 1 0
+2 2 1
+2
+`
+	c, err := ReadString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.LatchInit(c.Latches()[0]).IsTrue() {
+		t.Errorf("latch init 1 lost")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"binary header":  "aig 1 0 1 1 0\n",
+		"truncated":      "aag 1 1 0 0 0\n",
+		"odd input":      "aag 1 1 0 0 0\n3\n",
+		"redefined":      "aag 2 2 0 0 0\n2\n2\n",
+		"undefined ref":  "aag 2 1 0 1 0\n2\n4\n",
+		"cycle":          "aag 2 0 0 1 1\n4\n4 4 4\n",
+		"bad latch init": "aag 1 0 1 0 0\n2 2 5\n",
+		"bad and lhs":    "aag 2 1 0 0 1\n2\n3 2 2\n",
+		"bad symbol":     "aag 1 1 0 0 0\n2\nx0\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadString(src); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestWriteToggleRoundTrip(t *testing.T) {
+	c, err := ReadString(toggleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ReadString(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if c2.NumLatches() != 1 || len(c2.Properties()) != 1 {
+		t.Fatalf("round-trip shape: %s", c2.Stats())
+	}
+}
+
+// buildRandomCircuit constructs a random sequential circuit using the
+// builder API.
+func buildRandomCircuit(rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New("rand")
+	pool := []circuit.Signal{circuit.True, circuit.False}
+	nIn := rng.Intn(4) + 1
+	for i := 0; i < nIn; i++ {
+		pool = append(pool, c.Input("in"))
+	}
+	nLatch := rng.Intn(4) + 1
+	var latches []circuit.Signal
+	for i := 0; i < nLatch; i++ {
+		l := c.Latch("l", rng.Intn(2) == 0)
+		latches = append(latches, l)
+		pool = append(pool, l)
+	}
+	for i := 0; i < rng.Intn(20)+5; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		if rng.Intn(2) == 0 {
+			b = b.Not()
+		}
+		pool = append(pool, c.And(a, b))
+	}
+	for _, l := range latches {
+		c.SetNext(l, pool[rng.Intn(len(pool))])
+	}
+	c.AddProperty("bad", pool[len(pool)-1])
+	return c
+}
+
+func TestRandomRoundTripSimulationEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 40; iter++ {
+		c1 := buildRandomCircuit(rng)
+		text, err := WriteString(c1)
+		if err != nil {
+			t.Fatalf("iter %d: write: %v", iter, err)
+		}
+		c2, err := ReadString(text)
+		if err != nil {
+			t.Fatalf("iter %d: read: %v\n%s", iter, err, text)
+		}
+		if c2.NumInputs() != c1.NumInputs() || c2.NumLatches() != c1.NumLatches() {
+			t.Fatalf("iter %d: interface mismatch", iter)
+		}
+		// Equivalence on random stimulus.
+		frames := 8
+		seq := make([][]bool, frames)
+		for f := range seq {
+			in := make([]bool, c1.NumInputs())
+			for i := range in {
+				in[i] = rng.Intn(2) == 0
+			}
+			seq[f] = in
+		}
+		b1 := c1.Simulate(seq, 0)
+		b2 := c2.Simulate(seq, 0)
+		for f := range b1 {
+			if b1[f] != b2[f] {
+				t.Fatalf("iter %d frame %d: simulation mismatch\n%s", iter, f, text)
+			}
+		}
+	}
+}
+
+func TestWriteSymbolsPresent(t *testing.T) {
+	c := circuit.New("named")
+	c.Input("req")
+	l := c.Latch("busy", false)
+	c.SetNext(l, l)
+	c.AddProperty("safety", l)
+	text, err := WriteString(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"i0 req", "l0 busy", "o0 safety", "c\nnamed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in output:\n%s", want, text)
+		}
+	}
+}
+
+func TestWriteRejectsInvalidCircuit(t *testing.T) {
+	c := circuit.New("bad")
+	c.Latch("l", false) // next never set
+	if _, err := WriteString(c); err == nil {
+		t.Errorf("expected validation error")
+	}
+}

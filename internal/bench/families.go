@@ -1,0 +1,402 @@
+// Package bench provides the benchmark-circuit suite the experiments run
+// on: 37 synthetic sequential models from eleven parametric families,
+// standing in for the (proprietary) IBM Formal Verification Benchmarks of
+// the paper's evaluation.
+//
+// The substitution is documented in DESIGN.md. The essential property the
+// suite preserves is the workload *structure* the paper's heuristic
+// exploits: BMC instance sequences that are almost entirely UNSAT, whose
+// unsat cores are (a) stable from depth to depth and (b) usually far
+// smaller than the whole formula. To that end, most models embed a small
+// property-relevant machine inside substantially larger "distractor" logic
+// that is inside the cone of influence (it reaches the property through a
+// provably inert gate) yet never participates in the refutation — the
+// irrelevant clauses the paper's §3 wants the solver to ignore. A few
+// models deliberately have cores that grow to the whole circuit, where the
+// static refinement is expected to lose and the dynamic switch to recover.
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// deadGate routes sig into the property cone through a latch that provably
+// stays 0 (dead' = dead ∧ x with dead(0)=0). The gated signal is constant
+// false on every execution — and cheap for BCP to discharge — but it pulls
+// sig's entire fanin cone into the formula.
+func deadGate(c *circuit.Circuit, name string, sig circuit.Signal) circuit.Signal {
+	dead := c.Latch(name+"_dead", false)
+	c.SetNext(dead, c.And(dead, sig))
+	return c.And(dead, sig)
+}
+
+// addDistractor builds `banks` pairs of accumulator registers, each pair
+// updating through two structurally different adders (ripple carry vs
+// split with carry select) applied to the same input-derived word, and
+// returns the OR of the pairs' disagreement bits. The signal is constant
+// false — the accumulators are equal by induction — but nothing in the CNF
+// says so locally: the logic is *conflictable*. Its literals dominate the
+// initial VSIDS counts, decisions inside it collide with the adder
+// structure, and the conflict feedback keeps cha_score pointing back at
+// it — the "irrelevant variables and clauses" of the paper's §3 that the
+// default heuristic fails to ignore. The core-guided orderings never touch
+// it, which is where their wall-clock advantage on the easy rows comes
+// from. Routed through deadGate the cone stays semantically inert even if
+// a disagreement were derivable.
+func addDistractor(c *circuit.Circuit, name string, banks, width int) circuit.Signal {
+	din := c.InputWord(name+"_din", width)
+	outs := make([]circuit.Signal, 0, banks)
+	for b := 0; b < banks; b++ {
+		seed := uint64(0x9E3779B9*(b+1)) & ((1 << uint(width)) - 1)
+		acc1 := c.LatchWord(fmt.Sprintf("%s_a%d", name, b), width, seed)
+		acc2 := c.LatchWord(fmt.Sprintf("%s_b%d", name, b), width, seed)
+
+		// The per-cycle step mixes the free input with a rotation of the
+		// first accumulator; both accumulators add the same step, so they
+		// stay equal forever.
+		step := make(circuit.Word, width)
+		for i := 0; i < width; i++ {
+			step[i] = c.Xor(din[i], acc1[(i+1+b)%width])
+		}
+
+		sum1, _ := addWordCarry(c, acc1, step, circuit.False)
+		c.SetNextWord(acc1, sum1)
+
+		half := width / 2
+		lo, loCarry := addWordCarry(c, acc2[:half], step[:half], circuit.False)
+		hi0, _ := addWordCarry(c, acc2[half:], step[half:], circuit.False)
+		hi1, _ := addWordCarry(c, acc2[half:], step[half:], circuit.True)
+		hi := c.MuxWord(loCarry, hi1, hi0)
+		sum2 := append(append(circuit.Word{}, lo...), hi...)
+		c.SetNextWord(acc2, sum2)
+
+		outs = append(outs, c.OrReduce(c.XorWord(acc1, acc2)))
+	}
+	return c.OrN(outs...)
+}
+
+// finishProperty attaches the final property: the real bad signal, OR the
+// dead-gated distractor output when one is present.
+func finishProperty(c *circuit.Circuit, name string, bad, distractor circuit.Signal) {
+	if distractor != circuit.False {
+		bad = c.Or(bad, deadGate(c, name, distractor))
+	}
+	c.AddProperty(name, bad)
+}
+
+// --- family: cnt — enabled counters hitting a target value (failing) ---
+
+// Counter builds a width-bit counter that increments only while the enable
+// input is high; the "counter hits target" property fails exactly at depth
+// target (the all-enabled path), and every shallower instance is a real
+// UNSAT proof that the counter cannot climb fast enough — the per-step
+// "+0 or +1" case split is what gives the cnt rows genuine search.
+// distractorBanks×distractorWidth of inert logic is attached when nonzero.
+func Counter(width int, target uint64, distractorBanks, distractorWidth int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("cnt_w%d_t%d", width, target))
+	en := c.Input("en")
+	w := c.LatchWord("cnt", width, 0)
+	inc, _ := c.IncWord(w)
+	c.SetNextWord(w, c.MuxWord(en, inc, w))
+	bad := c.EqConst(w, target)
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "hit_target", bad, d)
+	return c
+}
+
+// --- family: lock — combination locks (failing at the stage count) ---
+
+// Lock builds a combination lock with the given number of stages over a
+// secret alphabet of 2^width values; the unlock property fails exactly at
+// depth stages.
+func Lock(stages, width, distractorBanks, distractorWidth int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("lock_s%d", stages))
+	in := c.InputWord("code", width)
+	sw := 1
+	for 1<<uint(sw) <= stages {
+		sw++
+	}
+	s := c.LatchWord("stage", sw, 0)
+	match := circuit.False
+	for i := 0; i < stages; i++ {
+		sec := uint64((i*37 + 11) % (1 << uint(width)))
+		match = c.Or(match, c.And(c.EqConst(s, uint64(i)), c.EqConst(in, sec)))
+	}
+	inc, _ := c.IncWord(s)
+	next := c.MuxWord(match, inc, c.ConstWord(sw, 0))
+	c.SetNextWord(s, next)
+	bad := c.EqConst(s, uint64(stages))
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "unlocked", bad, d)
+	return c
+}
+
+// --- family: twin — equal-by-construction registers (passing) ---
+
+// Twin builds two shift registers fed by the same input; the "they
+// diverge" property holds at every depth but each refutation needs case
+// splits.
+func Twin(width, distractorBanks, distractorWidth int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("twin_w%d", width))
+	in := c.Input("in")
+	x := c.LatchWord("x", width, 0)
+	y := c.LatchWord("y", width, 0)
+	c.SetNextWord(x, c.ShiftLeft(x, in))
+	c.SetNextWord(y, c.ShiftLeft(y, in))
+	bad := c.OrReduce(c.XorWord(x, y))
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "diverge", bad, d)
+	return c
+}
+
+// --- family: gcnt — input-gated wrap-around counters (passing) ---
+
+// GatedCounter counts 0..m-1 with an enable input, wrapping at m-1; the
+// property claims the (unreachable) value m is hit.
+func GatedCounter(width int, m uint64, distractorBanks, distractorWidth int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("gcnt_w%d_m%d", width, m))
+	en := c.Input("en")
+	w := c.LatchWord("cnt", width, 0)
+	inc, _ := c.IncWord(w)
+	wrap := c.EqConst(w, m-1)
+	bump := c.MuxWord(wrap, c.ConstWord(width, 0), inc)
+	next := c.MuxWord(en, bump, w)
+	c.SetNextWord(w, next)
+	bad := c.EqConst(w, m)
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "overflow", bad, d)
+	return c
+}
+
+// --- family: arb — token-ring arbiters (mutual exclusion) ---
+
+// Arbiter builds an n-client token-ring arbiter whose token advances only
+// on the advance input. The mutual-exclusion property (never two grants)
+// holds. When buggy, a glitch input can duplicate the token, making the
+// property fail at depth 1.
+func Arbiter(n int, buggy bool, distractorBanks, distractorWidth int) *circuit.Circuit {
+	name := fmt.Sprintf("arb_%d", n)
+	if buggy {
+		name += "_bug"
+	}
+	c := circuit.New(name)
+	adv := c.Input("advance")
+	var glitch circuit.Signal
+	if buggy {
+		glitch = c.Input("glitch")
+	}
+	reqs := make([]circuit.Signal, n)
+	for i := range reqs {
+		reqs[i] = c.Input(fmt.Sprintf("req%d", i))
+	}
+	tok := make([]circuit.Signal, n)
+	for i := range tok {
+		tok[i] = c.Latch(fmt.Sprintf("tok%d", i), i == 0)
+	}
+	for i := range tok {
+		rot := tok[(i+n-1)%n]
+		next := c.Mux(adv, rot, tok[i])
+		if buggy {
+			// The glitch keeps the old token while also accepting the
+			// rotated one: the token duplicates.
+			next = c.Or(next, c.And(glitch, tok[i]))
+		}
+		c.SetNext(tok[i], next)
+	}
+	grants := make([]circuit.Signal, n)
+	for i := range grants {
+		grants[i] = c.And(reqs[i], tok[i])
+	}
+	bad := circuit.False
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			bad = c.Or(bad, c.And(grants[i], grants[j]))
+		}
+	}
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "two_grants", bad, d)
+	return c
+}
+
+// --- family: fifo — occupancy counting (bounded queue) ---
+
+// FIFO models a queue occupancy counter of the given capacity. Push is
+// ignored when full and pop when empty, so occupancy never exceeds cap;
+// the property claims it does. The buggy variant drops the full check, so
+// the property fails at depth cap+1.
+func FIFO(width int, cap uint64, buggy bool, distractorBanks, distractorWidth int) *circuit.Circuit {
+	name := fmt.Sprintf("fifo_c%d", cap)
+	if buggy {
+		name += "_bug"
+	}
+	c := circuit.New(name)
+	push := c.Input("push")
+	pop := c.Input("pop")
+	cnt := c.LatchWord("occ", width, 0)
+	full := c.GeConst(cnt, cap)
+	empty := c.EqConst(cnt, 0)
+	inc, _ := c.IncWord(cnt)
+	dec := decWord(c, cnt)
+	doPush := push
+	if !buggy {
+		doPush = c.And(push, full.Not())
+	}
+	doPop := c.And(pop, empty.Not())
+	// Simultaneous push+pop cancels; model as priority: push first.
+	afterPush := c.MuxWord(c.And(doPush, doPop.Not()), inc, cnt)
+	next := c.MuxWord(c.And(doPop, doPush.Not()), dec, afterPush)
+	c.SetNextWord(cnt, next)
+	bad := c.GeConst(cnt, cap+1)
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "overflow", bad, d)
+	return c
+}
+
+// decWord returns a-1 (two's complement decrement).
+func decWord(c *circuit.Circuit, a circuit.Word) circuit.Word {
+	out := make(circuit.Word, len(a))
+	borrow := circuit.True
+	for i := range a {
+		out[i] = c.Xor(a[i], borrow)
+		borrow = c.And(a[i].Not(), borrow)
+	}
+	return out
+}
+
+// --- family: pipe — valid-bit pipelines with a redundant occupancy counter ---
+
+// Pipeline builds a stages-deep valid-bit pipeline with stall control, a
+// wide data path (genuine distractor mass inside the cone of influence),
+// and a side counter that redundantly tracks how many valid bits are in
+// flight. The property claims the counter and the pipeline's popcount
+// disagree — refuting it at each depth needs case splits over the
+// push/stall history. The buggy variant forgets to decrement the counter
+// when a valid bit drains without a simultaneous push, so the property
+// fails at depth stages+1.
+func Pipeline(stages, dataWidth int, buggy bool) *circuit.Circuit {
+	name := fmt.Sprintf("pipe_s%d", stages)
+	if buggy {
+		name += "_bug"
+	}
+	c := circuit.New(name)
+	push := c.Input("push")
+	stall := c.Input("stall")
+	din := c.InputWord("din", dataWidth)
+
+	valid := make([]circuit.Signal, stages)
+	data := make([]circuit.Word, stages)
+	for i := 0; i < stages; i++ {
+		valid[i] = c.Latch(fmt.Sprintf("v%d", i), false)
+		data[i] = c.LatchWord(fmt.Sprintf("d%d", i), dataWidth, 0)
+	}
+	for i := 0; i < stages; i++ {
+		var vIn circuit.Signal
+		var dIn circuit.Word
+		if i == 0 {
+			vIn, dIn = push, din
+		} else {
+			vIn, dIn = valid[i-1], data[i-1]
+		}
+		c.SetNext(valid[i], c.Mux(stall, valid[i], vIn))
+		c.SetNextWord(data[i], c.MuxWord(stall, data[i], dIn))
+	}
+
+	// Occupancy counter: wide enough for 0..stages.
+	cw := 1
+	for 1<<uint(cw) <= stages {
+		cw++
+	}
+	cnt := c.LatchWord("occ", cw, 0)
+	inc, _ := c.IncWord(cnt)
+	dec := decWord(c, cnt)
+	exit := valid[stages-1]
+	enter := push
+	incOnly := c.And(enter, exit.Not())
+	decOnly := c.And(exit, enter.Not())
+	next := c.MuxWord(incOnly, inc, cnt)
+	if !buggy {
+		next = c.MuxWord(decOnly, dec, next)
+	}
+	// Stall freezes the whole pipeline, counter included.
+	c.SetNextWord(cnt, c.MuxWord(stall, cnt, next))
+
+	// Popcount of the valid bits via an adder chain.
+	sum := c.ConstWord(cw, 0)
+	for i := 0; i < stages; i++ {
+		bit := make(circuit.Word, cw)
+		bit[0] = valid[i]
+		for j := 1; j < cw; j++ {
+			bit[j] = circuit.False
+		}
+		sum, _ = c.AddWord(sum, bit)
+	}
+	bad := c.EqWord(sum, cnt).Not()
+	c.AddProperty("count_mismatch", bad)
+	return c
+}
+
+// --- family: tlc — traffic-light mutual exclusion ---
+
+// TrafficLight builds a two-way crossing controller: each direction runs a
+// one-hot R→G→Y state machine, a direction may enter green only while the
+// other is red, and B defers to A when both could go. Never-both-green
+// holds. The buggy variant drops B's tie-breaker, so simultaneous requests
+// from the initial state make both lights green at depth 1.
+func TrafficLight(buggy bool, distractorBanks, distractorWidth int) *circuit.Circuit {
+	name := "tlc"
+	if buggy {
+		name += "_bug"
+	}
+	c := circuit.New(name)
+	reqA := c.Input("reqA")
+	reqB := c.Input("reqB")
+
+	rA := c.Latch("A_red", true)
+	gA := c.Latch("A_green", false)
+	yA := c.Latch("A_yellow", false)
+	rB := c.Latch("B_red", true)
+	gB := c.Latch("B_green", false)
+	yB := c.Latch("B_yellow", false)
+
+	goA := c.And(reqA, rB)
+	goB := c.And(reqB, rA)
+	if !buggy {
+		goB = c.And(goB, goA.Not())
+	}
+
+	// R -> G when granted; G holds while requested, else -> Y; Y -> R.
+	c.SetNext(gA, c.Or(c.And(rA, goA), c.And(gA, reqA)))
+	c.SetNext(yA, c.And(gA, reqA.Not()))
+	c.SetNext(rA, c.Or(yA, c.And(rA, goA.Not())))
+	c.SetNext(gB, c.Or(c.And(rB, goB), c.And(gB, reqB)))
+	c.SetNext(yB, c.And(gB, reqB.Not()))
+	c.SetNext(rB, c.Or(yB, c.And(rB, goB.Not())))
+
+	bad := c.And(gA, gB)
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "both_green", bad, d)
+	return c
+}

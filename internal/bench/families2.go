@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// --- family: prod — producer/consumer credit conservation ---
+
+// ProducerConsumer models a credit-flow pair: credits move between a free
+// pool and an in-flight pool, and their sum is conserved at total. The
+// property claims the free pool exceeds total. Unlike most families, the
+// unsat core here covers essentially the whole model (both counters and
+// the adder), which is the regime where the paper's static refinement has
+// little to exploit. The buggy variant lets the consumer return a credit
+// that was never taken, overflowing the pool at a shallow depth.
+func ProducerConsumer(width int, total uint64, buggy bool) *circuit.Circuit {
+	name := fmt.Sprintf("prod_t%d", total)
+	if buggy {
+		name += "_bug"
+	}
+	c := circuit.New(name)
+	produce := c.Input("produce")
+	consume := c.Input("consume")
+	free := c.LatchWord("free", width, total)
+	fly := c.LatchWord("inflight", width, 0)
+
+	canProduce := c.GeConst(free, 1)
+	canConsume := c.GeConst(fly, 1)
+	doProd := c.And(produce, canProduce)
+	doCons := c.And(consume, canConsume)
+	if buggy {
+		doCons = consume // return credits even when none are in flight
+	}
+	// Exclusive moves: produce takes free->fly, consume fly->free.
+	prodOnly := c.And(doProd, doCons.Not())
+	consOnly := c.And(doCons, doProd.Not())
+
+	freeDec := decWord(c, free)
+	freeInc, _ := c.IncWord(free)
+	flyInc, _ := c.IncWord(fly)
+	flyDec := decWord(c, fly)
+
+	nextFree := c.MuxWord(prodOnly, freeDec, c.MuxWord(consOnly, freeInc, free))
+	nextFly := c.MuxWord(prodOnly, flyInc, c.MuxWord(consOnly, flyDec, fly))
+	c.SetNextWord(free, nextFree)
+	c.SetNextWord(fly, nextFly)
+
+	bad := c.GeConst(free, total+1)
+	c.AddProperty("credit_overflow", bad)
+	return c
+}
+
+// --- family: mix — parity-tracked xor mixers ---
+
+// ParityMixer xors a decoded input mask into a register bank every cycle
+// while a single tracking bit accumulates the mask parities. The register
+// parity always equals the tracking bit; the property claims they differ.
+// The xor ladder is hostile to VSIDS (conflict-driven scores chase
+// individual clauses of a parity constraint), while the core-derived
+// frame-major ordering dispatches it quickly: this is the analogue of the
+// paper's 02_3_b2, where the refined ordering wins by an order of
+// magnitude. Distractor mass (inert but literal-rich logic) keeps the
+// formula size, and therefore the dynamic switch threshold lits/64, at a
+// realistic scale relative to the search.
+func ParityMixer(width, distractorBanks, distractorWidth int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("mix_w%d", width))
+	sel := c.InputWord("sel", 2)
+	r := c.LatchWord("r", width, 0)
+	track := c.Latch("track", false)
+
+	// Four fixed masks selected by the 2-bit input.
+	masks := []uint64{0x5, 0x9, 0xC, 0x3}
+	mask := make(circuit.Word, width)
+	for i := 0; i < width; i++ {
+		// mux tree over the 4 masks' bit i
+		m00 := (masks[0]>>uint(i%4))&1 == 1
+		m01 := (masks[1]>>uint(i%4))&1 == 1
+		m10 := (masks[2]>>uint(i%4))&1 == 1
+		m11 := (masks[3]>>uint(i%4))&1 == 1
+		toSig := func(b bool) circuit.Signal {
+			if b {
+				return circuit.True
+			}
+			return circuit.False
+		}
+		lo := c.Mux(sel[0], toSig(m01), toSig(m00))
+		hi := c.Mux(sel[0], toSig(m11), toSig(m10))
+		mask[i] = c.Mux(sel[1], hi, lo)
+	}
+	c.SetNextWord(r, c.XorWord(r, mask))
+	c.SetNext(track, c.Xor(track, c.Parity(mask)))
+
+	bad := c.Xor(c.Parity(r), track)
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "parity_mismatch", bad, d)
+	return c
+}
+
+// --- family: sreg — input-history windows ---
+
+// ShiftWindow shifts the input bit stream through a width-bit window; the
+// property fires when the window matches the all-ones pattern, which first
+// becomes possible at depth width (failing). The passing variant instead
+// compares two windows fed by the same stream (never differ).
+func ShiftWindow(width int, passing bool, distractorBanks, distractorWidth int) *circuit.Circuit {
+	name := fmt.Sprintf("sreg_w%d", width)
+	if passing {
+		name += "_dup"
+	}
+	c := circuit.New(name)
+	in := c.Input("bit")
+	w1 := c.LatchWord("win", width, 0)
+	c.SetNextWord(w1, c.ShiftLeft(w1, in))
+	var bad circuit.Signal
+	if passing {
+		w2 := c.LatchWord("win2", width, 0)
+		c.SetNextWord(w2, c.ShiftLeft(w2, in))
+		bad = c.OrReduce(c.XorWord(w1, w2))
+	} else {
+		bad = c.AndReduce(w1)
+	}
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "window", bad, d)
+	return c
+}

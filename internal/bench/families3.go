@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// --- family: phase — mode-switch machines (stale-guidance regime) ---
+
+// PhaseSwitch builds the suite's "estimation goes inaccurate" family, the
+// regime behind the paper's rows where the static refinement loses to the
+// baseline and the dynamic switch recovers (02_1_b2, 14_b_1, 17_1_b2, ...).
+//
+// A saturating phase counter arms one of two property components:
+//
+//	bad = (phase < unlockDepth) ∧ badA  ∨  (phase ≥ unlockDepth) ∧ badB
+//
+// where A and B are independent twin-register machines. Because the phase
+// counter is deterministic, BCP reduces every instance to exactly one
+// component: for k < unlockDepth the refutation (and hence the unsat core)
+// lives entirely in machine A; from k = unlockDepth on it lives in machine
+// B. The bmc_score accumulated over the shallow instances therefore points
+// at precisely the wrong variables when the switch happens — the static
+// ordering spends its decisions fighting A's transition structure, while
+// the dynamic configuration detects the blow-up and falls back to VSIDS.
+//
+// When failDepth > 0 the B component is instead a "last failDepth inputs
+// were all ones" window, making the property fail at depth
+// max(unlockDepth, failDepth); pass failDepth = 0 for a passing property.
+func PhaseSwitch(decoyWidth, unlockDepth, failDepth int, distractorBanks, distractorWidth int) *circuit.Circuit {
+	name := fmt.Sprintf("phase_d%d", unlockDepth)
+	if failDepth > 0 {
+		name += "_f"
+	}
+	c := circuit.New(name)
+
+	// Saturating phase counter: counts 0,1,...,unlockDepth and holds.
+	pw := 1
+	for 1<<uint(pw) <= unlockDepth {
+		pw++
+	}
+	phase := c.LatchWord("phase", pw, 0)
+	atMax := c.EqConst(phase, uint64(unlockDepth))
+	inc, _ := c.IncWord(phase)
+	c.SetNextWord(phase, c.MuxWord(atMax, phase, inc))
+
+	// Machine A (the decoy): twin shift registers that never diverge.
+	inA := c.Input("inA")
+	xa := c.LatchWord("xa", decoyWidth, 0)
+	ya := c.LatchWord("ya", decoyWidth, 0)
+	c.SetNextWord(xa, c.ShiftLeft(xa, inA))
+	c.SetNextWord(ya, c.ShiftLeft(ya, inA))
+	badA := c.OrReduce(c.XorWord(xa, ya))
+
+	// Machine B: twin registers again (passing) or an input window
+	// (failing at failDepth).
+	inB := c.Input("inB")
+	var badB circuit.Signal
+	if failDepth > 0 {
+		win := c.LatchWord("win", failDepth, 0)
+		c.SetNextWord(win, c.ShiftLeft(win, inB))
+		badB = c.AndReduce(win)
+	} else {
+		xb := c.LatchWord("xb", decoyWidth, 0)
+		yb := c.LatchWord("yb", decoyWidth, 0)
+		c.SetNextWord(xb, c.ShiftLeft(xb, inB))
+		c.SetNextWord(yb, c.ShiftLeft(yb, inB))
+		badB = c.OrReduce(c.XorWord(xb, yb))
+	}
+
+	bad := c.Or(c.And(atMax.Not(), badA), c.And(atMax, badB))
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "armed_component", bad, d)
+	return c
+}

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+)
+
+// --- family: add — redundant-adder accumulators (whole-formula cores) ---
+
+// AdderTwin builds two accumulator registers that both add the same free
+// input word every cycle, one through a plain ripple-carry adder and one
+// through a two-block adder with a registered carry select. The "they
+// disagree" property holds, but every refutation is a k-step arithmetic
+// equivalence proof whose unsat core covers essentially the whole formula.
+// With every variable carrying a nonzero bmc_score, the refined ordering
+// degenerates into a frozen variable order — exactly the regime the paper
+// calls "difficult", where adaptive VSIDS outperforms the frozen order and
+// the dynamic configuration's fallback pays off.
+func AdderTwin(width int, distractorBanks, distractorWidth int) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("add_w%d", width))
+	in := c.InputWord("in", width)
+
+	acc1 := c.LatchWord("acc1", width, 0)
+	sum1, _ := c.AddWord(acc1, in)
+	c.SetNextWord(acc1, sum1)
+
+	// Second implementation: split at width/2; low half ripple, high half
+	// computed twice (carry 0 and carry 1) and selected by the low carry.
+	acc2 := c.LatchWord("acc2", width, 0)
+	half := width / 2
+	lo, loCarry := addWordCarry(c, acc2[:half], in[:half], circuit.False)
+	hi0, _ := addWordCarry(c, acc2[half:], in[half:], circuit.False)
+	hi1, _ := addWordCarry(c, acc2[half:], in[half:], circuit.True)
+	hi := c.MuxWord(loCarry, hi1, hi0)
+	sum2 := append(append(circuit.Word{}, lo...), hi...)
+	c.SetNextWord(acc2, sum2)
+
+	bad := c.EqWord(acc1, acc2).Not()
+	d := circuit.False
+	if distractorBanks > 0 {
+		d = addDistractor(c, "dis", distractorBanks, distractorWidth)
+	}
+	finishProperty(c, "adders_diverge", bad, d)
+	return c
+}
+
+// addWordCarry is a ripple-carry adder with an explicit carry-in, returning
+// the sum and the carry-out.
+func addWordCarry(c *circuit.Circuit, a, b circuit.Word, cin circuit.Signal) (circuit.Word, circuit.Signal) {
+	mustLen("addWordCarry", a, b)
+	out := make(circuit.Word, len(a))
+	carry := cin
+	for i := range a {
+		axb := c.Xor(a[i], b[i])
+		out[i] = c.Xor(axb, carry)
+		carry = c.Or(c.And(a[i], b[i]), c.And(axb, carry))
+	}
+	return out, carry
+}
+
+func mustLen(op string, a, b circuit.Word) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("bench: %s width mismatch (%d vs %d)", op, len(a), len(b)))
+	}
+}

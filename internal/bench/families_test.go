@@ -1,0 +1,304 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// simRng is a deterministic xorshift generator for random input sequences.
+type simRng uint64
+
+func (r *simRng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = simRng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+// randomInputs draws a frames×n input matrix.
+func randomInputs(r *simRng, frames, n int) [][]bool {
+	out := make([][]bool, frames)
+	for f := range out {
+		row := make([]bool, n)
+		bits := r.next()
+		for i := range row {
+			if i%64 == 0 && i > 0 {
+				bits = r.next()
+			}
+			row[i] = bits&(1<<(uint(i)%64)) != 0
+		}
+		out[f] = row
+	}
+	return out
+}
+
+// assertNeverBad simulates the model on random input sequences and fails if
+// the property's bad signal ever rises (ground truth for passing models).
+func assertNeverBad(t *testing.T, c *circuit.Circuit, seeds, frames int) {
+	t.Helper()
+	for s := 1; s <= seeds; s++ {
+		r := simRng(uint64(s) * 0x9E3779B97F4A7C15)
+		seq := randomInputs(&r, frames, c.NumInputs())
+		for f, bad := range c.Simulate(seq, 0) {
+			if bad {
+				t.Fatalf("%s: bad at frame %d under random inputs (seed %d)", c.Name(), f, s)
+			}
+		}
+	}
+}
+
+func TestCounterSemantics(t *testing.T) {
+	c := Counter(4, 9, 0, 0)
+	// All-enabled inputs reach the target exactly at depth 9.
+	seq := make([][]bool, 10)
+	for i := range seq {
+		seq[i] = []bool{true}
+	}
+	bads := c.Simulate(seq, 0)
+	for f := 0; f < 9; f++ {
+		if bads[f] {
+			t.Fatalf("bad at frame %d before the target", f)
+		}
+	}
+	// Frame 9 evaluates the state after 9 increments only if bads[9] is
+	// computed on the post-9th-step state; Simulate evaluates the property
+	// in-frame, so the counter shows 9 during frame 9.
+	if !bads[9] {
+		t.Fatal("target not hit at frame 9 under all-enabled inputs")
+	}
+	// With enables low the counter must never move.
+	idle := make([][]bool, 12)
+	for i := range idle {
+		idle[i] = []bool{false}
+	}
+	for f, bad := range c.Simulate(idle, 0) {
+		if bad {
+			t.Fatalf("idle counter hit the target at frame %d", f)
+		}
+	}
+}
+
+func TestCounterWithDistractorSameSemantics(t *testing.T) {
+	c := Counter(4, 9, 2, 8)
+	// The distractor adds inputs after the enable; driving them randomly
+	// must not change the property.
+	r := simRng(42)
+	seq := make([][]bool, 10)
+	for i := range seq {
+		row := randomInputs(&r, 1, c.NumInputs())[0]
+		row[0] = true // enable is the first input
+		seq[i] = row
+	}
+	bads := c.Simulate(seq, 0)
+	if !bads[9] {
+		t.Fatal("distractor changed the counter semantics")
+	}
+	for f := 0; f < 9; f++ {
+		if bads[f] {
+			t.Fatalf("premature bad at frame %d", f)
+		}
+	}
+}
+
+func TestLockUnlocksOnlyWithSecrets(t *testing.T) {
+	c := Lock(4, 3, 0, 0)
+	// The lock counts stages 0..3; each stage's secret is (i*37+11) mod 8.
+	width := 3
+	seq := make([][]bool, 5)
+	for i := range seq {
+		sec := uint64((i*37 + 11) % (1 << uint(width)))
+		row := make([]bool, width)
+		for b := 0; b < width; b++ {
+			row[b] = sec&(1<<uint(b)) != 0
+		}
+		seq[i] = row
+	}
+	bads := c.Simulate(seq, 0)
+	if !bads[4] {
+		t.Fatal("correct code sequence did not unlock at depth 4")
+	}
+	// A single wrong digit resets the stage machine.
+	seq[2] = make([]bool, width)
+	for _, bad := range c.Simulate(seq, 0) {
+		if bad {
+			t.Fatal("wrong code still unlocked the lock")
+		}
+	}
+}
+
+func TestTwinNeverDiverges(t *testing.T) {
+	assertNeverBad(t, Twin(8, 0, 0), 8, 24)
+	assertNeverBad(t, Twin(8, 2, 6), 8, 24)
+}
+
+func TestGatedCounterNeverOverflows(t *testing.T) {
+	assertNeverBad(t, GatedCounter(4, 10, 0, 0), 8, 40)
+}
+
+func TestArbiterMutualExclusion(t *testing.T) {
+	assertNeverBad(t, Arbiter(5, false, 0, 0), 8, 30)
+	// The buggy variant must violate mutual exclusion under full requests
+	// plus a glitch.
+	c := Arbiter(4, true, 0, 0)
+	seq := [][]bool{
+		{true, true, true, true, true, true}, // advance, glitch, all requests
+		{true, true, true, true, true, true},
+	}
+	bads := c.Simulate(seq, 0)
+	if !bads[1] {
+		t.Fatal("glitched arbiter never granted twice")
+	}
+}
+
+func TestFIFONeverOverflowsWhenGuarded(t *testing.T) {
+	assertNeverBad(t, FIFO(3, 6, false, 0, 0), 8, 40)
+	// Buggy: pushing every cycle overflows at depth cap+1.
+	c := FIFO(4, 6, true, 0, 0)
+	seq := make([][]bool, 8)
+	for i := range seq {
+		seq[i] = []bool{true, false} // push, no pop
+	}
+	bads := c.Simulate(seq, 0)
+	if !bads[7] {
+		t.Fatal("unguarded FIFO did not overflow")
+	}
+	for f := 0; f < 7; f++ {
+		if bads[f] {
+			t.Fatalf("overflow too early at frame %d", f)
+		}
+	}
+}
+
+func TestPipelineCountInvariant(t *testing.T) {
+	assertNeverBad(t, Pipeline(4, 8, false), 8, 30)
+	assertNeverBad(t, Pipeline(6, 16, false), 6, 30)
+}
+
+func TestPipelineBugManifestsAtStagesPlusOne(t *testing.T) {
+	stages := 5
+	c := Pipeline(stages, 8, true)
+	// Push one element, never stall: the element exits after `stages`
+	// shifts and the buggy counter misses the decrement.
+	seq := make([][]bool, stages+2)
+	for i := range seq {
+		row := make([]bool, c.NumInputs())
+		row[0] = i == 0 // push only in frame 0
+		seq[i] = row
+	}
+	bads := c.Simulate(seq, 0)
+	for f := 0; f <= stages; f++ {
+		if bads[f] {
+			t.Fatalf("mismatch too early at frame %d", f)
+		}
+	}
+	if !bads[stages+1] {
+		t.Fatalf("buggy pipeline never diverged (expected at frame %d)", stages+1)
+	}
+}
+
+func TestTrafficLightSafety(t *testing.T) {
+	assertNeverBad(t, TrafficLight(false, 0, 0), 8, 40)
+	c := TrafficLight(true, 0, 0)
+	seq := [][]bool{{true, true}, {true, true}}
+	bads := c.Simulate(seq, 0)
+	if !bads[1] {
+		t.Fatal("buggy controller never showed both green")
+	}
+}
+
+func TestProducerConsumerConservation(t *testing.T) {
+	assertNeverBad(t, ProducerConsumer(4, 6, false), 8, 40)
+	c := ProducerConsumer(4, 6, true)
+	// Consume without producing: the buggy return overflows the pool.
+	seq := make([][]bool, 2)
+	for i := range seq {
+		seq[i] = []bool{false, true}
+	}
+	if bads := c.Simulate(seq, 0); !bads[1] {
+		t.Fatal("buggy credit return never overflowed")
+	}
+}
+
+func TestParityMixerInvariant(t *testing.T) {
+	assertNeverBad(t, ParityMixer(8, 0, 0), 8, 30)
+	assertNeverBad(t, ParityMixer(8, 3, 12), 6, 20)
+}
+
+func TestAdderTwinAgreement(t *testing.T) {
+	for _, w := range []int{4, 6, 8, 10, 12} {
+		assertNeverBad(t, AdderTwin(w, 0, 0), 6, 20)
+	}
+	assertNeverBad(t, AdderTwin(4, 2, 8), 6, 20)
+}
+
+func TestShiftWindowSemantics(t *testing.T) {
+	c := ShiftWindow(5, false, 0, 0)
+	seq := make([][]bool, 6)
+	for i := range seq {
+		seq[i] = []bool{true}
+	}
+	bads := c.Simulate(seq, 0)
+	if !bads[5] {
+		t.Fatal("all-ones stream did not fill the window at depth 5")
+	}
+	for f := 0; f < 5; f++ {
+		if bads[f] {
+			t.Fatalf("window full too early at %d", f)
+		}
+	}
+	assertNeverBad(t, ShiftWindow(6, true, 0, 0), 8, 24)
+}
+
+func TestPhaseSwitchSemantics(t *testing.T) {
+	// Passing variant: no input sequence may raise bad.
+	assertNeverBad(t, PhaseSwitch(6, 4, 0, 0, 0), 8, 24)
+
+	// Failing variant: feed inB=1 constantly; the window arms at
+	// max(unlock, failDepth).
+	c := PhaseSwitch(6, 3, 5, 0, 0)
+	seq := make([][]bool, 8)
+	for i := range seq {
+		seq[i] = []bool{false, true} // inA, inB
+	}
+	bads := c.Simulate(seq, 0)
+	first := -1
+	for f, b := range bads {
+		if b {
+			first = f
+			break
+		}
+	}
+	if first != 5 {
+		t.Fatalf("phase switch fired at %d, want 5", first)
+	}
+}
+
+// TestDistractorIsInert drives the distractor inputs adversarially on a
+// model whose real machine stays idle: the property must never fire, i.e.
+// the distractor cannot reach the property other than through the dead
+// gate.
+func TestDistractorIsInert(t *testing.T) {
+	c := Twin(6, 3, 10) // distractor present
+	r := simRng(7)
+	for trial := 0; trial < 12; trial++ {
+		seq := randomInputs(&r, 20, c.NumInputs())
+		for f, bad := range c.Simulate(seq, 0) {
+			if bad {
+				t.Fatalf("distractor leaked into the property at frame %d (trial %d)", f, trial)
+			}
+		}
+	}
+}
+
+// TestDistractorAddsMass confirms the distractor meaningfully inflates the
+// formula (it exists to dominate VSIDS literal counts).
+func TestDistractorAddsMass(t *testing.T) {
+	plain := Twin(8, 0, 0)
+	heavy := Twin(8, 4, 12)
+	if heavy.NumAnds() < 4*plain.NumAnds() {
+		t.Fatalf("distractor too light: %d vs %d AND gates", heavy.NumAnds(), plain.NumAnds())
+	}
+}

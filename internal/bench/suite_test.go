@@ -1,0 +1,147 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/bmc"
+	"repro/internal/core"
+	"repro/internal/sat"
+)
+
+func TestSuiteShape(t *testing.T) {
+	ms := Suite()
+	if len(ms) != 37 {
+		t.Fatalf("suite has %d models, want 37", len(ms))
+	}
+	seen := map[string]bool{}
+	nFail := 0
+	for i, m := range ms {
+		if m.Index != i+1 {
+			t.Errorf("%s: index %d != position %d", m.Name, m.Index, i+1)
+		}
+		if seen[m.Name] {
+			t.Errorf("duplicate model name %s", m.Name)
+		}
+		seen[m.Name] = true
+		if m.MaxDepth <= 0 {
+			t.Errorf("%s: MaxDepth missing", m.Name)
+		}
+		if m.ExpectFail {
+			nFail++
+			if m.FailDepth <= 0 || m.FailDepth > m.MaxDepth {
+				t.Errorf("%s: FailDepth %d outside (0, MaxDepth=%d]", m.Name, m.FailDepth, m.MaxDepth)
+			}
+		}
+	}
+	if nFail < 8 || nFail > 20 {
+		t.Errorf("failing-model count %d out of the paper-like range", nFail)
+	}
+	if _, ok := ByName(Fig7Model); !ok {
+		t.Errorf("Fig7Model %q not in suite", Fig7Model)
+	}
+}
+
+func TestAllModelsValidate(t *testing.T) {
+	for _, m := range Suite() {
+		c := m.Build()
+		if err := c.Validate(true); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+		if c.NumInputs() == 0 {
+			t.Errorf("%s: no primary inputs (instances would be BCP-trivial)", m.Name)
+		}
+	}
+}
+
+func TestBuildersAreDeterministic(t *testing.T) {
+	for _, m := range Suite() {
+		c1, c2 := m.Build(), m.Build()
+		if c1.NumNodes() != c2.NumNodes() || c1.NumLatches() != c2.NumLatches() {
+			t.Errorf("%s: nondeterministic build", m.Name)
+		}
+	}
+}
+
+func TestFailingModelsFailAtDeclaredDepth(t *testing.T) {
+	for _, m := range Suite() {
+		if !m.ExpectFail {
+			continue
+		}
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := bmc.Run(m.Build(), 0, bmc.Options{
+				MaxDepth: m.FailDepth,
+				Strategy: core.OrderVSIDS,
+				Solver:   sat.Defaults(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != bmc.Falsified || res.Depth != m.FailDepth {
+				t.Fatalf("verdict=%v depth=%d, want falsified at %d", res.Verdict, res.Depth, m.FailDepth)
+			}
+		})
+	}
+}
+
+func TestPassingModelsHoldAtShallowDepths(t *testing.T) {
+	const testDepth = 5 // keep the full-suite test fast; experiments go deeper
+	for _, m := range Suite() {
+		if m.ExpectFail {
+			continue
+		}
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := bmc.Run(m.Build(), 0, bmc.Options{
+				MaxDepth: testDepth,
+				Strategy: core.OrderVSIDS,
+				Solver:   sat.Defaults(),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Verdict != bmc.Holds {
+				t.Fatalf("verdict=%v at depth %d, want holds", res.Verdict, res.Depth)
+			}
+		})
+	}
+}
+
+func TestRefinedStrategiesAgreeOnSample(t *testing.T) {
+	// A cross-strategy agreement check on a sample of models (the full
+	// matrix runs in the experiments harness).
+	names := []string{"cnt_w4_t9", "lock_s8", "twin_w8", "gcnt_m10", "pipe_s5_bug", "prod_t6"}
+	for _, name := range names {
+		m, ok := ByName(name)
+		if !ok {
+			t.Fatalf("model %s missing", name)
+		}
+		depth := m.MaxDepth
+		if depth > 8 {
+			depth = 8
+		}
+		var base *bmc.Result
+		for _, st := range []core.Strategy{core.OrderVSIDS, core.OrderStatic, core.OrderDynamic} {
+			res, err := bmc.Run(m.Build(), 0, bmc.Options{MaxDepth: depth, Strategy: st, Solver: sat.Defaults()})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", name, st, err)
+			}
+			if base == nil {
+				base = res
+				continue
+			}
+			if res.Verdict != base.Verdict || res.Depth != base.Depth {
+				t.Errorf("%s: %v disagrees with baseline (%v@%d vs %v@%d)",
+					name, st, res.Verdict, res.Depth, base.Verdict, base.Depth)
+			}
+		}
+	}
+}
+
+func TestByNameMissing(t *testing.T) {
+	if _, ok := ByName("no_such_model"); ok {
+		t.Errorf("ByName must fail for unknown models")
+	}
+}

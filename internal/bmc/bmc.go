@@ -1,0 +1,253 @@
+// Package bmc implements the bounded model checking loop of the paper's
+// Fig. 5 (refine_order_bmc): for increasing unrolling depth k, generate the
+// CNF instance, solve it with the configured decision-ordering strategy,
+// and — when the instance is unsatisfiable — fold the unsat core's
+// variables into the bmc_score board that will guide the next instance.
+//
+// Four orderings are available:
+//
+//   - core.OrderVSIDS — plain Chaff ordering, the paper's baseline "BMC";
+//   - core.OrderStatic — bmc_score primary, cha_score tiebreaker (§3.3);
+//   - core.OrderDynamic — static, reverting to VSIDS past the decision
+//     threshold (§3.3);
+//   - TimeAxis — Shtrichman-style frame ordering (earliest frames first),
+//     the related-work comparator discussed in the paper's introduction.
+package bmc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// TimeAxis is an additional ordering mode beyond the paper's three: it
+// scores variables by how early their time frame is, approximating
+// Shtrichman's sorting along the time axis. It reuses the core.Strategy
+// value space at an offset so Options.Strategy stays a single field.
+const TimeAxis core.Strategy = 100
+
+// Verdict classifies the outcome of a BMC run.
+type Verdict int
+
+// Verdicts.
+const (
+	// Holds: no counter-example up to the depth bound (the property passed
+	// the bounded check; the paper's "true" rows reach the completeness
+	// threshold, ours reach MaxDepth).
+	Holds Verdict = iota
+	// Falsified: a counter-example was found.
+	Falsified
+	// BudgetExhausted: a per-instance or total budget ran out first.
+	BudgetExhausted
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Holds:
+		return "holds"
+	case Falsified:
+		return "falsified"
+	case BudgetExhausted:
+		return "budget-exhausted"
+	default:
+		return "?"
+	}
+}
+
+// Options configures a BMC run.
+type Options struct {
+	// MaxDepth is the largest unrolling depth to check (inclusive). It
+	// stands in for the paper's completeness threshold.
+	MaxDepth int
+	// Strategy selects the decision ordering (see package comment).
+	Strategy core.Strategy
+	// ScoreMode selects the bmc_score accumulation rule; the paper's rule
+	// is core.WeightedSum (the default zero value).
+	ScoreMode core.ScoreMode
+	// SwitchDivisor overrides the dynamic threshold divisor (default
+	// core.SwitchDivisor = 64; ignored by other strategies).
+	SwitchDivisor int
+	// Solver carries base solver options (budgets, restarts, ...); the
+	// strategy fields (Guidance, SwitchAfterDecisions, Recorder) are
+	// overwritten per instance.
+	Solver sat.Options
+	// PerInstanceConflicts bounds each SAT call (0 = unlimited).
+	PerInstanceConflicts int64
+	// Deadline bounds the whole run (zero = none). When it expires the
+	// verdict is BudgetExhausted with Result.Depth at the first unfinished
+	// instance.
+	Deadline time.Time
+	// ForceRecording attaches a core recorder even for strategies that do
+	// not consume cores (used by the §3.1 overhead experiment).
+	ForceRecording bool
+	// VerifyTraces replays counter-examples on the circuit simulator and
+	// fails the run if the trace does not reproduce the violation.
+	// Enabled by default in Run (disable only in benchmarks).
+	SkipTraceVerification bool
+}
+
+// DepthStats records the solve of a single unrolling depth — the rows of
+// the paper's Fig. 7.
+type DepthStats struct {
+	K      int
+	Status sat.Status
+	Stats  sat.Stats
+	// Wall is the wall-clock time of this depth, including CNF generation,
+	// the SAT call, and score maintenance. Table 1 sums these up to the
+	// deepest depth every configuration completed, mirroring the paper's
+	// "CPU times spent to reach the maximum unrolling depth that all
+	// methods can complete".
+	Wall           time.Duration
+	FormulaVars    int
+	FormulaClauses int
+	FormulaLits    int
+	// CoreClauses/CoreVars describe the extracted unsat core (0 on SAT or
+	// when recording is off).
+	CoreClauses int
+	CoreVars    int
+	// RecorderBytes approximates the CDG memory footprint.
+	RecorderBytes int64
+}
+
+// Result is the outcome of a BMC run.
+type Result struct {
+	Verdict Verdict
+	// Depth: the counter-example length for Falsified; the deepest fully
+	// checked depth for Holds; the first unfinished depth for
+	// BudgetExhausted.
+	Depth    int
+	Trace    *unroll.Trace
+	PerDepth []DepthStats
+	Total    sat.Stats
+	// TotalTime is the wall-clock time of the whole loop including CNF
+	// generation and score maintenance.
+	TotalTime time.Duration
+}
+
+// Run model-checks property propIdx of the circuit under the given
+// options. It returns an error only for structural problems (invalid
+// circuit, bad property index) or an internally detected inconsistency
+// (counter-example that fails replay).
+func Run(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
+	u, err := unroll.New(c, propIdx)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	board := core.NewScoreBoard(opts.ScoreMode)
+	res := &Result{Verdict: Holds, Depth: -1}
+
+	useCores := opts.Strategy == core.OrderStatic || opts.Strategy == core.OrderDynamic
+	divisor := opts.SwitchDivisor
+	if divisor == 0 {
+		divisor = core.SwitchDivisor
+	}
+
+	for k := 0; k <= opts.MaxDepth; k++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			res.Verdict = BudgetExhausted
+			res.Depth = k
+			break
+		}
+		depthStart := time.Now()
+		f := u.Formula(k)
+
+		solverOpts := opts.Solver
+		solverOpts.Guidance = nil
+		solverOpts.SwitchAfterDecisions = 0
+		solverOpts.Recorder = nil
+		if opts.PerInstanceConflicts > 0 {
+			solverOpts.MaxConflicts = opts.PerInstanceConflicts
+		}
+		if !opts.Deadline.IsZero() {
+			solverOpts.Deadline = opts.Deadline
+		}
+
+		switch {
+		case opts.Strategy == TimeAxis:
+			solverOpts.Guidance = timeAxisGuidance(u, k, f.NumVars)
+		default:
+			opts.Strategy.ConfigureWithDivisor(&solverOpts, board, f, divisor)
+		}
+
+		var rec *core.Recorder
+		if useCores || opts.ForceRecording {
+			rec = core.NewRecorder(f.NumClauses())
+			solverOpts.Recorder = rec
+		}
+
+		r := sat.New(f, solverOpts).Solve()
+		ds := DepthStats{
+			K:              k,
+			Status:         r.Status,
+			Stats:          r.Stats,
+			FormulaVars:    f.NumVars,
+			FormulaClauses: f.NumClauses(),
+			FormulaLits:    f.NumLiterals(),
+		}
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Verdict = Falsified
+			res.Depth = k
+			res.Trace = u.ExtractTrace(r.Model, k)
+			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("bmc: depth-%d counter-example failed replay on %s", k, c.Name())
+			}
+			res.TotalTime = time.Since(start)
+			return res, nil
+		case sat.Unsat:
+			if rec != nil {
+				coreIDs := rec.Core()
+				coreVars := rec.CoreVars(f)
+				ds.CoreClauses = len(coreIDs)
+				ds.CoreVars = len(coreVars)
+				ds.RecorderBytes = rec.ApproxBytes()
+				if useCores {
+					// update_ranking: weight by the 1-based instance
+					// number (the paper's j).
+					board.Update(coreVars, k+1)
+				}
+			}
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Depth = k
+		default: // Unknown: budget exhausted mid-instance
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Verdict = BudgetExhausted
+			res.Depth = k
+			res.TotalTime = time.Since(start)
+			return res, nil
+		}
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// timeAxisGuidance builds a per-variable score preferring earlier frames
+// (frame 0 scored highest), approximating Shtrichman's time-axis ordering.
+func timeAxisGuidance(u *unroll.Unroller, k, nVars int) []float64 {
+	g := make([]float64, nVars+1)
+	for v := 1; v <= nVars; v++ {
+		_, frame := u.NodeOf(lits.Var(v))
+		g[v] = float64(k + 1 - frame)
+	}
+	return g
+}
+
+// CheckFormulaOnly solves a single pre-built BMC instance with the given
+// options; exposed for tools and tests that want direct instance control.
+func CheckFormulaOnly(f *cnf.Formula, opts sat.Options) sat.Result {
+	return sat.New(f, opts).Solve()
+}

@@ -1,0 +1,157 @@
+package bmc
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// failAt builds a width-bit all-ones window model failing at depth width.
+func failAt(width int) *circuit.Circuit {
+	c := circuit.New("failat")
+	in := c.Input("in")
+	w := c.LatchWord("w", width, 0)
+	c.SetNextWord(w, c.ShiftLeft(w, in))
+	c.AddProperty("full", c.AndReduce(w))
+	return c
+}
+
+func TestPerDepthWallPopulated(t *testing.T) {
+	res, err := Run(failAt(4), 0, Options{MaxDepth: 6, Strategy: core.OrderDynamic, Solver: sat.Defaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Falsified || res.Depth != 4 {
+		t.Fatalf("verdict %v at %d", res.Verdict, res.Depth)
+	}
+	var sum time.Duration
+	for _, d := range res.PerDepth {
+		if d.Wall <= 0 {
+			t.Fatalf("depth %d: missing wall time", d.K)
+		}
+		sum += d.Wall
+	}
+	if sum > res.TotalTime+time.Millisecond {
+		t.Fatalf("per-depth walls (%v) exceed the total (%v)", sum, res.TotalTime)
+	}
+}
+
+func TestTimeAxisStrategyRuns(t *testing.T) {
+	res, err := Run(failAt(5), 0, Options{MaxDepth: 8, Strategy: TimeAxis, Solver: sat.Defaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Falsified || res.Depth != 5 {
+		t.Fatalf("time-axis run: %v at %d, want falsified at 5", res.Verdict, res.Depth)
+	}
+}
+
+func TestRunRejectsBadProperty(t *testing.T) {
+	c := circuit.New("one")
+	c.AddProperty("p", circuit.False)
+	if _, err := Run(c, 5, Options{MaxDepth: 2, Solver: sat.Defaults()}); err == nil {
+		t.Fatal("expected an error for a bad property index")
+	}
+}
+
+func TestCheckFormulaOnly(t *testing.T) {
+	c := failAt(3)
+	u, err := unroll.New(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := CheckFormulaOnly(u.Formula(2), sat.Defaults()); r.Status != sat.Unsat {
+		t.Fatalf("depth 2: %v, want UNSAT", r.Status)
+	}
+	if r := CheckFormulaOnly(u.Formula(3), sat.Defaults()); r.Status != sat.Sat {
+		t.Fatalf("depth 3: %v, want SAT", r.Status)
+	}
+}
+
+// TestStaticAndDynamicDecisionsDivergeAfterSwitch: on a model where the
+// dynamic strategy switches, its search must differ from static's — the
+// observable effect of the fallback.
+func TestStaticAndDynamicDecisionsDivergeAfterSwitch(t *testing.T) {
+	m, ok := bench.ByName("add_w8")
+	if !ok {
+		t.Fatal("add_w8 missing")
+	}
+	opts := func(st core.Strategy) Options {
+		return Options{
+			MaxDepth:             4,
+			Strategy:             st,
+			Solver:               sat.Defaults(),
+			PerInstanceConflicts: 30000,
+		}
+	}
+	st, err := Run(m.Build(), 0, opts(core.OrderStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dy, err := Run(m.Build(), 0, opts(core.OrderDynamic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dy.Total.GuidanceSwitched {
+		t.Skip("dynamic did not switch at this scale")
+	}
+	if dy.Total.Decisions == st.Total.Decisions {
+		t.Fatal("dynamic switched but searched identically to static")
+	}
+}
+
+// TestTraceStatesMatchReplay: the extracted trace's recorded states must
+// match the simulator's state trajectory under the trace inputs.
+func TestTraceStatesMatchReplay(t *testing.T) {
+	c := failAt(4)
+	res, err := Run(c, 0, Options{MaxDepth: 6, Strategy: core.OrderVSIDS, Solver: sat.Defaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if tr == nil {
+		t.Fatal("no trace")
+	}
+	st := c.InitialState()
+	for f := 0; f <= tr.Depth; f++ {
+		for i, v := range st {
+			if tr.States[f][i] != v {
+				t.Fatalf("frame %d latch %d: trace %v, simulator %v", f, i, tr.States[f][i], v)
+			}
+		}
+		if f < tr.Depth {
+			st, _ = c.Step(st, tr.Inputs[f])
+		}
+	}
+}
+
+// TestFig7ShapeOnSuiteModel: on the designated Figure 7 model the refined
+// ordering must reduce total decisions by at least 5x at modest depth —
+// the qualitative claim behind the paper's log-scale gap.
+func TestFig7ShapeOnSuiteModel(t *testing.T) {
+	m, ok := bench.ByName(bench.Fig7Model)
+	if !ok {
+		t.Fatalf("%s missing", bench.Fig7Model)
+	}
+	depth := 7
+	base, err := Run(m.Build(), 0, Options{MaxDepth: depth, Strategy: core.OrderVSIDS, Solver: sat.Defaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(m.Build(), 0, Options{MaxDepth: depth, Strategy: core.OrderStatic, Solver: sat.Defaults()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Verdict != Holds || ref.Verdict != Holds {
+		t.Fatalf("verdicts: %v / %v", base.Verdict, ref.Verdict)
+	}
+	if ref.Total.Decisions*3 > base.Total.Decisions {
+		t.Fatalf("refined %d decisions vs baseline %d: expected at least 3x reduction",
+			ref.Total.Decisions, base.Total.Decisions)
+	}
+}

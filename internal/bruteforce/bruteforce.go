@@ -1,0 +1,61 @@
+// Package bruteforce provides an exhaustive-enumeration SAT oracle used to
+// validate the CDCL solver and the unsat-core extractor on small formulas.
+// It is deliberately simple — correctness by inspection — and refuses
+// formulas too large to enumerate.
+package bruteforce
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/lits"
+)
+
+// MaxVars bounds the formulas the oracle accepts (2^MaxVars assignments).
+const MaxVars = 26
+
+// Solve exhaustively searches for a satisfying assignment. It returns
+// (true, model) for satisfiable formulas and (false, nil) for unsatisfiable
+// ones. Formulas with more than MaxVars variables are rejected with an
+// error.
+func Solve(f *cnf.Formula) (bool, lits.Assignment, error) {
+	n := f.NumVars
+	if n > MaxVars {
+		return false, nil, fmt.Errorf("bruteforce: %d variables exceeds limit %d", n, MaxVars)
+	}
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		a := assignmentFromMask(n, m)
+		if f.Satisfied(a) {
+			return true, a, nil
+		}
+	}
+	return false, nil, nil
+}
+
+// CountModels returns the number of satisfying assignments over the
+// formula's declared variables.
+func CountModels(f *cnf.Formula) (uint64, error) {
+	n := f.NumVars
+	if n > MaxVars {
+		return 0, fmt.Errorf("bruteforce: %d variables exceeds limit %d", n, MaxVars)
+	}
+	var count uint64
+	for m := uint64(0); m < 1<<uint(n); m++ {
+		if f.Satisfied(assignmentFromMask(n, m)) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+func assignmentFromMask(n int, m uint64) lits.Assignment {
+	a := lits.NewAssignment(n)
+	for i := 0; i < n; i++ {
+		if m&(1<<uint(i)) != 0 {
+			a.Set(lits.Var(i+1), lits.True)
+		} else {
+			a.Set(lits.Var(i+1), lits.False)
+		}
+	}
+	return a
+}

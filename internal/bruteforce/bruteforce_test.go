@@ -1,0 +1,64 @@
+package bruteforce
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func TestSolveSat(t *testing.T) {
+	f := cnf.New(2)
+	f.Add(1, 2)
+	f.Add(-1, 2)
+	sat, model, err := Solve(f)
+	if err != nil || !sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+	if !f.Satisfied(model) {
+		t.Errorf("returned model does not satisfy formula")
+	}
+}
+
+func TestSolveUnsat(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(1)
+	f.Add(-1)
+	sat, _, err := Solve(f)
+	if err != nil || sat {
+		t.Fatalf("sat=%v err=%v", sat, err)
+	}
+}
+
+func TestCountModels(t *testing.T) {
+	// x1 | x2 has 3 models over 2 vars.
+	f := cnf.New(2)
+	f.Add(1, 2)
+	n, err := CountModels(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("CountModels=%d, want 3", n)
+	}
+}
+
+func TestCountModelsEmptyFormula(t *testing.T) {
+	f := cnf.New(3)
+	n, err := CountModels(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Errorf("empty formula over 3 vars should have 8 models, got %d", n)
+	}
+}
+
+func TestTooLarge(t *testing.T) {
+	f := cnf.New(MaxVars + 1)
+	if _, _, err := Solve(f); err == nil {
+		t.Errorf("expected size error")
+	}
+	if _, err := CountModels(f); err == nil {
+		t.Errorf("expected size error")
+	}
+}

@@ -1,0 +1,354 @@
+// Package circuit provides a sequential And-Inverter-Graph (AIG) netlist:
+// primary inputs, latches with initial values, two-input AND nodes with
+// complemented edges, and invariant properties expressed as "bad" signals
+// (the property GP holds iff the bad signal ¬P is never asserted).
+//
+// This is the model substrate the paper obtains from VIS: the BMC engine
+// unrolls a Circuit into CNF (internal/unroll) and the benchmark suite
+// (internal/bench) builds its 37 models with this package's builder API.
+//
+// Construction is append-only and hash-consed: And performs constant
+// folding and structural hashing, so equivalent sub-circuits share nodes.
+// Nodes are created in topological order, which the simulator and the
+// unroller both rely on (latch next-state pointers are the only forward
+// references, and those are resolved at frame boundaries).
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/lits"
+)
+
+// NodeID indexes a node within a Circuit. Node 0 is the constant-false
+// node of every circuit.
+type NodeID int32
+
+// ConstNode is the ID of the built-in constant node.
+const ConstNode NodeID = 0
+
+// NodeKind discriminates the node types.
+type NodeKind uint8
+
+// Node kinds.
+const (
+	KindConst NodeKind = iota
+	KindInput
+	KindLatch
+	KindAnd
+)
+
+// String implements fmt.Stringer.
+func (k NodeKind) String() string {
+	switch k {
+	case KindConst:
+		return "const"
+	case KindInput:
+		return "input"
+	case KindLatch:
+		return "latch"
+	case KindAnd:
+		return "and"
+	default:
+		return "?"
+	}
+}
+
+// Signal is an AIG edge: a node reference with an optional complement.
+// Packed as node<<1 | neg, mirroring the literal encoding in package lits.
+type Signal int32
+
+// The two constant signals.
+const (
+	False Signal = Signal(ConstNode << 1)
+	True  Signal = Signal(ConstNode<<1) | 1
+)
+
+// MkSignal builds a signal referring to node n, complemented when neg.
+func MkSignal(n NodeID, neg bool) Signal {
+	s := Signal(n << 1)
+	if neg {
+		s |= 1
+	}
+	return s
+}
+
+// Node returns the referenced node.
+func (s Signal) Node() NodeID { return NodeID(s >> 1) }
+
+// IsNeg reports whether the edge is complemented.
+func (s Signal) IsNeg() bool { return s&1 == 1 }
+
+// Not returns the complemented signal.
+func (s Signal) Not() Signal { return s ^ 1 }
+
+// IsConst reports whether the signal refers to the constant node.
+func (s Signal) IsConst() bool { return s.Node() == ConstNode }
+
+// String implements fmt.Stringer.
+func (s Signal) String() string {
+	switch s {
+	case False:
+		return "0"
+	case True:
+		return "1"
+	}
+	if s.IsNeg() {
+		return fmt.Sprintf("!n%d", s.Node())
+	}
+	return fmt.Sprintf("n%d", s.Node())
+}
+
+type node struct {
+	kind    NodeKind
+	fanin0  Signal       // AND only
+	fanin1  Signal       // AND only
+	next    Signal       // latch only
+	init    lits.TriBool // latch only; Undef = next never set sentinel unused, init defaults False
+	hasNext bool         // latch only
+	name    string
+}
+
+// Property is a named bad-state signal: the invariant "Bad is never true".
+type Property struct {
+	Name string
+	Bad  Signal
+}
+
+// Circuit is a mutable sequential AIG. The zero value is not usable; call
+// New.
+type Circuit struct {
+	name    string
+	nodes   []node
+	inputs  []NodeID
+	latches []NodeID
+	props   []Property
+	strash  map[[2]Signal]NodeID
+}
+
+// New creates an empty circuit containing only the constant node.
+func New(name string) *Circuit {
+	c := &Circuit{
+		name:   name,
+		nodes:  []node{{kind: KindConst, name: "const0"}},
+		strash: make(map[[2]Signal]NodeID),
+	}
+	return c
+}
+
+// Name returns the circuit's name.
+func (c *Circuit) Name() string { return c.name }
+
+// NumNodes returns the total node count (including the constant node).
+func (c *Circuit) NumNodes() int { return len(c.nodes) }
+
+// NumInputs returns the primary input count.
+func (c *Circuit) NumInputs() int { return len(c.inputs) }
+
+// NumLatches returns the latch count.
+func (c *Circuit) NumLatches() int { return len(c.latches) }
+
+// NumAnds returns the AND-node count.
+func (c *Circuit) NumAnds() int {
+	return len(c.nodes) - 1 - len(c.inputs) - len(c.latches)
+}
+
+// Inputs returns the input node IDs in creation order. The slice is shared;
+// do not modify.
+func (c *Circuit) Inputs() []NodeID { return c.inputs }
+
+// Latches returns the latch node IDs in creation order. The slice is
+// shared; do not modify.
+func (c *Circuit) Latches() []NodeID { return c.latches }
+
+// Properties returns the registered properties. The slice is shared; do
+// not modify.
+func (c *Circuit) Properties() []Property { return c.props }
+
+// Kind returns the kind of node n.
+func (c *Circuit) Kind(n NodeID) NodeKind { return c.nodes[n].kind }
+
+// NodeName returns the optional name of node n ("" when unnamed).
+func (c *Circuit) NodeName(n NodeID) string { return c.nodes[n].name }
+
+// Fanins returns the two fanin signals of AND node n.
+func (c *Circuit) Fanins(n NodeID) (Signal, Signal) {
+	nd := &c.nodes[n]
+	if nd.kind != KindAnd {
+		panic(fmt.Sprintf("circuit: Fanins on %v node n%d", nd.kind, n))
+	}
+	return nd.fanin0, nd.fanin1
+}
+
+// LatchNext returns the next-state signal of latch node n.
+func (c *Circuit) LatchNext(n NodeID) Signal {
+	nd := &c.nodes[n]
+	if nd.kind != KindLatch {
+		panic(fmt.Sprintf("circuit: LatchNext on %v node n%d", nd.kind, n))
+	}
+	if !nd.hasNext {
+		panic(fmt.Sprintf("circuit: latch n%d (%s) has no next-state function", n, nd.name))
+	}
+	return nd.next
+}
+
+// LatchInit returns the initial value of latch node n.
+func (c *Circuit) LatchInit(n NodeID) lits.TriBool {
+	nd := &c.nodes[n]
+	if nd.kind != KindLatch {
+		panic(fmt.Sprintf("circuit: LatchInit on %v node n%d", nd.kind, n))
+	}
+	return nd.init
+}
+
+// Input creates a new primary input and returns its positive signal.
+func (c *Circuit) Input(name string) Signal {
+	id := NodeID(len(c.nodes))
+	c.nodes = append(c.nodes, node{kind: KindInput, name: name})
+	c.inputs = append(c.inputs, id)
+	return MkSignal(id, false)
+}
+
+// Latch creates a new latch with the given initial value and returns its
+// positive signal. The next-state function must be provided later with
+// SetNext.
+func (c *Circuit) Latch(name string, init bool) Signal {
+	id := NodeID(len(c.nodes))
+	c.nodes = append(c.nodes, node{kind: KindLatch, name: name, init: lits.BoolToTri(init)})
+	c.latches = append(c.latches, id)
+	return MkSignal(id, false)
+}
+
+// SetNext assigns the next-state function of a latch created by Latch. The
+// latch argument must be the (positive) signal Latch returned.
+func (c *Circuit) SetNext(latch, next Signal) {
+	if latch.IsNeg() {
+		panic("circuit: SetNext requires the positive latch signal")
+	}
+	nd := &c.nodes[latch.Node()]
+	if nd.kind != KindLatch {
+		panic(fmt.Sprintf("circuit: SetNext on %v node n%d", nd.kind, latch.Node()))
+	}
+	nd.next = next
+	nd.hasNext = true
+}
+
+// AddProperty registers an invariant property via its bad signal: the
+// property asserts bad is false in all reachable states.
+func (c *Circuit) AddProperty(name string, bad Signal) {
+	c.props = append(c.props, Property{Name: name, Bad: bad})
+}
+
+// And returns a signal for a ∧ b, folding constants and reusing an
+// existing structurally identical node when possible.
+func (c *Circuit) And(a, b Signal) Signal {
+	// Constant and trivial folding.
+	switch {
+	case a == False || b == False || a == b.Not():
+		return False
+	case a == True:
+		return b
+	case b == True:
+		return a
+	case a == b:
+		return a
+	}
+	if b < a {
+		a, b = b, a
+	}
+	key := [2]Signal{a, b}
+	if id, ok := c.strash[key]; ok {
+		return MkSignal(id, false)
+	}
+	id := NodeID(len(c.nodes))
+	c.nodes = append(c.nodes, node{kind: KindAnd, fanin0: a, fanin1: b})
+	c.strash[key] = id
+	return MkSignal(id, false)
+}
+
+// Not returns the complemented signal (free in an AIG).
+func (c *Circuit) Not(a Signal) Signal { return a.Not() }
+
+// Or returns a ∨ b.
+func (c *Circuit) Or(a, b Signal) Signal {
+	return c.And(a.Not(), b.Not()).Not()
+}
+
+// Xor returns a ⊕ b.
+func (c *Circuit) Xor(a, b Signal) Signal {
+	return c.Or(c.And(a, b.Not()), c.And(a.Not(), b))
+}
+
+// Xnor returns a ≡ b.
+func (c *Circuit) Xnor(a, b Signal) Signal { return c.Xor(a, b).Not() }
+
+// Mux returns sel ? t : e.
+func (c *Circuit) Mux(sel, t, e Signal) Signal {
+	return c.Or(c.And(sel, t), c.And(sel.Not(), e))
+}
+
+// Implies returns a → b.
+func (c *Circuit) Implies(a, b Signal) Signal {
+	return c.Or(a.Not(), b)
+}
+
+// AndN returns the conjunction of all signals (True for none).
+func (c *Circuit) AndN(ss ...Signal) Signal {
+	out := True
+	for _, s := range ss {
+		out = c.And(out, s)
+	}
+	return out
+}
+
+// OrN returns the disjunction of all signals (False for none).
+func (c *Circuit) OrN(ss ...Signal) Signal {
+	out := False
+	for _, s := range ss {
+		out = c.Or(out, s)
+	}
+	return out
+}
+
+// Validate checks structural sanity: every latch has a next-state function,
+// all fanins reference existing nodes, AND fanins reference strictly
+// earlier nodes (no combinational cycles), and at least one property
+// exists when requireProp is set.
+func (c *Circuit) Validate(requireProp bool) error {
+	for i, nd := range c.nodes {
+		id := NodeID(i)
+		switch nd.kind {
+		case KindAnd:
+			for _, f := range []Signal{nd.fanin0, nd.fanin1} {
+				if f.Node() >= id {
+					return fmt.Errorf("circuit %s: AND n%d has non-topological fanin %v", c.name, id, f)
+				}
+				if int(f.Node()) >= len(c.nodes) {
+					return fmt.Errorf("circuit %s: AND n%d fanin out of range", c.name, id)
+				}
+			}
+		case KindLatch:
+			if !nd.hasNext {
+				return fmt.Errorf("circuit %s: latch n%d (%s) has no next-state function", c.name, id, nd.name)
+			}
+			if int(nd.next.Node()) >= len(c.nodes) {
+				return fmt.Errorf("circuit %s: latch n%d next out of range", c.name, id)
+			}
+		}
+	}
+	for _, p := range c.props {
+		if int(p.Bad.Node()) >= len(c.nodes) {
+			return fmt.Errorf("circuit %s: property %s references missing node", c.name, p.Name)
+		}
+	}
+	if requireProp && len(c.props) == 0 {
+		return fmt.Errorf("circuit %s: no properties", c.name)
+	}
+	return nil
+}
+
+// Stats returns a one-line summary of the circuit's size.
+func (c *Circuit) Stats() string {
+	return fmt.Sprintf("%s: inputs=%d latches=%d ands=%d props=%d",
+		c.name, c.NumInputs(), c.NumLatches(), c.NumAnds(), len(c.props))
+}

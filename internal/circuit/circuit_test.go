@@ -1,0 +1,256 @@
+package circuit
+
+import (
+	"testing"
+)
+
+func TestConstants(t *testing.T) {
+	if False.Node() != ConstNode || True.Node() != ConstNode {
+		t.Fatalf("constants must live on the const node")
+	}
+	if !True.IsNeg() || False.IsNeg() {
+		t.Fatalf("True is the complemented const edge")
+	}
+	if True.Not() != False || False.Not() != True {
+		t.Fatalf("constant complement wrong")
+	}
+}
+
+func TestAndFolding(t *testing.T) {
+	c := New("t")
+	a := c.Input("a")
+	cases := []struct {
+		got, want Signal
+		name      string
+	}{
+		{c.And(a, False), False, "a&0"},
+		{c.And(False, a), False, "0&a"},
+		{c.And(a, True), a, "a&1"},
+		{c.And(True, a), a, "1&a"},
+		{c.And(a, a), a, "a&a"},
+		{c.And(a, a.Not()), False, "a&!a"},
+		{c.And(a.Not(), a), False, "!a&a"},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %v want %v", tc.name, tc.got, tc.want)
+		}
+	}
+	if c.NumAnds() != 0 {
+		t.Errorf("folding should create no AND nodes, created %d", c.NumAnds())
+	}
+}
+
+func TestStructuralHashing(t *testing.T) {
+	c := New("t")
+	a, b := c.Input("a"), c.Input("b")
+	x := c.And(a, b)
+	y := c.And(b, a) // commuted
+	if x != y {
+		t.Errorf("structural hashing must canonicalize operand order")
+	}
+	if c.NumAnds() != 1 {
+		t.Errorf("expected 1 AND node, got %d", c.NumAnds())
+	}
+}
+
+func TestKindAccessors(t *testing.T) {
+	c := New("t")
+	a := c.Input("a")
+	l := c.Latch("l", true)
+	g := c.And(a, l)
+	if c.Kind(a.Node()) != KindInput || c.Kind(l.Node()) != KindLatch ||
+		c.Kind(g.Node()) != KindAnd || c.Kind(ConstNode) != KindConst {
+		t.Errorf("kinds wrong")
+	}
+	f0, f1 := c.Fanins(g.Node())
+	if (f0 != a || f1 != l) && (f0 != l || f1 != a) {
+		t.Errorf("fanins wrong: %v %v", f0, f1)
+	}
+	if !c.LatchInit(l.Node()).IsTrue() {
+		t.Errorf("latch init lost")
+	}
+	if c.NodeName(a.Node()) != "a" {
+		t.Errorf("node name lost")
+	}
+}
+
+func TestFaninsPanicsOnNonAnd(t *testing.T) {
+	c := New("t")
+	a := c.Input("a")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	c.Fanins(a.Node())
+}
+
+func TestValidateMissingNext(t *testing.T) {
+	c := New("t")
+	c.Latch("l", false)
+	if err := c.Validate(false); err == nil {
+		t.Errorf("missing next-state must fail validation")
+	}
+}
+
+func TestValidateRequireProp(t *testing.T) {
+	c := New("t")
+	l := c.Latch("l", false)
+	c.SetNext(l, l)
+	if err := c.Validate(true); err == nil {
+		t.Errorf("requireProp must fail with no properties")
+	}
+	c.AddProperty("p", l)
+	if err := c.Validate(true); err != nil {
+		t.Errorf("validation failed: %v", err)
+	}
+}
+
+func TestLatchNextPanicsBeforeSet(t *testing.T) {
+	c := New("t")
+	l := c.Latch("l", false)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	c.LatchNext(l.Node())
+}
+
+// evalComb evaluates a combinational function of explicit inputs by
+// simulation.
+func evalComb(t *testing.T, build func(c *Circuit, in []Signal) Signal, n int) func(bits []bool) bool {
+	t.Helper()
+	c := New("comb")
+	in := make([]Signal, n)
+	for i := range in {
+		in[i] = c.Input("i")
+	}
+	out := build(c, in)
+	c.AddProperty("out", out)
+	return func(bits []bool) bool {
+		vals := c.Eval(State{}, bits)
+		return SignalValue(vals, out)
+	}
+}
+
+func TestGateTruthTables(t *testing.T) {
+	type gate struct {
+		name  string
+		build func(c *Circuit, in []Signal) Signal
+		ref   func(a, b bool) bool
+	}
+	gates := []gate{
+		{"or", func(c *Circuit, in []Signal) Signal { return c.Or(in[0], in[1]) }, func(a, b bool) bool { return a || b }},
+		{"xor", func(c *Circuit, in []Signal) Signal { return c.Xor(in[0], in[1]) }, func(a, b bool) bool { return a != b }},
+		{"xnor", func(c *Circuit, in []Signal) Signal { return c.Xnor(in[0], in[1]) }, func(a, b bool) bool { return a == b }},
+		{"implies", func(c *Circuit, in []Signal) Signal { return c.Implies(in[0], in[1]) }, func(a, b bool) bool { return !a || b }},
+	}
+	for _, g := range gates {
+		f := evalComb(t, g.build, 2)
+		for _, a := range []bool{false, true} {
+			for _, b := range []bool{false, true} {
+				if got, want := f([]bool{a, b}), g.ref(a, b); got != want {
+					t.Errorf("%s(%v,%v)=%v want %v", g.name, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMuxTruthTable(t *testing.T) {
+	f := evalComb(t, func(c *Circuit, in []Signal) Signal { return c.Mux(in[0], in[1], in[2]) }, 3)
+	for m := 0; m < 8; m++ {
+		sel, x, y := m&1 != 0, m&2 != 0, m&4 != 0
+		want := y
+		if sel {
+			want = x
+		}
+		if got := f([]bool{sel, x, y}); got != want {
+			t.Errorf("mux(%v,%v,%v)=%v want %v", sel, x, y, got, want)
+		}
+	}
+}
+
+func TestAndNOrN(t *testing.T) {
+	c := New("t")
+	if c.AndN() != True || c.OrN() != False {
+		t.Errorf("empty reductions wrong")
+	}
+	a, b, d := c.Input("a"), c.Input("b"), c.Input("d")
+	all := c.AndN(a, b, d)
+	any := c.OrN(a, b, d)
+	vals := c.Eval(State{}, []bool{true, true, false})
+	if SignalValue(vals, all) {
+		t.Errorf("AndN with a false input must be false")
+	}
+	if !SignalValue(vals, any) {
+		t.Errorf("OrN with a true input must be true")
+	}
+}
+
+func TestCounterSimulation(t *testing.T) {
+	// 3-bit counter; bad when value == 5. Bad must first assert at frame 5.
+	c := New("ctr")
+	w := c.LatchWord("cnt", 3, 0)
+	next, _ := c.IncWord(w)
+	c.SetNextWord(w, next)
+	c.AddProperty("cnt==5", c.EqConst(w, 5))
+	if err := c.Validate(true); err != nil {
+		t.Fatal(err)
+	}
+	seq := make([][]bool, 8)
+	for i := range seq {
+		seq[i] = []bool{}
+	}
+	bads := c.Simulate(seq, 0)
+	for f, bad := range bads {
+		if want := f == 5; bad != want {
+			t.Errorf("frame %d: bad=%v want %v", f, bad, want)
+		}
+	}
+}
+
+func TestCounterWraps(t *testing.T) {
+	c := New("ctr")
+	w := c.LatchWord("cnt", 2, 3) // init 3, so next step wraps to 0
+	next, _ := c.IncWord(w)
+	c.SetNextWord(w, next)
+	c.AddProperty("cnt==0", c.EqConst(w, 0))
+	seq := [][]bool{{}, {}}
+	bads := c.Simulate(seq, 0)
+	if bads[0] {
+		t.Errorf("frame 0: counter starts at 3")
+	}
+	if !bads[1] {
+		t.Errorf("frame 1: counter should have wrapped to 0")
+	}
+}
+
+func TestStepReturnsAllProps(t *testing.T) {
+	c := New("t")
+	l := c.Latch("l", false)
+	c.SetNext(l, l.Not())
+	c.AddProperty("p0", l)
+	c.AddProperty("p1", l.Not())
+	st := c.InitialState()
+	next, bads := c.Step(st, []bool{})
+	if bads[0] || !bads[1] {
+		t.Errorf("frame 0 bads wrong: %v", bads)
+	}
+	if !next[0] {
+		t.Errorf("toggle latch should flip to true")
+	}
+}
+
+func TestEvalPanicsOnWrongInputCount(t *testing.T) {
+	c := New("t")
+	c.Input("a")
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	c.Eval(State{}, []bool{})
+}

@@ -1,0 +1,94 @@
+package circuit
+
+import "fmt"
+
+// State is the latch valuation of a circuit at one instant, indexed by
+// latch position (the order of Circuit.Latches).
+type State []bool
+
+// InitialState returns the state with every latch at its initial value.
+func (c *Circuit) InitialState() State {
+	st := make(State, len(c.latches))
+	for i, id := range c.latches {
+		st[i] = c.nodes[id].init.IsTrue()
+	}
+	return st
+}
+
+// Eval computes the value of every node for one time frame, given the
+// current state and the primary-input values (indexed by input position).
+// The returned slice is indexed by NodeID.
+func (c *Circuit) Eval(st State, inputs []bool) []bool {
+	if len(inputs) != len(c.inputs) {
+		panic(fmt.Sprintf("circuit: Eval with %d inputs, circuit has %d", len(inputs), len(c.inputs)))
+	}
+	if len(st) != len(c.latches) {
+		panic(fmt.Sprintf("circuit: Eval with %d state bits, circuit has %d latches", len(st), len(c.latches)))
+	}
+	vals := make([]bool, len(c.nodes))
+	inputPos := 0
+	latchPos := 0
+	for i := range c.nodes {
+		switch c.nodes[i].kind {
+		case KindConst:
+			vals[i] = false
+		case KindInput:
+			vals[i] = inputs[inputPos]
+			inputPos++
+		case KindLatch:
+			vals[i] = st[latchPos]
+			latchPos++
+		case KindAnd:
+			vals[i] = evalSignal(vals, c.nodes[i].fanin0) && evalSignal(vals, c.nodes[i].fanin1)
+		}
+	}
+	return vals
+}
+
+// SignalValue evaluates one signal against a node-value slice from Eval.
+func SignalValue(vals []bool, s Signal) bool {
+	return evalSignal(vals, s)
+}
+
+func evalSignal(vals []bool, s Signal) bool {
+	v := vals[s.Node()]
+	if s.IsNeg() {
+		return !v
+	}
+	return v
+}
+
+// Step advances the circuit one cycle: it evaluates the frame and returns
+// the successor state together with the value of every property's bad
+// signal in this frame.
+func (c *Circuit) Step(st State, inputs []bool) (State, []bool) {
+	vals := c.Eval(st, inputs)
+	next := make(State, len(c.latches))
+	for i, id := range c.latches {
+		next[i] = evalSignal(vals, c.nodes[id].next)
+	}
+	bads := make([]bool, len(c.props))
+	for i, p := range c.props {
+		bads[i] = evalSignal(vals, p.Bad)
+	}
+	return next, bads
+}
+
+// Simulate runs the circuit from the initial state over the given input
+// sequence (one []bool per frame) and returns, per frame, the bad-signal
+// values of property propIdx. It is the reference semantics against which
+// the CNF unrolling is validated.
+func (c *Circuit) Simulate(inputSeq [][]bool, propIdx int) []bool {
+	st := c.InitialState()
+	out := make([]bool, len(inputSeq))
+	for f, inputs := range inputSeq {
+		vals := c.Eval(st, inputs)
+		out[f] = evalSignal(vals, c.props[propIdx].Bad)
+		next := make(State, len(c.latches))
+		for i, id := range c.latches {
+			next[i] = evalSignal(vals, c.nodes[id].next)
+		}
+		st = next
+	}
+	return out
+}

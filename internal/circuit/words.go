@@ -1,0 +1,186 @@
+package circuit
+
+import "fmt"
+
+// Word is a little-endian vector of signals: Word[0] is the least
+// significant bit. The word helpers below are the building blocks the
+// benchmark generators use for counters, adders, and comparators.
+type Word []Signal
+
+// InputWord creates width fresh inputs named name[0..width-1].
+func (c *Circuit) InputWord(name string, width int) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = c.Input(fmt.Sprintf("%s[%d]", name, i))
+	}
+	return w
+}
+
+// LatchWord creates width latches initialized to the bits of init.
+func (c *Circuit) LatchWord(name string, width int, init uint64) Word {
+	w := make(Word, width)
+	for i := range w {
+		w[i] = c.Latch(fmt.Sprintf("%s[%d]", name, i), init&(1<<uint(i)) != 0)
+	}
+	return w
+}
+
+// SetNextWord assigns next-state functions bitwise; the words must have
+// equal width.
+func (c *Circuit) SetNextWord(latches, next Word) {
+	if len(latches) != len(next) {
+		panic(fmt.Sprintf("circuit: SetNextWord width mismatch %d vs %d", len(latches), len(next)))
+	}
+	for i := range latches {
+		c.SetNext(latches[i], next[i])
+	}
+}
+
+// ConstWord returns a constant word of the given width and value.
+func (c *Circuit) ConstWord(width int, value uint64) Word {
+	w := make(Word, width)
+	for i := range w {
+		if value&(1<<uint(i)) != 0 {
+			w[i] = True
+		} else {
+			w[i] = False
+		}
+	}
+	return w
+}
+
+// NotWord complements every bit.
+func (c *Circuit) NotWord(a Word) Word {
+	w := make(Word, len(a))
+	for i := range a {
+		w[i] = a[i].Not()
+	}
+	return w
+}
+
+// AndWord returns the bitwise conjunction of equal-width words.
+func (c *Circuit) AndWord(a, b Word) Word {
+	mustSameWidth("AndWord", a, b)
+	w := make(Word, len(a))
+	for i := range a {
+		w[i] = c.And(a[i], b[i])
+	}
+	return w
+}
+
+// XorWord returns the bitwise exclusive-or of equal-width words.
+func (c *Circuit) XorWord(a, b Word) Word {
+	mustSameWidth("XorWord", a, b)
+	w := make(Word, len(a))
+	for i := range a {
+		w[i] = c.Xor(a[i], b[i])
+	}
+	return w
+}
+
+// MuxWord returns sel ? t : e bitwise.
+func (c *Circuit) MuxWord(sel Signal, t, e Word) Word {
+	mustSameWidth("MuxWord", t, e)
+	w := make(Word, len(t))
+	for i := range t {
+		w[i] = c.Mux(sel, t[i], e[i])
+	}
+	return w
+}
+
+// AddWord returns the ripple-carry sum of equal-width words plus the final
+// carry-out.
+func (c *Circuit) AddWord(a, b Word) (Word, Signal) {
+	mustSameWidth("AddWord", a, b)
+	sum := make(Word, len(a))
+	carry := False
+	for i := range a {
+		sum[i] = c.Xor(c.Xor(a[i], b[i]), carry)
+		carry = c.Or(c.And(a[i], b[i]), c.And(carry, c.Xor(a[i], b[i])))
+	}
+	return sum, carry
+}
+
+// IncWord returns a+1 with carry-out.
+func (c *Circuit) IncWord(a Word) (Word, Signal) {
+	sum := make(Word, len(a))
+	carry := True
+	for i := range a {
+		sum[i] = c.Xor(a[i], carry)
+		carry = c.And(a[i], carry)
+	}
+	return sum, carry
+}
+
+// EqWord returns the equality comparator of two equal-width words.
+func (c *Circuit) EqWord(a, b Word) Signal {
+	mustSameWidth("EqWord", a, b)
+	out := True
+	for i := range a {
+		out = c.And(out, c.Xnor(a[i], b[i]))
+	}
+	return out
+}
+
+// EqConst returns a == value.
+func (c *Circuit) EqConst(a Word, value uint64) Signal {
+	out := True
+	for i := range a {
+		bit := value&(1<<uint(i)) != 0
+		if bit {
+			out = c.And(out, a[i])
+		} else {
+			out = c.And(out, a[i].Not())
+		}
+	}
+	return out
+}
+
+// GeConst returns a >= value (unsigned).
+func (c *Circuit) GeConst(a Word, value uint64) Signal {
+	// a >= v  <=>  NOT (a < v); compute a < v by scanning from MSB.
+	lt := False
+	eqSoFar := True
+	for i := len(a) - 1; i >= 0; i-- {
+		bit := value&(1<<uint(i)) != 0
+		if bit {
+			// a[i]=0 while v[i]=1 and equal so far => a < v
+			lt = c.Or(lt, c.And(eqSoFar, a[i].Not()))
+			eqSoFar = c.And(eqSoFar, a[i])
+		} else {
+			eqSoFar = c.And(eqSoFar, a[i].Not())
+		}
+	}
+	return lt.Not()
+}
+
+// OrReduce returns the disjunction of all bits.
+func (c *Circuit) OrReduce(a Word) Signal { return c.OrN(a...) }
+
+// AndReduce returns the conjunction of all bits.
+func (c *Circuit) AndReduce(a Word) Signal { return c.AndN(a...) }
+
+// Parity returns the xor-reduction of all bits.
+func (c *Circuit) Parity(a Word) Signal {
+	out := False
+	for _, s := range a {
+		out = c.Xor(out, s)
+	}
+	return out
+}
+
+// ShiftLeft returns a shifted left by one, inserting in as the new LSB.
+func (c *Circuit) ShiftLeft(a Word, in Signal) Word {
+	w := make(Word, len(a))
+	w[0] = in
+	for i := 1; i < len(a); i++ {
+		w[i] = a[i-1]
+	}
+	return w
+}
+
+func mustSameWidth(op string, a, b Word) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("circuit: %s width mismatch %d vs %d", op, len(a), len(b)))
+	}
+}

@@ -1,0 +1,219 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// combEval evaluates a word-level combinational circuit with two input
+// words against concrete values.
+func wordCircuit(width int, build func(c *Circuit, a, b Word) Word) func(x, y uint64) uint64 {
+	c := New("w")
+	a := c.InputWord("a", width)
+	b := c.InputWord("b", width)
+	out := build(c, a, b)
+	return func(x, y uint64) uint64 {
+		inputs := make([]bool, 2*width)
+		for i := 0; i < width; i++ {
+			inputs[i] = x&(1<<uint(i)) != 0
+			inputs[width+i] = y&(1<<uint(i)) != 0
+		}
+		vals := c.Eval(State{}, inputs)
+		var r uint64
+		for i, s := range out {
+			if SignalValue(vals, s) {
+				r |= 1 << uint(i)
+			}
+		}
+		return r
+	}
+}
+
+func TestAddWordMatchesIntegerAddition(t *testing.T) {
+	const width = 8
+	add := wordCircuit(width, func(c *Circuit, a, b Word) Word {
+		sum, _ := c.AddWord(a, b)
+		return sum
+	})
+	f := func(x, y uint8) bool {
+		return add(uint64(x), uint64(y)) == uint64(x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncWordMatchesIncrement(t *testing.T) {
+	const width = 6
+	inc := wordCircuit(width, func(c *Circuit, a, _ Word) Word {
+		next, _ := c.IncWord(a)
+		return next
+	})
+	for x := uint64(0); x < 64; x++ {
+		if got, want := inc(x, 0), (x+1)%64; got != want {
+			t.Errorf("inc(%d)=%d want %d", x, got, want)
+		}
+	}
+}
+
+func TestXorAndNotWords(t *testing.T) {
+	const width = 8
+	xor := wordCircuit(width, func(c *Circuit, a, b Word) Word { return c.XorWord(a, b) })
+	and := wordCircuit(width, func(c *Circuit, a, b Word) Word { return c.AndWord(a, b) })
+	not := wordCircuit(width, func(c *Circuit, a, _ Word) Word { return c.NotWord(a) })
+	f := func(x, y uint8) bool {
+		return xor(uint64(x), uint64(y)) == uint64(x^y) &&
+			and(uint64(x), uint64(y)) == uint64(x&y) &&
+			not(uint64(x), 0) == uint64(^x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMuxWord(t *testing.T) {
+	c := New("w")
+	sel := c.Input("sel")
+	a := c.InputWord("a", 4)
+	b := c.InputWord("b", 4)
+	out := c.MuxWord(sel, a, b)
+	eval := func(s bool, x, y uint64) uint64 {
+		inputs := make([]bool, 9)
+		inputs[0] = s
+		for i := 0; i < 4; i++ {
+			inputs[1+i] = x&(1<<uint(i)) != 0
+			inputs[5+i] = y&(1<<uint(i)) != 0
+		}
+		vals := c.Eval(State{}, inputs)
+		var r uint64
+		for i, sig := range out {
+			if SignalValue(vals, sig) {
+				r |= 1 << uint(i)
+			}
+		}
+		return r
+	}
+	if eval(true, 9, 6) != 9 || eval(false, 9, 6) != 6 {
+		t.Errorf("mux word wrong")
+	}
+}
+
+// scalar helper: evaluate a single-output comparator circuit.
+func cmpCircuit(width int, build func(c *Circuit, a Word) Signal) func(x uint64) bool {
+	c := New("w")
+	a := c.InputWord("a", width)
+	out := build(c, a)
+	return func(x uint64) bool {
+		inputs := make([]bool, width)
+		for i := 0; i < width; i++ {
+			inputs[i] = x&(1<<uint(i)) != 0
+		}
+		return SignalValue(c.Eval(State{}, inputs), out)
+	}
+}
+
+func TestEqConst(t *testing.T) {
+	eq5 := cmpCircuit(4, func(c *Circuit, a Word) Signal { return c.EqConst(a, 5) })
+	for x := uint64(0); x < 16; x++ {
+		if eq5(x) != (x == 5) {
+			t.Errorf("eq5(%d) wrong", x)
+		}
+	}
+}
+
+func TestGeConst(t *testing.T) {
+	for _, threshold := range []uint64{0, 1, 5, 7, 12, 15} {
+		ge := cmpCircuit(4, func(c *Circuit, a Word) Signal { return c.GeConst(a, threshold) })
+		for x := uint64(0); x < 16; x++ {
+			if ge(x) != (x >= threshold) {
+				t.Errorf("ge%d(%d) wrong", threshold, x)
+			}
+		}
+	}
+}
+
+func TestEqWordProperty(t *testing.T) {
+	const width = 7
+	c := New("w")
+	a := c.InputWord("a", width)
+	b := c.InputWord("b", width)
+	out := c.EqWord(a, b)
+	f := func(x, y uint8) bool {
+		xv, yv := uint64(x)&0x7f, uint64(y)&0x7f
+		inputs := make([]bool, 2*width)
+		for i := 0; i < width; i++ {
+			inputs[i] = xv&(1<<uint(i)) != 0
+			inputs[width+i] = yv&(1<<uint(i)) != 0
+		}
+		return SignalValue(c.Eval(State{}, inputs), out) == (xv == yv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParity(t *testing.T) {
+	par := cmpCircuit(5, func(c *Circuit, a Word) Signal { return c.Parity(a) })
+	for x := uint64(0); x < 32; x++ {
+		want := false
+		for i := uint(0); i < 5; i++ {
+			if x&(1<<i) != 0 {
+				want = !want
+			}
+		}
+		if par(x) != want {
+			t.Errorf("parity(%d) wrong", x)
+		}
+	}
+}
+
+func TestOrAndReduce(t *testing.T) {
+	orr := cmpCircuit(4, func(c *Circuit, a Word) Signal { return c.OrReduce(a) })
+	andr := cmpCircuit(4, func(c *Circuit, a Word) Signal { return c.AndReduce(a) })
+	for x := uint64(0); x < 16; x++ {
+		if orr(x) != (x != 0) {
+			t.Errorf("orReduce(%d) wrong", x)
+		}
+		if andr(x) != (x == 15) {
+			t.Errorf("andReduce(%d) wrong", x)
+		}
+	}
+}
+
+func TestShiftLeft(t *testing.T) {
+	c := New("w")
+	a := c.InputWord("a", 4)
+	in := c.Input("in")
+	out := c.ShiftLeft(a, in)
+	inputs := []bool{true, false, true, false, true} // a=0b0101, in=1
+	vals := c.Eval(State{}, inputs)
+	var r uint64
+	for i, s := range out {
+		if SignalValue(vals, s) {
+			r |= 1 << uint(i)
+		}
+	}
+	if r != 0b1011 {
+		t.Errorf("shift: got %04b want 1011", r)
+	}
+}
+
+func TestConstWord(t *testing.T) {
+	c := New("w")
+	w := c.ConstWord(4, 0b1010)
+	if w[0] != False || w[1] != True || w[2] != False || w[3] != True {
+		t.Errorf("const word bits wrong: %v", w)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	c := New("w")
+	a := c.InputWord("a", 2)
+	b := c.InputWord("b", 3)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic")
+		}
+	}()
+	c.AddWord(a, b)
+}

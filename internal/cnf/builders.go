@@ -1,0 +1,88 @@
+package cnf
+
+import "repro/internal/lits"
+
+// The builder helpers below emit the standard Tseitin gate encodings used
+// by the circuit unroller. Each AddX method asserts "out <-> gate(inputs)"
+// as CNF clauses. They live here (rather than in the unroller) so they can
+// be unit-tested against truth tables in isolation and reused by other
+// encoders.
+
+// AddAnd2 encodes out <-> (a & b): three clauses.
+func (f *Formula) AddAnd2(out, a, b lits.Lit) {
+	f.AddClause(Clause{out.Neg(), a})
+	f.AddClause(Clause{out.Neg(), b})
+	f.AddClause(Clause{out, a.Neg(), b.Neg()})
+}
+
+// AddOr2 encodes out <-> (a | b): three clauses.
+func (f *Formula) AddOr2(out, a, b lits.Lit) {
+	f.AddClause(Clause{out, a.Neg()})
+	f.AddClause(Clause{out, b.Neg()})
+	f.AddClause(Clause{out.Neg(), a, b})
+}
+
+// AddXor2 encodes out <-> (a ^ b): four clauses.
+func (f *Formula) AddXor2(out, a, b lits.Lit) {
+	f.AddClause(Clause{out.Neg(), a, b})
+	f.AddClause(Clause{out.Neg(), a.Neg(), b.Neg()})
+	f.AddClause(Clause{out, a.Neg(), b})
+	f.AddClause(Clause{out, a, b.Neg()})
+}
+
+// AddEq encodes out <-> a: two clauses (a buffer, or an inverter when one
+// side is negated).
+func (f *Formula) AddEq(out, a lits.Lit) {
+	f.AddClause(Clause{out.Neg(), a})
+	f.AddClause(Clause{out, a.Neg()})
+}
+
+// AddMux encodes out <-> (sel ? a : b).
+func (f *Formula) AddMux(out, sel, a, b lits.Lit) {
+	f.AddClause(Clause{out.Neg(), sel.Neg(), a})
+	f.AddClause(Clause{out, sel.Neg(), a.Neg()})
+	f.AddClause(Clause{out.Neg(), sel, b})
+	f.AddClause(Clause{out, sel, b.Neg()})
+}
+
+// AddAndN encodes out <-> AND(ins...). With no inputs the AND is the
+// constant true, so a unit clause on out is emitted.
+func (f *Formula) AddAndN(out lits.Lit, ins ...lits.Lit) {
+	if len(ins) == 0 {
+		f.AddUnit(out)
+		return
+	}
+	long := make(Clause, 0, len(ins)+1)
+	long = append(long, out)
+	for _, in := range ins {
+		f.AddClause(Clause{out.Neg(), in})
+		long = append(long, in.Neg())
+	}
+	f.AddClause(long)
+}
+
+// AddOrN encodes out <-> OR(ins...). With no inputs the OR is the constant
+// false.
+func (f *Formula) AddOrN(out lits.Lit, ins ...lits.Lit) {
+	if len(ins) == 0 {
+		f.AddUnit(out.Neg())
+		return
+	}
+	long := make(Clause, 0, len(ins)+1)
+	long = append(long, out.Neg())
+	for _, in := range ins {
+		f.AddClause(Clause{out, in.Neg()})
+		long = append(long, in)
+	}
+	f.AddClause(long)
+}
+
+// AtMostOnePairwise adds the quadratic pairwise encoding of "at most one of
+// ls is true". Fine for the small cardinalities used in this repo.
+func (f *Formula) AtMostOnePairwise(ls ...lits.Lit) {
+	for i := 0; i < len(ls); i++ {
+		for j := i + 1; j < len(ls); j++ {
+			f.AddClause(Clause{ls[i].Neg(), ls[j].Neg()})
+		}
+	}
+}

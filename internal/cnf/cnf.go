@@ -1,0 +1,232 @@
+// Package cnf provides clause and formula representations for propositional
+// logic in conjunctive normal form, together with DIMACS serialization and
+// small structural utilities (deduplication, tautology detection,
+// evaluation under partial assignments).
+//
+// Formulas in this package are the hand-off format between the circuit
+// unroller and the SAT solver; the solver copies clauses into its own
+// internal store, so a Formula is a plain, inspectable value.
+package cnf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/lits"
+)
+
+// Clause is a disjunction of literals.
+type Clause []lits.Lit
+
+// NewClause builds a clause from DIMACS-style signed ints; convenient in
+// tests and builders.
+func NewClause(ds ...int) Clause {
+	c := make(Clause, len(ds))
+	for i, d := range ds {
+		c[i] = lits.FromDimacs(d)
+	}
+	return c
+}
+
+// Copy returns an independent copy of the clause.
+func (c Clause) Copy() Clause {
+	d := make(Clause, len(c))
+	copy(d, c)
+	return d
+}
+
+// Normalize sorts the literals, removes duplicates, and reports whether the
+// clause is a tautology (contains both x and ¬x). The returned clause
+// shares the receiver's backing array.
+func (c Clause) Normalize() (Clause, bool) {
+	if len(c) == 0 {
+		return c, false
+	}
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	out := c[:1]
+	for _, l := range c[1:] {
+		last := out[len(out)-1]
+		if l == last {
+			continue // duplicate
+		}
+		if l == last.Neg() {
+			return c, true // tautology
+		}
+		out = append(out, l)
+	}
+	return out, false
+}
+
+// Value evaluates the clause under a (possibly partial) assignment:
+// True if some literal is true, False if all literals are false,
+// Undef otherwise.
+func (c Clause) Value(a lits.Assignment) lits.TriBool {
+	undef := false
+	for _, l := range c {
+		switch a.LitValue(l) {
+		case lits.True:
+			return lits.True
+		case lits.Undef:
+			undef = true
+		}
+	}
+	if undef {
+		return lits.Undef
+	}
+	return lits.False
+}
+
+// MaxVar returns the largest variable occurring in the clause.
+func (c Clause) MaxVar() lits.Var {
+	var m lits.Var
+	for _, l := range c {
+		if l.Var() > m {
+			m = l.Var()
+		}
+	}
+	return m
+}
+
+// Has reports whether the clause contains the literal l.
+func (c Clause) Has(l lits.Lit) bool {
+	for _, x := range c {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// String returns a human-readable rendering "(x1 | ~x2 | x3)".
+func (c Clause) String() string {
+	if len(c) == 0 {
+		return "()"
+	}
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = l.String()
+	}
+	return "(" + strings.Join(parts, " | ") + ")"
+}
+
+// Formula is a CNF formula: a conjunction of clauses over variables
+// 1..NumVars.
+type Formula struct {
+	// NumVars is the number of variables; variables are 1..NumVars.
+	// Clauses may use fewer variables, but never more.
+	NumVars int
+	// Clauses is the clause list. The index of a clause in this slice is
+	// its "original clause ID" for unsat-core purposes.
+	Clauses []Clause
+}
+
+// New creates an empty formula over n variables.
+func New(n int) *Formula {
+	return &Formula{NumVars: n}
+}
+
+// AddClause appends a clause, growing NumVars if the clause mentions a
+// larger variable. It stores the slice as-is (no copy).
+func (f *Formula) AddClause(c Clause) {
+	if mv := int(c.MaxVar()); mv > f.NumVars {
+		f.NumVars = mv
+	}
+	f.Clauses = append(f.Clauses, c)
+}
+
+// Add appends a clause given as DIMACS-style ints.
+func (f *Formula) Add(ds ...int) {
+	f.AddClause(NewClause(ds...))
+}
+
+// AddUnit appends a unit clause asserting l.
+func (f *Formula) AddUnit(l lits.Lit) {
+	f.AddClause(Clause{l})
+}
+
+// NumClauses returns the number of clauses.
+func (f *Formula) NumClauses() int { return len(f.Clauses) }
+
+// NumLiterals returns the total number of literal occurrences across all
+// clauses. This is the quantity the paper's dynamic strategy divides by 64
+// to derive its decision threshold.
+func (f *Formula) NumLiterals() int {
+	n := 0
+	for _, c := range f.Clauses {
+		n += len(c)
+	}
+	return n
+}
+
+// Value evaluates the formula under an assignment: False if any clause is
+// false, True if all clauses are true, Undef otherwise.
+func (f *Formula) Value(a lits.Assignment) lits.TriBool {
+	allTrue := true
+	for _, c := range f.Clauses {
+		switch c.Value(a) {
+		case lits.False:
+			return lits.False
+		case lits.Undef:
+			allTrue = false
+		}
+	}
+	if allTrue {
+		return lits.True
+	}
+	return lits.Undef
+}
+
+// Satisfied reports whether the total assignment a satisfies every clause.
+func (f *Formula) Satisfied(a lits.Assignment) bool {
+	return f.Value(a) == lits.True
+}
+
+// Copy returns a deep copy of the formula.
+func (f *Formula) Copy() *Formula {
+	g := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, len(f.Clauses))}
+	for i, c := range f.Clauses {
+		g.Clauses[i] = c.Copy()
+	}
+	return g
+}
+
+// Subset returns a new formula containing only the clauses whose IDs
+// (indices) are listed. Clause slices are shared, not copied. The variable
+// count is preserved so variable identities remain stable.
+func (f *Formula) Subset(ids []int) *Formula {
+	g := &Formula{NumVars: f.NumVars, Clauses: make([]Clause, 0, len(ids))}
+	for _, id := range ids {
+		g.Clauses = append(g.Clauses, f.Clauses[id])
+	}
+	return g
+}
+
+// Vars returns the sorted set of variables actually occurring in clauses.
+func (f *Formula) Vars() []lits.Var {
+	seen := make([]bool, f.NumVars+1)
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			seen[l.Var()] = true
+		}
+	}
+	var out []lits.Var
+	for v := lits.Var(1); int(v) <= f.NumVars; v++ {
+		if seen[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// String renders the formula compactly; intended for debugging small
+// formulas only.
+func (f *Formula) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cnf(vars=%d, clauses=%d)", f.NumVars, len(f.Clauses))
+	for _, c := range f.Clauses {
+		b.WriteString(" ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

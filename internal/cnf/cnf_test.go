@@ -1,0 +1,257 @@
+package cnf
+
+import (
+	"testing"
+
+	"repro/internal/lits"
+)
+
+func TestNewClauseFromDimacs(t *testing.T) {
+	c := NewClause(1, -2, 3)
+	want := Clause{lits.PosLit(1), lits.NegLit(2), lits.PosLit(3)}
+	if len(c) != len(want) {
+		t.Fatalf("len=%d", len(c))
+	}
+	for i := range c {
+		if c[i] != want[i] {
+			t.Errorf("lit %d: got %v want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestClauseNormalize(t *testing.T) {
+	c, taut := NewClause(3, 1, 3, -2, 1).Normalize()
+	if taut {
+		t.Fatalf("not a tautology")
+	}
+	if len(c) != 3 {
+		t.Fatalf("dedup failed: %v", c)
+	}
+	_, taut = NewClause(1, -2, -1).Normalize()
+	if !taut {
+		t.Errorf("x1 | ~x2 | ~x1 must be a tautology")
+	}
+}
+
+func TestClauseValue(t *testing.T) {
+	a := lits.NewAssignment(3)
+	c := NewClause(1, 2, -3)
+	if got := c.Value(a); got != lits.Undef {
+		t.Errorf("empty assignment: got %v", got)
+	}
+	a.Set(3, lits.True)
+	if got := c.Value(a); got != lits.Undef {
+		t.Errorf("partially falsified: got %v", got)
+	}
+	a.Set(1, lits.False)
+	a.Set(2, lits.False)
+	if got := c.Value(a); got != lits.False {
+		t.Errorf("all false: got %v", got)
+	}
+	a.Set(2, lits.True)
+	if got := c.Value(a); got != lits.True {
+		t.Errorf("satisfied: got %v", got)
+	}
+}
+
+func TestEmptyClauseIsFalse(t *testing.T) {
+	a := lits.NewAssignment(1)
+	if got := (Clause{}).Value(a); got != lits.False {
+		t.Errorf("empty clause must be False, got %v", got)
+	}
+}
+
+func TestFormulaAddGrowsVars(t *testing.T) {
+	f := New(2)
+	f.Add(1, -5)
+	if f.NumVars != 5 {
+		t.Errorf("NumVars=%d, want 5", f.NumVars)
+	}
+}
+
+func TestFormulaValueAndSatisfied(t *testing.T) {
+	f := New(3)
+	f.Add(1, 2)
+	f.Add(-1, 3)
+	a := lits.NewAssignment(3)
+	a.Set(1, lits.True)
+	a.Set(3, lits.True)
+	if !f.Satisfied(a) {
+		t.Errorf("assignment should satisfy formula")
+	}
+	a.Set(3, lits.False)
+	if f.Value(a) != lits.False {
+		t.Errorf("falsified clause not detected")
+	}
+}
+
+func TestFormulaNumLiterals(t *testing.T) {
+	f := New(3)
+	f.Add(1, 2, 3)
+	f.Add(-1)
+	if got := f.NumLiterals(); got != 4 {
+		t.Errorf("NumLiterals=%d, want 4", got)
+	}
+}
+
+func TestFormulaSubset(t *testing.T) {
+	f := New(3)
+	f.Add(1, 2)
+	f.Add(-1, 3)
+	f.Add(-2, -3)
+	g := f.Subset([]int{0, 2})
+	if g.NumClauses() != 2 || g.NumVars != 3 {
+		t.Fatalf("subset wrong shape: %v", g)
+	}
+	if g.Clauses[1].String() != "(~x2 | ~x3)" {
+		t.Errorf("subset picked wrong clause: %v", g.Clauses[1])
+	}
+}
+
+func TestFormulaCopyIndependent(t *testing.T) {
+	f := New(2)
+	f.Add(1, 2)
+	g := f.Copy()
+	g.Clauses[0][0] = lits.NegLit(1)
+	if f.Clauses[0][0] != lits.PosLit(1) {
+		t.Errorf("copy shares clause storage")
+	}
+}
+
+func TestFormulaVars(t *testing.T) {
+	f := New(10)
+	f.Add(2, -5)
+	f.Add(5, 7)
+	vs := f.Vars()
+	want := []lits.Var{2, 5, 7}
+	if len(vs) != len(want) {
+		t.Fatalf("Vars()=%v", vs)
+	}
+	for i := range vs {
+		if vs[i] != want[i] {
+			t.Errorf("Vars()[%d]=%v want %v", i, vs[i], want[i])
+		}
+	}
+}
+
+// enumerate checks a gate encoding against a reference function by brute
+// force over all assignments of the formula's variables.
+func enumerate(t *testing.T, f *Formula, n int, ref func(a lits.Assignment) bool) {
+	t.Helper()
+	for m := 0; m < 1<<n; m++ {
+		a := lits.NewAssignment(n)
+		for i := 0; i < n; i++ {
+			if m&(1<<i) != 0 {
+				a.Set(lits.Var(i+1), lits.True)
+			} else {
+				a.Set(lits.Var(i+1), lits.False)
+			}
+		}
+		want := ref(a)
+		got := f.Satisfied(a)
+		if got != want {
+			t.Errorf("assignment %0*b: formula=%v ref=%v", n, m, got, want)
+		}
+	}
+}
+
+func TestAddAnd2TruthTable(t *testing.T) {
+	f := New(3)
+	f.AddAnd2(lits.PosLit(3), lits.PosLit(1), lits.PosLit(2))
+	enumerate(t, f, 3, func(a lits.Assignment) bool {
+		return a.Value(3).IsTrue() == (a.Value(1).IsTrue() && a.Value(2).IsTrue())
+	})
+}
+
+func TestAddOr2TruthTable(t *testing.T) {
+	f := New(3)
+	f.AddOr2(lits.PosLit(3), lits.PosLit(1), lits.NegLit(2))
+	enumerate(t, f, 3, func(a lits.Assignment) bool {
+		return a.Value(3).IsTrue() == (a.Value(1).IsTrue() || !a.Value(2).IsTrue())
+	})
+}
+
+func TestAddXor2TruthTable(t *testing.T) {
+	f := New(3)
+	f.AddXor2(lits.PosLit(3), lits.PosLit(1), lits.PosLit(2))
+	enumerate(t, f, 3, func(a lits.Assignment) bool {
+		return a.Value(3).IsTrue() == (a.Value(1).IsTrue() != a.Value(2).IsTrue())
+	})
+}
+
+func TestAddEqTruthTable(t *testing.T) {
+	f := New(2)
+	f.AddEq(lits.PosLit(2), lits.NegLit(1))
+	enumerate(t, f, 2, func(a lits.Assignment) bool {
+		return a.Value(2).IsTrue() == !a.Value(1).IsTrue()
+	})
+}
+
+func TestAddMuxTruthTable(t *testing.T) {
+	f := New(4)
+	f.AddMux(lits.PosLit(4), lits.PosLit(1), lits.PosLit(2), lits.PosLit(3))
+	enumerate(t, f, 4, func(a lits.Assignment) bool {
+		sel, x, y := a.Value(1).IsTrue(), a.Value(2).IsTrue(), a.Value(3).IsTrue()
+		want := y
+		if sel {
+			want = x
+		}
+		return a.Value(4).IsTrue() == want
+	})
+}
+
+func TestAddAndNTruthTable(t *testing.T) {
+	f := New(4)
+	f.AddAndN(lits.PosLit(4), lits.PosLit(1), lits.NegLit(2), lits.PosLit(3))
+	enumerate(t, f, 4, func(a lits.Assignment) bool {
+		want := a.Value(1).IsTrue() && !a.Value(2).IsTrue() && a.Value(3).IsTrue()
+		return a.Value(4).IsTrue() == want
+	})
+}
+
+func TestAddOrNTruthTable(t *testing.T) {
+	f := New(4)
+	f.AddOrN(lits.PosLit(4), lits.PosLit(1), lits.PosLit(2), lits.NegLit(3))
+	enumerate(t, f, 4, func(a lits.Assignment) bool {
+		want := a.Value(1).IsTrue() || a.Value(2).IsTrue() || !a.Value(3).IsTrue()
+		return a.Value(4).IsTrue() == want
+	})
+}
+
+func TestAddAndNEmpty(t *testing.T) {
+	f := New(1)
+	f.AddAndN(lits.PosLit(1))
+	a := lits.NewAssignment(1)
+	a.Set(1, lits.True)
+	if !f.Satisfied(a) {
+		t.Errorf("empty AND must force out=true")
+	}
+	a.Set(1, lits.False)
+	if f.Value(a) != lits.False {
+		t.Errorf("empty AND with out=false must be unsatisfied")
+	}
+}
+
+func TestAddOrNEmpty(t *testing.T) {
+	f := New(1)
+	f.AddOrN(lits.PosLit(1))
+	a := lits.NewAssignment(1)
+	a.Set(1, lits.False)
+	if !f.Satisfied(a) {
+		t.Errorf("empty OR must force out=false")
+	}
+}
+
+func TestAtMostOnePairwise(t *testing.T) {
+	f := New(3)
+	f.AtMostOnePairwise(lits.PosLit(1), lits.PosLit(2), lits.PosLit(3))
+	enumerate(t, f, 3, func(a lits.Assignment) bool {
+		n := 0
+		for v := lits.Var(1); v <= 3; v++ {
+			if a.Value(v).IsTrue() {
+				n++
+			}
+		}
+		return n <= 1
+	})
+}

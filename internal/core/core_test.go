@@ -1,0 +1,243 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/cnf"
+	"repro/internal/lits"
+	"repro/internal/sat"
+)
+
+// solveWithCore runs the CDCL solver with a recorder attached and returns
+// both the result and the recorder.
+func solveWithCore(f *cnf.Formula, opts sat.Options) (sat.Result, *Recorder) {
+	rec := NewRecorder(f.NumClauses())
+	opts.Recorder = rec
+	res := sat.New(f, opts).Solve()
+	return res, rec
+}
+
+func TestRecorderSyntheticTraversal(t *testing.T) {
+	// 4 original clauses (0..3); learned 4 <- {0,1}; learned 5 <- {4,2};
+	// final <- {5}. Core must be {0,1,2}; clause 3 stays out.
+	r := NewRecorder(4)
+	r.RecordLearned(4, []sat.ClauseID{0, 1})
+	r.RecordLearned(5, []sat.ClauseID{4, 2})
+	r.RecordFinal([]sat.ClauseID{5})
+	got := r.Core()
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("core=%v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("core=%v want %v", got, want)
+		}
+	}
+}
+
+func TestRecorderSharedAntecedentVisitedOnce(t *testing.T) {
+	// Diamond: 3 <- {0,1}, 4 <- {0,2}, final <- {3,4,3}. All originals in
+	// core despite repeated references.
+	r := NewRecorder(3)
+	r.RecordLearned(3, []sat.ClauseID{0, 1})
+	r.RecordLearned(4, []sat.ClauseID{0, 2})
+	r.RecordFinal([]sat.ClauseID{3, 4, 3})
+	got := r.Core()
+	if len(got) != 3 {
+		t.Fatalf("core=%v", got)
+	}
+}
+
+func TestRecorderNoProof(t *testing.T) {
+	r := NewRecorder(2)
+	if r.HasProof() {
+		t.Errorf("fresh recorder must not have a proof")
+	}
+	if r.Core() != nil {
+		t.Errorf("Core must be nil without a final conflict")
+	}
+}
+
+func TestRecorderOutOfOrderPanics(t *testing.T) {
+	r := NewRecorder(2)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic on out-of-order learned ID")
+		}
+	}()
+	r.RecordLearned(5, nil)
+}
+
+func TestCoreOfPropagationChainExcludesPadding(t *testing.T) {
+	// Clauses 0..5 form an unsat unit-propagation chain; clauses 6..15 are
+	// satisfiable padding on disjoint variables. Since the chain conflicts
+	// during level-0 propagation, no conflict can ever involve the padding,
+	// so the core must be exactly the chain.
+	f := cnf.New(0)
+	f.Add(1)
+	f.Add(-1, 2)
+	f.Add(-2, 3)
+	f.Add(-3, 4)
+	f.Add(-4, 5)
+	f.Add(-5)
+	for i := 0; i < 10; i++ {
+		f.Add(10+i, 20+i)
+	}
+	res, rec := solveWithCore(f, sat.Defaults())
+	if res.Status != sat.Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	core := rec.Core()
+	if len(core) != 6 {
+		t.Fatalf("core=%v, want exactly the 6 chain clauses", core)
+	}
+	for i, id := range core {
+		if id != i {
+			t.Fatalf("core=%v", core)
+		}
+	}
+	vars := rec.CoreVars(f)
+	if len(vars) != 5 {
+		t.Fatalf("core vars=%v, want x1..x5", vars)
+	}
+}
+
+func TestCoreIsUnsatOnPigeonhole(t *testing.T) {
+	f := pigeonhole(5, 4)
+	// Add satisfiable side clauses to give the core something to exclude.
+	base := f.NumVars
+	for i := 1; i <= 8; i++ {
+		f.Add(base+i, base+i+1)
+	}
+	res, rec := solveWithCore(f, sat.Defaults())
+	if res.Status != sat.Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	coreF := rec.CoreFormula(f)
+	if coreF == nil {
+		t.Fatal("no core")
+	}
+	if coreF.NumClauses() > f.NumClauses() {
+		t.Fatalf("core bigger than formula")
+	}
+	res2, _ := solveWithCore(coreF, sat.Defaults())
+	if res2.Status != sat.Unsat {
+		t.Fatalf("core formula must be unsat, got %v", res2.Status)
+	}
+}
+
+func TestCoreSurvivesClauseDeletion(t *testing.T) {
+	// Force aggressive learned-clause deletion; the pseudo-ID CDG must
+	// still produce a valid (unsat) core — the point of §3.1.
+	opts := sat.Defaults()
+	opts.MaxLearntFrac = 0.0001
+	opts.RestartFirst = 10
+	f := pigeonhole(7, 6)
+	res, rec := solveWithCore(f, opts)
+	if res.Status != sat.Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Stats.Deleted == 0 {
+		t.Logf("warning: no clauses were deleted; deletion path unexercised")
+	}
+	coreF := rec.CoreFormula(f)
+	res2, _ := solveWithCore(coreF, sat.Defaults())
+	if res2.Status != sat.Unsat {
+		t.Fatalf("core must remain unsat under clause deletion, got %v", res2.Status)
+	}
+}
+
+func TestRandomUnsatCoresAreUnsat(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	tested := 0
+	for iter := 0; iter < 400 && tested < 60; iter++ {
+		nVars := rng.Intn(8) + 3
+		f := randomCNF(rng, nVars, 6*nVars, 3)
+		want, _, err := bruteforce.Solve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want {
+			continue // only unsat instances are interesting here
+		}
+		tested++
+		res, rec := solveWithCore(f, sat.Defaults())
+		if res.Status != sat.Unsat {
+			t.Fatalf("solver disagrees with brute force")
+		}
+		coreF := rec.CoreFormula(f)
+		coreSat, _, err := bruteforce.Solve(coreF)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if coreSat {
+			t.Fatalf("extracted core is satisfiable:\nformula:\n%score:\n%s",
+				cnf.DimacsString(f), cnf.DimacsString(coreF))
+		}
+	}
+	if tested < 20 {
+		t.Fatalf("too few unsat instances exercised: %d", tested)
+	}
+}
+
+func TestNoEventsOnSat(t *testing.T) {
+	f := cnf.New(2)
+	f.Add(1, 2)
+	res, rec := solveWithCore(f, sat.Defaults())
+	if res.Status != sat.Sat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if rec.HasProof() {
+		t.Errorf("no final conflict should be recorded on SAT")
+	}
+}
+
+func TestRecorderApproxBytes(t *testing.T) {
+	r := NewRecorder(10)
+	if r.ApproxBytes() != 0 {
+		t.Errorf("fresh recorder should report 0 bytes")
+	}
+	r.RecordLearned(10, []sat.ClauseID{1, 2, 3})
+	if r.ApproxBytes() <= 0 {
+		t.Errorf("bytes should grow with records")
+	}
+}
+
+// --- helpers shared with sat tests (duplicated deliberately: internal test
+// packages cannot import each other's test files) ---
+
+func pigeonhole(p, h int) *cnf.Formula {
+	f := cnf.New(p * h)
+	v := func(pigeon, hole int) int { return pigeon*h + hole + 1 }
+	for i := 0; i < p; i++ {
+		c := make(cnf.Clause, 0, h)
+		for j := 0; j < h; j++ {
+			c = append(c, lits.FromDimacs(v(i, j)))
+		}
+		f.AddClause(c)
+	}
+	for j := 0; j < h; j++ {
+		for i1 := 0; i1 < p; i1++ {
+			for i2 := i1 + 1; i2 < p; i2++ {
+				f.Add(-v(i1, j), -v(i2, j))
+			}
+		}
+	}
+	return f
+}
+
+func randomCNF(rng *rand.Rand, nVars, nClauses, k int) *cnf.Formula {
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			v := lits.Var(rng.Intn(nVars) + 1)
+			c = append(c, lits.MkLit(v, rng.Intn(2) == 0))
+		}
+		f.AddClause(c)
+	}
+	return f
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/lits"
+	"repro/internal/sat"
+)
+
+// php builds PHP(n+1 pigeons, n holes) via the shared pigeonhole helper:
+// unsatisfiable, with real search, the canonical proof-logging workout.
+func php(n int) *cnf.Formula { return pigeonhole(n+1, n) }
+
+func solveWithFull(t *testing.T, f *cnf.Formula) (*FullRecorder, sat.Result) {
+	t.Helper()
+	rec := NewFullRecorder(f)
+	opts := sat.Defaults()
+	opts.Recorder = rec
+	res := sat.New(f, opts).Solve()
+	return rec, res
+}
+
+func TestFullRecorderProofChecksOnPigeonhole(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		f := php(n)
+		rec, res := solveWithFull(t, f)
+		if res.Status != sat.Unsat {
+			t.Fatalf("php(%d): %v", n, res.Status)
+		}
+		if !rec.HasProof() {
+			t.Fatalf("php(%d): no proof", n)
+		}
+		if err := rec.Check(); err != nil {
+			t.Fatalf("php(%d): proof check failed: %v", n, err)
+		}
+	}
+}
+
+func TestFullRecorderCoreMatchesSimplified(t *testing.T) {
+	f := php(4)
+
+	full := NewFullRecorder(f)
+	optsF := sat.Defaults()
+	optsF.Recorder = full
+	if res := sat.New(f, optsF).Solve(); res.Status != sat.Unsat {
+		t.Fatalf("full: %v", res.Status)
+	}
+
+	simple := NewRecorder(f.NumClauses())
+	optsS := sat.Defaults()
+	optsS.Recorder = simple
+	if res := sat.New(f, optsS).Solve(); res.Status != sat.Unsat {
+		t.Fatalf("simple: %v", res.Status)
+	}
+
+	// The searches are identical (recording does not steer), so the cores
+	// must match exactly.
+	a, b := full.Core(), simple.Core()
+	if len(a) != len(b) {
+		t.Fatalf("core sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("cores differ at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFullRecorderDetectsCorruptedProof(t *testing.T) {
+	f := php(3)
+	rec, res := solveWithFull(t, f)
+	if res.Status != sat.Unsat || rec.NumLearnedRecorded() == 0 {
+		t.Skip("need a learned-clause proof")
+	}
+	// Corrupt one learned clause: flip its first literal to a fresh
+	// variable that occurs nowhere else. RUP from the recorded
+	// antecedents must now fail somewhere.
+	for i := range rec.learned {
+		if len(rec.learned[i]) > 0 {
+			rec.learned[i][0] = lits.PosLit(lits.Var(f.NumVars + 1000))
+			break
+		}
+	}
+	if err := rec.Check(); err == nil {
+		t.Fatal("corrupted proof passed the checker")
+	} else if !strings.Contains(err.Error(), "RUP") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestFullRecorderDetectsDroppedAntecedents(t *testing.T) {
+	f := php(3)
+	rec, res := solveWithFull(t, f)
+	if res.Status != sat.Unsat {
+		t.Fatal(res.Status)
+	}
+	// Empty out every antecedent list of a clause with a non-empty one:
+	// its derivation can no longer be justified.
+	corrupted := false
+	for i := range rec.deps {
+		if len(rec.deps[i]) > 0 && len(rec.learned[i]) > 0 {
+			rec.deps[i] = nil
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Skip("no suitable record")
+	}
+	if err := rec.Check(); err == nil {
+		t.Fatal("proof with dropped antecedents passed the checker")
+	}
+}
+
+func TestFullRecorderNoProofOnSat(t *testing.T) {
+	f := cnf.New(2)
+	f.Add(1, 2)
+	rec, res := solveWithFull(t, f)
+	if res.Status != sat.Sat {
+		t.Fatalf("expected SAT, got %v", res.Status)
+	}
+	if rec.HasProof() {
+		t.Fatal("SAT run must not record a final conflict")
+	}
+	if err := rec.Check(); err == nil {
+		t.Fatal("Check must fail without a final conflict")
+	}
+	if rec.Core() != nil {
+		t.Fatal("Core must be nil without a proof")
+	}
+}
+
+func TestFullRecorderBytesExceedSimplified(t *testing.T) {
+	f := php(5)
+	full, res := solveWithFull(t, f)
+	if res.Status != sat.Unsat {
+		t.Fatal(res.Status)
+	}
+	simple := NewRecorder(f.NumClauses())
+	opts := sat.Defaults()
+	opts.Recorder = simple
+	if r := sat.New(f, opts).Solve(); r.Status != sat.Unsat {
+		t.Fatal(r.Status)
+	}
+	if full.ApproxBytes() <= simple.ApproxBytes() {
+		t.Fatalf("complete CDG (%d B) must outweigh simplified (%d B)",
+			full.ApproxBytes(), simple.ApproxBytes())
+	}
+}
+
+func TestFullRecorderOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-order IDs")
+		}
+	}()
+	rec := NewFullRecorder(cnf.New(1))
+	rec.RecordLearnedClause(5, nil, nil) // expected ID is 0
+}
+
+func TestFullRecorderLevel0OnlyProof(t *testing.T) {
+	// A formula refuted by pure BCP: units 1, -2 and clause (-1 2). The
+	// proof consists of the final conflict alone (no learned clauses);
+	// Check must accept it.
+	f := cnf.New(2)
+	f.Add(1)
+	f.Add(-2)
+	f.Add(-1, 2)
+	rec, res := solveWithFull(t, f)
+	if res.Status != sat.Unsat {
+		t.Fatal(res.Status)
+	}
+	if rec.NumLearnedRecorded() != 0 {
+		t.Fatalf("BCP-only refutation learned %d clauses", rec.NumLearnedRecorded())
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("level-0 proof rejected: %v", err)
+	}
+	core := rec.Core()
+	if len(core) != 3 {
+		t.Fatalf("core = %v, want all three clauses", core)
+	}
+}
+
+func TestCheckRUPRejectsForwardReference(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(1)
+	rec := NewFullRecorder(f)
+	rec.RecordLearnedClause(1, cnf.Clause{lits.NegLit(1)}, []sat.ClauseID{2})
+	rec.RecordFinal([]sat.ClauseID{0, 1})
+	if err := rec.Check(); err == nil {
+		t.Fatal("forward antecedent reference must fail the check")
+	}
+}
+
+// TestFullRecorderOnRandomUnsat checks the full pipeline on random UNSAT
+// instances: solve, check proof, and confirm the extracted core is itself
+// unsatisfiable.
+func TestFullRecorderOnRandomUnsat(t *testing.T) {
+	unsatSeen := 0
+	for seed := uint64(1); seed < 160 && unsatSeen < 25; seed++ {
+		f := randomFormulaFull(seed, 8, 45, 3)
+		rec, res := solveWithFull(t, f)
+		if res.Status != sat.Unsat {
+			continue
+		}
+		unsatSeen++
+		if err := rec.Check(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		sub := f.Subset(rec.Core())
+		if r := sat.New(sub, sat.Defaults()).Solve(); r.Status != sat.Unsat {
+			t.Fatalf("seed %d: core re-solve gave %v", seed, r.Status)
+		}
+	}
+	if unsatSeen < 10 {
+		t.Fatalf("only %d UNSAT instances generated; adjust the generator", unsatSeen)
+	}
+}
+
+// randomFormulaFull is a deterministic random-formula generator local to
+// this package (mirrors the one in internal/sat's tests).
+func randomFormulaFull(seed uint64, nVars, nClauses, maxLen int) *cnf.Formula {
+	x := seed*0x9E3779B97F4A7C15 | 1
+	next := func() uint64 {
+		x ^= x >> 12
+		x ^= x << 25
+		x ^= x >> 27
+		return x * 0x2545F4914F6CDD1D
+	}
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		n := 1 + int(next()%uint64(maxLen))
+		c := make(cnf.Clause, 0, n)
+		for j := 0; j < n; j++ {
+			v := lits.Var(1 + int(next()%uint64(nVars)))
+			c = append(c, lits.MkLit(v, next()&1 == 0))
+		}
+		f.AddClause(c)
+	}
+	return f
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/lits"
+)
+
+// ScoreMode selects how the ScoreBoard folds successive unsat cores into
+// bmc_score. WeightedSum is the paper's rule; the others are ablations of
+// the two design arguments given in §3.2 (recency weighting, and not
+// trusting any single core).
+type ScoreMode int
+
+// Score accumulation modes.
+const (
+	// WeightedSum is the paper's bmc_score: score(x) += j when x appears
+	// in the unsat core of the depth-j instance. Recent cores dominate,
+	// but all cores contribute.
+	WeightedSum ScoreMode = iota
+	// UnweightedSum drops the recency weight: score(x) += 1.
+	UnweightedSum
+	// LastCoreOnly relies exclusively on the most recent core:
+	// score(x) = 1 if x in the last core else 0.
+	LastCoreOnly
+	// ExpDecay halves all scores before adding the new core:
+	// score = score/2, then score(x) += j for core members.
+	ExpDecay
+)
+
+// String implements fmt.Stringer.
+func (m ScoreMode) String() string {
+	switch m {
+	case WeightedSum:
+		return "weighted-sum"
+	case UnweightedSum:
+		return "unweighted-sum"
+	case LastCoreOnly:
+		return "last-core-only"
+	case ExpDecay:
+		return "exp-decay"
+	default:
+		return "unknown"
+	}
+}
+
+// ScoreBoard holds the varRank list of Fig. 5: the per-variable bmc_score
+// accumulated over all previous unsatisfiable BMC instances. Variable
+// identity is the CNF variable number, which the unroller keeps stable
+// across unrolling depths, so scores learned at depth j apply directly at
+// depth j+1.
+type ScoreBoard struct {
+	mode  ScoreMode
+	score []float64 // indexed by variable; grows as deeper instances add variables
+	cores int       // number of cores folded in
+}
+
+// NewScoreBoard creates an empty score board with the given mode.
+func NewScoreBoard(mode ScoreMode) *ScoreBoard {
+	return &ScoreBoard{mode: mode}
+}
+
+// Mode returns the accumulation mode.
+func (b *ScoreBoard) Mode() ScoreMode { return b.mode }
+
+// NumCores returns how many unsat cores have been folded in.
+func (b *ScoreBoard) NumCores() int { return b.cores }
+
+// Update folds the variables of the depth-k unsat core into the scores
+// (update_ranking in Fig. 5).
+func (b *ScoreBoard) Update(coreVars []lits.Var, k int) {
+	maxV := 0
+	for _, v := range coreVars {
+		if int(v) > maxV {
+			maxV = int(v)
+		}
+	}
+	b.grow(maxV)
+
+	switch b.mode {
+	case LastCoreOnly:
+		for i := range b.score {
+			b.score[i] = 0
+		}
+		for _, v := range coreVars {
+			b.score[v] = 1
+		}
+	case ExpDecay:
+		for i := range b.score {
+			b.score[i] /= 2
+		}
+		for _, v := range coreVars {
+			b.score[v] += float64(k)
+		}
+	case UnweightedSum:
+		for _, v := range coreVars {
+			b.score[v]++
+		}
+	default: // WeightedSum
+		for _, v := range coreVars {
+			b.score[v] += float64(k)
+		}
+	}
+	b.cores++
+}
+
+// Score returns the current bmc_score of variable v (0 when never seen).
+func (b *ScoreBoard) Score(v lits.Var) float64 {
+	if int(v) >= len(b.score) {
+		return 0
+	}
+	return b.score[v]
+}
+
+// Guidance returns a per-variable score slice (entry 0 unused) sized for a
+// formula with nVars variables, suitable for sat.Options.Guidance. The
+// returned slice is a copy; later Updates do not affect it.
+func (b *ScoreBoard) Guidance(nVars int) []float64 {
+	g := make([]float64, nVars+1)
+	copy(g, b.score)
+	return g
+}
+
+// NumScored returns the number of variables with a nonzero score.
+func (b *ScoreBoard) NumScored() int {
+	n := 0
+	for _, s := range b.score {
+		if s != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (b *ScoreBoard) grow(maxVar int) {
+	if maxVar+1 > len(b.score) {
+		next := make([]float64, maxVar+1)
+		copy(next, b.score)
+		b.score = next
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+	"repro/internal/lits"
+	"repro/internal/sat"
+)
+
+func TestWeightedSumIsPaperFormula(t *testing.T) {
+	b := NewScoreBoard(WeightedSum)
+	// x1 in cores at k=3 and k=4; x2 only at k=3; x3 only at k=4.
+	b.Update([]lits.Var{1, 2}, 3)
+	b.Update([]lits.Var{1, 3}, 4)
+	if got := b.Score(1); got != 7 {
+		t.Errorf("score(x1)=%v, want 3+4=7", got)
+	}
+	if got := b.Score(2); got != 3 {
+		t.Errorf("score(x2)=%v, want 3", got)
+	}
+	if got := b.Score(3); got != 4 {
+		t.Errorf("score(x3)=%v, want 4", got)
+	}
+	if got := b.Score(4); got != 0 {
+		t.Errorf("score(x4)=%v, want 0", got)
+	}
+}
+
+func TestUnweightedSum(t *testing.T) {
+	b := NewScoreBoard(UnweightedSum)
+	b.Update([]lits.Var{1}, 3)
+	b.Update([]lits.Var{1}, 9)
+	if got := b.Score(1); got != 2 {
+		t.Errorf("score=%v, want 2", got)
+	}
+}
+
+func TestLastCoreOnly(t *testing.T) {
+	b := NewScoreBoard(LastCoreOnly)
+	b.Update([]lits.Var{1, 2}, 3)
+	b.Update([]lits.Var{2, 3}, 4)
+	if b.Score(1) != 0 || b.Score(2) != 1 || b.Score(3) != 1 {
+		t.Errorf("last-core-only scores wrong: %v %v %v", b.Score(1), b.Score(2), b.Score(3))
+	}
+}
+
+func TestExpDecay(t *testing.T) {
+	b := NewScoreBoard(ExpDecay)
+	b.Update([]lits.Var{1}, 2) // score(1)=2
+	b.Update([]lits.Var{2}, 3) // score(1)=1, score(2)=3
+	if b.Score(1) != 1 || b.Score(2) != 3 {
+		t.Errorf("exp-decay scores wrong: %v %v", b.Score(1), b.Score(2))
+	}
+}
+
+func TestScoreBoardGrowth(t *testing.T) {
+	b := NewScoreBoard(WeightedSum)
+	b.Update([]lits.Var{2}, 1)
+	b.Update([]lits.Var{100}, 2)
+	if b.Score(2) != 1 || b.Score(100) != 2 {
+		t.Errorf("growth lost scores")
+	}
+	if b.Score(1000) != 0 {
+		t.Errorf("out-of-range score must be 0")
+	}
+}
+
+func TestGuidanceIsCopy(t *testing.T) {
+	b := NewScoreBoard(WeightedSum)
+	b.Update([]lits.Var{1}, 5)
+	g := b.Guidance(3)
+	if len(g) != 4 {
+		t.Fatalf("len(g)=%d", len(g))
+	}
+	if g[1] != 5 {
+		t.Errorf("g[1]=%v", g[1])
+	}
+	b.Update([]lits.Var{1}, 6)
+	if g[1] != 5 {
+		t.Errorf("Guidance must be a snapshot; changed to %v", g[1])
+	}
+}
+
+func TestGuidanceSmallerThanBoard(t *testing.T) {
+	b := NewScoreBoard(WeightedSum)
+	b.Update([]lits.Var{10}, 1)
+	g := b.Guidance(5)
+	if len(g) != 6 {
+		t.Fatalf("guidance must be sized to the formula, got len %d", len(g))
+	}
+}
+
+func TestNumScoredAndNumCores(t *testing.T) {
+	b := NewScoreBoard(WeightedSum)
+	if b.NumScored() != 0 || b.NumCores() != 0 {
+		t.Errorf("fresh board not empty")
+	}
+	b.Update([]lits.Var{1, 2}, 1)
+	if b.NumScored() != 2 || b.NumCores() != 1 {
+		t.Errorf("NumScored=%d NumCores=%d", b.NumScored(), b.NumCores())
+	}
+}
+
+func TestWeightedSumMonotoneProperty(t *testing.T) {
+	// Property: under WeightedSum, scores never decrease as cores fold in.
+	f := func(depths []uint8) bool {
+		b := NewScoreBoard(WeightedSum)
+		prev := 0.0
+		for i, d := range depths {
+			b.Update([]lits.Var{1}, int(d%16)+1+i)
+			if b.Score(1) < prev {
+				return false
+			}
+			prev = b.Score(1)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScoreModeStrings(t *testing.T) {
+	modes := map[ScoreMode]string{
+		WeightedSum:   "weighted-sum",
+		UnweightedSum: "unweighted-sum",
+		LastCoreOnly:  "last-core-only",
+		ExpDecay:      "exp-decay",
+		ScoreMode(99): "unknown",
+	}
+	for m, want := range modes {
+		if m.String() != want {
+			t.Errorf("%d: %s != %s", m, m.String(), want)
+		}
+	}
+}
+
+func TestStrategyConfigure(t *testing.T) {
+	f := cnf.New(3)
+	f.Add(1, 2, 3)
+	f.Add(-1, -2)
+	// 5 literals total.
+	b := NewScoreBoard(WeightedSum)
+	b.Update([]lits.Var{2}, 4)
+
+	var opts sat.Options
+	OrderVSIDS.Configure(&opts, b, f)
+	if opts.Guidance != nil || opts.SwitchAfterDecisions != 0 {
+		t.Errorf("vsids must not set guidance")
+	}
+
+	opts = sat.Options{}
+	OrderStatic.Configure(&opts, b, f)
+	if opts.Guidance == nil || opts.Guidance[2] != 4 {
+		t.Errorf("static guidance wrong: %v", opts.Guidance)
+	}
+	if opts.SwitchAfterDecisions != 0 {
+		t.Errorf("static must not switch")
+	}
+
+	opts = sat.Options{}
+	OrderDynamic.Configure(&opts, b, f)
+	if opts.Guidance == nil {
+		t.Errorf("dynamic guidance missing")
+	}
+	// 5 literals / 64 < 1 -> clamped to 1.
+	if opts.SwitchAfterDecisions != 1 {
+		t.Errorf("switch threshold=%d, want clamp to 1", opts.SwitchAfterDecisions)
+	}
+}
+
+func TestStrategyConfigureWithDivisor(t *testing.T) {
+	f := cnf.New(2)
+	for i := 0; i < 64; i++ {
+		f.Add(1, 2) // 128 literals
+	}
+	b := NewScoreBoard(WeightedSum)
+	var opts sat.Options
+	OrderDynamic.ConfigureWithDivisor(&opts, b, f, 16)
+	if opts.SwitchAfterDecisions != 8 {
+		t.Errorf("threshold=%d, want 128/16=8", opts.SwitchAfterDecisions)
+	}
+	opts = sat.Options{}
+	OrderDynamic.ConfigureWithDivisor(&opts, b, f, 0)
+	if opts.SwitchAfterDecisions != 0 {
+		t.Errorf("divisor 0 must disable the switch")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"vsids": OrderVSIDS, "bmc": OrderVSIDS, "baseline": OrderVSIDS,
+		"static": OrderStatic, "dynamic": OrderDynamic,
+	}
+	for s, want := range cases {
+		got, ok := ParseStrategy(s)
+		if !ok || got != want {
+			t.Errorf("ParseStrategy(%q)=%v,%v", s, got, ok)
+		}
+	}
+	if _, ok := ParseStrategy("bogus"); ok {
+		t.Errorf("bogus must not parse")
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	if OrderVSIDS.String() != "vsids" || OrderStatic.String() != "static" ||
+		OrderDynamic.String() != "dynamic" || Strategy(9).String() != "unknown" {
+		t.Errorf("strategy strings wrong")
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Strategy selects how the refined ordering is applied to a SAT instance
+// (§3.3 of the paper).
+type Strategy int
+
+// Ordering strategies.
+const (
+	// OrderVSIDS is the unmodified solver heuristic — the paper's "BMC"
+	// baseline column.
+	OrderVSIDS Strategy = iota
+	// OrderStatic sorts decisions primarily by bmc_score with cha_score as
+	// tiebreaker, for the entire solve.
+	OrderStatic
+	// OrderDynamic starts like OrderStatic but reverts permanently to pure
+	// VSIDS once the number of decisions exceeds 1/64 of the number of
+	// original literals — the sign that the instance is difficult and the
+	// core-based estimate is likely stale.
+	OrderDynamic
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case OrderVSIDS:
+		return "vsids"
+	case OrderStatic:
+		return "static"
+	case OrderDynamic:
+		return "dynamic"
+	default:
+		return "unknown"
+	}
+}
+
+// ParseStrategy converts a CLI string into a Strategy.
+func ParseStrategy(s string) (Strategy, bool) {
+	switch s {
+	case "vsids", "bmc", "baseline":
+		return OrderVSIDS, true
+	case "static":
+		return OrderStatic, true
+	case "dynamic":
+		return OrderDynamic, true
+	default:
+		return OrderVSIDS, false
+	}
+}
+
+// SwitchDivisor is the denominator of the dynamic strategy's decision
+// threshold: the solve reverts to VSIDS after #original_literals /
+// SwitchDivisor decisions (paper §3.3 uses 64).
+const SwitchDivisor = 64
+
+// Configure applies the strategy to solver options for formula f, using
+// the scores accumulated in board. For OrderVSIDS it leaves opts untouched.
+// The divisor parameter of the dynamic threshold is SwitchDivisor; use
+// ConfigureWithDivisor to ablate it.
+func (s Strategy) Configure(opts *sat.Options, board *ScoreBoard, f *cnf.Formula) {
+	s.ConfigureWithDivisor(opts, board, f, SwitchDivisor)
+}
+
+// ConfigureWithDivisor is Configure with an explicit switch divisor
+// (dynamic strategy only; divisor <= 0 disables the switch).
+func (s Strategy) ConfigureWithDivisor(opts *sat.Options, board *ScoreBoard, f *cnf.Formula, divisor int) {
+	switch s {
+	case OrderStatic:
+		opts.Guidance = board.Guidance(f.NumVars)
+		opts.SwitchAfterDecisions = 0
+	case OrderDynamic:
+		opts.Guidance = board.Guidance(f.NumVars)
+		if divisor > 0 {
+			opts.SwitchAfterDecisions = int64(f.NumLiterals() / divisor)
+			if opts.SwitchAfterDecisions < 1 {
+				opts.SwitchAfterDecisions = 1
+			}
+		} else {
+			opts.SwitchAfterDecisions = 0
+		}
+	}
+}

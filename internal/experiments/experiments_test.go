@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bmc"
+	"repro/internal/core"
+	"repro/internal/sat"
+)
+
+// tinyCfg runs experiments on a few fast models at shallow depth so the
+// whole package test stays seconds-scale.
+func tinyCfg() Config {
+	return Config{
+		Models:               subset([]string{"twin_w8", "gcnt_m10", "cnt_w4_t9", "tlc_bug"}),
+		DepthCap:             5,
+		PerInstanceConflicts: 20000,
+		PerModelBudget:       5 * time.Second,
+	}
+}
+
+func TestRunTable1Small(t *testing.T) {
+	res, err := RunTable1(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		for c := 0; c < numConfs; c++ {
+			if row.Verdict[c] == bmc.BudgetExhausted {
+				t.Errorf("%s/%s: budget exhausted in a tiny config", row.Name, ConfNames[c])
+			}
+			if row.Time[c] <= 0 {
+				t.Errorf("%s/%s: nonpositive aligned time", row.Name, ConfNames[c])
+			}
+		}
+		// All three configurations must agree on the verdict.
+		if row.Verdict[ConfStatic] != row.Verdict[ConfBase] || row.Verdict[ConfDynamic] != row.Verdict[ConfBase] {
+			t.Errorf("%s: verdict disagreement %v", row.Name, row.Verdict)
+		}
+	}
+	// cnt_w4_t9 fails at depth 9 > cap 5, so here it should hold; tlc_bug
+	// fails at depth 1 and must be an F row.
+	for _, row := range res.Rows {
+		switch row.Name {
+		case "tlc_bug":
+			if row.TF != "F" {
+				t.Errorf("tlc_bug: TF=%q, want F", row.TF)
+			}
+		case "cnt_w4_t9":
+			if row.TF != "(5)" {
+				t.Errorf("cnt_w4_t9: TF=%q, want (5) at cap", row.TF)
+			}
+		}
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	res, err := RunTable1(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tb, csv, f6, f6csv strings.Builder
+	res.WriteTable(&tb)
+	res.WriteCSV(&csv)
+	res.WriteFigure6(&f6)
+	res.WriteFigure6CSV(&f6csv)
+
+	if !strings.Contains(tb.String(), "TOTAL") || !strings.Contains(tb.String(), "RATIO") {
+		t.Errorf("table missing TOTAL/RATIO rows:\n%s", tb.String())
+	}
+	if got := strings.Count(csv.String(), "\n"); got != 5 { // header + 4 rows
+		t.Errorf("csv has %d lines, want 5", got)
+	}
+	if !strings.Contains(f6.String(), "pane: static vs bmc") ||
+		!strings.Contains(f6.String(), "pane: dynamic vs bmc") {
+		t.Errorf("figure 6 missing panes:\n%s", f6.String())
+	}
+	if !strings.HasPrefix(f6csv.String(), "model,time_bmc_s") {
+		t.Errorf("figure 6 csv header wrong: %q", f6csv.String()[:40])
+	}
+}
+
+func TestRunFigure7Small(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Models = nil // Fig7 looks the model up by name
+	res, err := RunFigure7(cfg, "twin_w8", core.OrderDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "twin_w8" {
+		t.Fatalf("model = %q", res.Model)
+	}
+	if len(res.Depths) == 0 || len(res.DecBase) != len(res.Depths) {
+		t.Fatalf("series lengths inconsistent: %d depths, %d dec", len(res.Depths), len(res.DecBase))
+	}
+	dec, imp := res.TotalReduction()
+	if dec <= 0 || imp <= 0 {
+		t.Errorf("reductions must be positive, got dec=%f imp=%f", dec, imp)
+	}
+	if dec >= 1 {
+		t.Errorf("refined ordering should reduce decisions on twin_w8, ratio=%f", dec)
+	}
+	var out, csv strings.Builder
+	res.Write(&out)
+	res.WriteCSV(&csv)
+	if !strings.Contains(out.String(), "Number of Decisions") {
+		t.Errorf("figure 7 text missing decisions panel")
+	}
+	if !strings.HasPrefix(csv.String(), "k,dec_bmc") {
+		t.Errorf("figure 7 csv header wrong")
+	}
+}
+
+func TestRunFigure7UnknownModel(t *testing.T) {
+	if _, err := RunFigure7(tinyCfg(), "no_such_model", core.OrderDynamic); err == nil {
+		t.Fatal("expected an error for an unknown model")
+	}
+}
+
+func TestRunOverheadSmall(t *testing.T) {
+	res, err := RunOverhead(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// The §3.1 design point: recording must not change the search.
+		if row.DecisionsOff != row.DecisionsOn {
+			t.Errorf("%s: recording changed the search (%d vs %d decisions)",
+				row.Name, row.DecisionsOff, row.DecisionsOn)
+		}
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "aggregate overhead") {
+		t.Errorf("overhead table missing summary")
+	}
+}
+
+func TestRunScoreAblationSmall(t *testing.T) {
+	res, err := RunScoreAblation(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modes) != 4 || len(res.Models) != 4 {
+		t.Fatalf("shape: %d modes, %d models", len(res.Modes), len(res.Models))
+	}
+	for mi := range res.Modes {
+		if len(res.Time[mi]) != len(res.Models) {
+			t.Fatalf("mode %v has %d times", res.Modes[mi], len(res.Time[mi]))
+		}
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "TOTAL") {
+		t.Errorf("ablation table missing TOTAL")
+	}
+}
+
+func TestRunThresholdSweepSmall(t *testing.T) {
+	res, err := RunThresholdSweep(tinyCfg(), []int{16, 64, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Divisors) != 3 {
+		t.Fatalf("divisors: %v", res.Divisors)
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "never(static)") {
+		t.Errorf("threshold table missing the never column")
+	}
+}
+
+func TestRunTimeAxisSmall(t *testing.T) {
+	res, err := RunTimeAxis(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Models) != 4 {
+		t.Fatalf("models: %v", res.Models)
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "timeaxis") {
+		t.Errorf("time-axis table missing column")
+	}
+}
+
+func TestRunCDGMemorySmall(t *testing.T) {
+	res, err := RunCDGMemory(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Rows {
+		if !row.ProofChecked {
+			t.Errorf("%s: proof not checked", row.Name)
+		}
+		if row.FullBytes <= row.SimplifiedBytes {
+			t.Errorf("%s: complete CDG (%dB) should outweigh simplified (%dB)",
+				row.Name, row.FullBytes, row.SimplifiedBytes)
+		}
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "proof") {
+		t.Errorf("memory table missing proof column")
+	}
+}
+
+func TestAblationSubsetsResolve(t *testing.T) {
+	if n := len(AblationModels()); n < 8 {
+		t.Errorf("ablation subset too small: %d", n)
+	}
+	if n := len(OverheadModels()); n < 6 {
+		t.Errorf("overhead subset too small: %d", n)
+	}
+}
+
+func TestAlignRowCommonDepth(t *testing.T) {
+	mk := func(completed int, wallMS ...int) *bmc.Result {
+		r := &bmc.Result{Verdict: bmc.Holds, Depth: completed}
+		for k, ms := range wallMS {
+			st := sat.Unsat
+			if k > completed {
+				st = sat.Unknown
+			}
+			r.PerDepth = append(r.PerDepth, bmc.DepthStats{
+				K:      k,
+				Status: st,
+				Wall:   time.Duration(ms) * time.Millisecond,
+				Stats:  sat.Stats{Decisions: int64(10 * (k + 1))},
+			})
+		}
+		if completed < len(wallMS)-1 {
+			r.Verdict = bmc.BudgetExhausted
+		}
+		return r
+	}
+	// Baseline completed depths 0..1 (died inside depth 2); refined runs
+	// completed all three depths.
+	runs := [numConfs]*bmc.Result{
+		mk(1, 10, 20, 999),
+		mk(2, 5, 5, 5),
+		mk(2, 6, 6, 6),
+	}
+	row := alignRow(1, "m", runs)
+	if row.TF != "(1)" || row.Depth != 1 {
+		t.Fatalf("TF=%q depth=%d, want (1)", row.TF, row.Depth)
+	}
+	if row.Time[ConfBase] != 30*time.Millisecond {
+		t.Errorf("base aligned time = %v, want 30ms", row.Time[ConfBase])
+	}
+	if row.Time[ConfStatic] != 10*time.Millisecond || row.Time[ConfDynamic] != 12*time.Millisecond {
+		t.Errorf("refined aligned times = %v %v", row.Time[ConfStatic], row.Time[ConfDynamic])
+	}
+	if row.Dec[ConfBase] != 30 { // 10 + 20
+		t.Errorf("aligned decisions = %d, want 30", row.Dec[ConfBase])
+	}
+}
+
+func TestAlignRowAllFalsified(t *testing.T) {
+	mk := func(total time.Duration) *bmc.Result {
+		return &bmc.Result{
+			Verdict:   bmc.Falsified,
+			Depth:     3,
+			TotalTime: total,
+			PerDepth: []bmc.DepthStats{
+				{K: 0, Status: sat.Unsat, Wall: time.Millisecond},
+				{K: 1, Status: sat.Unsat, Wall: time.Millisecond},
+				{K: 2, Status: sat.Unsat, Wall: time.Millisecond},
+				{K: 3, Status: sat.Sat, Wall: time.Millisecond},
+			},
+			Total: sat.Stats{Decisions: 77},
+		}
+	}
+	runs := [numConfs]*bmc.Result{mk(40 * time.Millisecond), mk(20 * time.Millisecond), mk(30 * time.Millisecond)}
+	row := alignRow(2, "f", runs)
+	if row.TF != "F" {
+		t.Fatalf("TF=%q, want F", row.TF)
+	}
+	if row.Time[ConfBase] != 40*time.Millisecond || row.Dec[ConfBase] != 77 {
+		t.Errorf("falsified rows must use whole-run totals")
+	}
+}
+
+func TestScatterASCIISmoke(t *testing.T) {
+	var out strings.Builder
+	scatterASCII(&out, "pane", []float64{0.1, 1, 10}, []float64{0.05, 2, 5}, 40, 10)
+	s := out.String()
+	if !strings.Contains(s, "o") || !strings.Contains(s, ".") {
+		t.Errorf("scatter missing points or diagonal:\n%s", s)
+	}
+	// Degenerate inputs must not panic.
+	scatterASCII(&out, "empty", nil, nil, 10, 5)
+	scatterASCII(&out, "flat", []float64{1, 1}, []float64{1, 1}, 10, 5)
+	scatterASCII(&out, "zero", []float64{0}, []float64{0}, 10, 5)
+}
+
+func TestSeriesASCIISmoke(t *testing.T) {
+	var out strings.Builder
+	seriesASCII(&out, "chart", []int{0, 1, 2}, []int64{1, 100, 10000}, []int64{1, 10, 100}, "a", "b", 8)
+	s := out.String()
+	if !strings.Contains(s, "#") || !strings.Contains(s, "o") {
+		t.Errorf("series missing glyphs:\n%s", s)
+	}
+	seriesASCII(&out, "empty", nil, nil, nil, "a", "b", 8)
+	seriesASCII(&out, "flat", []int{0}, []int64{5}, []int64{5}, "a", "b", 8)
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtDuration(1500 * time.Millisecond); got != "1.500" {
+		t.Errorf("fmtDuration = %q", got)
+	}
+	if got := ratio(2*time.Second, time.Second); got != "50%" {
+		t.Errorf("ratio = %q", got)
+	}
+	if got := ratio(0, time.Second); got != "-" {
+		t.Errorf("ratio(0) = %q", got)
+	}
+}

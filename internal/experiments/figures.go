@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/core"
+)
+
+// Fig7Result holds the per-depth search statistics of the paper's Figure 7:
+// the number of decisions and implications at each unrolling depth, for the
+// standard BMC and the refined ordering (ref_ord_BMC).
+type Fig7Result struct {
+	Model  string
+	Depths []int
+	// Indexed like the Depths slice.
+	DecBase, DecRef []int64
+	ImpBase, ImpRef []int64
+}
+
+// RunFigure7 reproduces Figure 7 on the given model (the suite's
+// bench.Fig7Model is the designated analogue of the paper's 02_3_b2) using
+// the given refined strategy (the paper plots the dynamic configuration).
+func RunFigure7(cfg Config, modelName string, refined core.Strategy) (*Fig7Result, error) {
+	m, ok := bench.ByName(modelName)
+	if !ok {
+		return nil, fmt.Errorf("fig7: unknown model %q", modelName)
+	}
+	base, err := cfg.runOne(m, core.OrderVSIDS)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 baseline: %w", err)
+	}
+	ref, err := cfg.runOne(m, refined)
+	if err != nil {
+		return nil, fmt.Errorf("fig7 refined: %w", err)
+	}
+	res := &Fig7Result{Model: m.Name}
+	n := len(base.PerDepth)
+	if len(ref.PerDepth) < n {
+		n = len(ref.PerDepth)
+	}
+	for i := 0; i < n; i++ {
+		res.Depths = append(res.Depths, base.PerDepth[i].K)
+		res.DecBase = append(res.DecBase, base.PerDepth[i].Stats.Decisions)
+		res.DecRef = append(res.DecRef, ref.PerDepth[i].Stats.Decisions)
+		res.ImpBase = append(res.ImpBase, base.PerDepth[i].Stats.Implications)
+		res.ImpRef = append(res.ImpRef, ref.PerDepth[i].Stats.Implications)
+	}
+	return res, nil
+}
+
+// Write renders both panels (decisions, implications) as text charts plus
+// the raw series.
+func (r *Fig7Result) Write(w io.Writer) {
+	fmt.Fprintf(w, "Figure 7: statistics on %s (x-axis is the unrolling depth)\n\n", r.Model)
+	seriesASCII(w, "Number of Decisions", r.Depths, r.DecBase, r.DecRef, "BMC", "ref_ord_BMC", 16)
+	fmt.Fprintln(w)
+	seriesASCII(w, "Number of Implications", r.Depths, r.ImpBase, r.ImpRef, "BMC", "ref_ord_BMC", 16)
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "%-6s %14s %14s %14s %14s\n", "k", "dec.bmc", "dec.ref", "imp.bmc", "imp.ref")
+	for i, k := range r.Depths {
+		fmt.Fprintf(w, "%-6d %14d %14d %14d %14d\n", k, r.DecBase[i], r.DecRef[i], r.ImpBase[i], r.ImpRef[i])
+	}
+}
+
+// WriteCSV emits the per-depth series.
+func (r *Fig7Result) WriteCSV(w io.Writer) {
+	fmt.Fprintln(w, "k,dec_bmc,dec_ref,imp_bmc,imp_ref")
+	for i, k := range r.Depths {
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d\n", k, r.DecBase[i], r.DecRef[i], r.ImpBase[i], r.ImpRef[i])
+	}
+}
+
+// TotalReduction returns the decision- and implication-count ratios
+// (refined/baseline) over the whole run; both < 1 when refinement shrinks
+// the search trees, the paper's stated cause of the speed-up.
+func (r *Fig7Result) TotalReduction() (dec, imp float64) {
+	var db, dr, ib, ir int64
+	for i := range r.Depths {
+		db += r.DecBase[i]
+		dr += r.DecRef[i]
+		ib += r.ImpBase[i]
+		ir += r.ImpRef[i]
+	}
+	if db > 0 {
+		dec = float64(dr) / float64(db)
+	}
+	if ib > 0 {
+		imp = float64(ir) / float64(ib)
+	}
+	return dec, imp
+}
+
+// Fig7DepthStats re-exports the underlying per-depth data of a BMC run for
+// tools that need the raw rows.
+type Fig7DepthStats = bmc.DepthStats

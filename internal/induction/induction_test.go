@@ -1,0 +1,183 @@
+package induction
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+func prove(t *testing.T, c *circuit.Circuit, st core.Strategy, maxK int) *Result {
+	t.Helper()
+	res, err := Prove(c, 0, Options{
+		MaxK:     maxK,
+		Strategy: st,
+		Solver:   sat.Defaults(),
+		Deadline: time.Now().Add(30 * time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTwinIsInductiveImmediately(t *testing.T) {
+	// Twin registers: x == y is preserved by every step, so the property
+	// closes at k = 0.
+	res := prove(t, bench.Twin(8, 0, 0), core.OrderVSIDS, 4)
+	if res.Status != Proved {
+		t.Fatalf("status %v, want proved", res.Status)
+	}
+	if res.K != 0 {
+		t.Fatalf("proved at k=%d, want 0", res.K)
+	}
+}
+
+func TestGatedCounterProved(t *testing.T) {
+	// "Counter never reaches m" is inductive: m is only reachable from
+	// m-1, where the wrap fires instead.
+	res := prove(t, bench.GatedCounter(4, 10, 0, 0), core.OrderVSIDS, 6)
+	if res.Status != Proved {
+		t.Fatalf("status %v at k=%d, want proved", res.Status, res.K)
+	}
+}
+
+func TestNonInductiveInvariantNeedsDeeperK(t *testing.T) {
+	// "Counter never reaches m+2": true (states above m-1 are unreachable)
+	// but not 0-inductive — the step case at k=0 can start in the
+	// unreachable state m+1 and step to m+2. The simple-path constraint
+	// makes deeper induction close it.
+	c := circuit.New("gcnt_offset")
+	en := c.Input("en")
+	w := c.LatchWord("cnt", 4, 0)
+	inc, _ := c.IncWord(w)
+	wrap := c.EqConst(w, 9)
+	bump := c.MuxWord(wrap, c.ConstWord(4, 0), inc)
+	c.SetNextWord(w, c.MuxWord(en, bump, w))
+	c.AddProperty("never_12", c.EqConst(w, 12))
+
+	res := prove(t, c, core.OrderVSIDS, 16)
+	if res.Status != Proved {
+		t.Fatalf("status %v at k=%d, want proved", res.Status, res.K)
+	}
+	if res.K == 0 {
+		t.Fatal("property should not be 0-inductive")
+	}
+}
+
+func TestBuggyModelsFalsifiedAtBMCDepth(t *testing.T) {
+	for _, name := range []string{"tlc_bug", "arb_5_bug", "pipe_s5_bug"} {
+		m, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("%s missing", name)
+		}
+		res := prove(t, m.Build(), core.OrderVSIDS, m.FailDepth+2)
+		if res.Status != Falsified {
+			t.Fatalf("%s: status %v, want falsified", name, res.Status)
+		}
+		if res.K != m.FailDepth {
+			t.Fatalf("%s: counter-example at %d, want %d", name, res.K, m.FailDepth)
+		}
+		if res.Trace == nil {
+			t.Fatalf("%s: no trace", name)
+		}
+	}
+}
+
+func TestStrategiesAgreeOnInduction(t *testing.T) {
+	models := []func() *circuit.Circuit{
+		func() *circuit.Circuit { return bench.Twin(6, 0, 0) },
+		func() *circuit.Circuit { return bench.GatedCounter(4, 10, 0, 0) },
+		func() *circuit.Circuit { return bench.TrafficLight(true, 0, 0) },
+	}
+	for i, build := range models {
+		base := prove(t, build(), core.OrderVSIDS, 8)
+		for _, st := range []core.Strategy{core.OrderStatic, core.OrderDynamic} {
+			res := prove(t, build(), st, 8)
+			if res.Status != base.Status || res.K != base.K {
+				t.Fatalf("model %d: %v gives %v@%d, baseline %v@%d",
+					i, st, res.Status, res.K, base.Status, base.K)
+			}
+		}
+	}
+}
+
+func TestUnknownWhenMaxKTooSmall(t *testing.T) {
+	// The offset-counter invariant is not 0- or 1-inductive; MaxK = 1
+	// must yield Unknown, never a wrong verdict.
+	c := circuit.New("gcnt_offset2")
+	en := c.Input("en")
+	w := c.LatchWord("cnt", 4, 0)
+	inc, _ := c.IncWord(w)
+	wrap := c.EqConst(w, 9)
+	bump := c.MuxWord(wrap, c.ConstWord(4, 0), inc)
+	c.SetNextWord(w, c.MuxWord(en, bump, w))
+	c.AddProperty("never_12", c.EqConst(w, 12))
+
+	res := prove(t, c, core.OrderVSIDS, 1)
+	if res.Status != Unknown {
+		t.Fatalf("status %v, want unknown at MaxK=1", res.Status)
+	}
+}
+
+func TestStepFormulaShape(t *testing.T) {
+	c := bench.Twin(4, 0, 0)
+	u, err := unroll.New(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := StepFormula(u, 2)
+	// Aux variables must extend past the frame-stable range.
+	if f.NumVars <= u.NumVars(3) {
+		t.Fatalf("no aux vars allocated: %d <= %d", f.NumVars, u.NumVars(3))
+	}
+	for i, cl := range f.Clauses {
+		if int(cl.MaxVar()) > f.NumVars {
+			t.Fatalf("clause %d: var %d out of range %d", i, cl.MaxVar(), f.NumVars)
+		}
+	}
+	// The step instance of an inductive property must be UNSAT.
+	if r := sat.New(f, sat.Defaults()).Solve(); r.Status != sat.Unsat {
+		t.Fatalf("twin step at k=2: %v, want UNSAT", r.Status)
+	}
+}
+
+func TestStepFormulaSatisfiableForNonInductive(t *testing.T) {
+	// The offset-counter's k=0 step must be SAT (the unreachable
+	// pre-state exists in the unconstrained state space).
+	c := circuit.New("gcnt_offset3")
+	en := c.Input("en")
+	w := c.LatchWord("cnt", 4, 0)
+	inc, _ := c.IncWord(w)
+	wrap := c.EqConst(w, 9)
+	bump := c.MuxWord(wrap, c.ConstWord(4, 0), inc)
+	c.SetNextWord(w, c.MuxWord(en, bump, w))
+	c.AddProperty("never_12", c.EqConst(w, 12))
+	u, err := unroll.New(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := sat.New(StepFormula(u, 0), sat.Defaults()).Solve(); r.Status != sat.Sat {
+		t.Fatalf("k=0 step: %v, want SAT", r.Status)
+	}
+}
+
+func TestStatusStrings(t *testing.T) {
+	for s, want := range map[Status]string{Proved: "proved", Falsified: "falsified", Unknown: "unknown"} {
+		if got := s.String(); got != want {
+			t.Errorf("%d: %q != %q", s, got, want)
+		}
+	}
+}
+
+func TestProveRejectsBadProperty(t *testing.T) {
+	c := circuit.New("p")
+	c.AddProperty("p", circuit.False)
+	if _, err := Prove(c, 7, Options{MaxK: 2, Solver: sat.Defaults()}); err == nil {
+		t.Fatal("expected error for bad property index")
+	}
+}

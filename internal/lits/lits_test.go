@@ -1,0 +1,181 @@
+package lits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMkLitRoundTrip(t *testing.T) {
+	for v := Var(1); v < 100; v++ {
+		for _, neg := range []bool{false, true} {
+			l := MkLit(v, neg)
+			if l.Var() != v {
+				t.Fatalf("MkLit(%v,%v).Var() = %v", v, neg, l.Var())
+			}
+			if l.Sign() != neg {
+				t.Fatalf("MkLit(%v,%v).Sign() = %v", v, neg, l.Sign())
+			}
+		}
+	}
+}
+
+func TestPosNegLit(t *testing.T) {
+	v := Var(7)
+	if PosLit(v) != MkLit(v, false) {
+		t.Errorf("PosLit mismatch")
+	}
+	if NegLit(v) != MkLit(v, true) {
+		t.Errorf("NegLit mismatch")
+	}
+	if PosLit(v).Neg() != NegLit(v) {
+		t.Errorf("Neg of positive is not negative literal")
+	}
+	if NegLit(v).Neg() != PosLit(v) {
+		t.Errorf("Neg of negative is not positive literal")
+	}
+}
+
+func TestNegIsInvolution(t *testing.T) {
+	f := func(raw uint16) bool {
+		v := Var(raw%5000 + 1)
+		l := MkLit(v, raw&1 == 1)
+		return l.Neg().Neg() == l && l.Neg() != l
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDimacsRoundTrip(t *testing.T) {
+	f := func(raw int16) bool {
+		d := int(raw)
+		if d == 0 {
+			return FromDimacs(0) == LitUndef
+		}
+		return FromDimacs(d).Dimacs() == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorSign(t *testing.T) {
+	l := PosLit(3)
+	if l.XorSign(false) != l {
+		t.Errorf("XorSign(false) changed the literal")
+	}
+	if l.XorSign(true) != l.Neg() {
+		t.Errorf("XorSign(true) did not negate")
+	}
+}
+
+func TestLitIndexDense(t *testing.T) {
+	// Literals of variables 1..n must exactly cover indices [2, 2n+1].
+	seen := map[int]bool{}
+	n := 50
+	for v := Var(1); v <= Var(n); v++ {
+		seen[PosLit(v).Index()] = true
+		seen[NegLit(v).Index()] = true
+	}
+	if len(seen) != 2*n {
+		t.Fatalf("expected %d distinct indices, got %d", 2*n, len(seen))
+	}
+	for i := 2; i <= 2*n+1; i++ {
+		if !seen[i] {
+			t.Fatalf("index %d not covered", i)
+		}
+	}
+}
+
+func TestTriBoolNot(t *testing.T) {
+	if True.Not() != False || False.Not() != True || Undef.Not() != Undef {
+		t.Errorf("TriBool negation table wrong")
+	}
+}
+
+func TestTriBoolPredicates(t *testing.T) {
+	if !True.IsTrue() || True.IsFalse() || True.IsUndef() {
+		t.Errorf("True predicates wrong")
+	}
+	if False.IsTrue() || !False.IsFalse() || False.IsUndef() {
+		t.Errorf("False predicates wrong")
+	}
+	if Undef.IsTrue() || Undef.IsFalse() || !Undef.IsUndef() {
+		t.Errorf("Undef predicates wrong")
+	}
+}
+
+func TestAssignmentLitValue(t *testing.T) {
+	a := NewAssignment(4)
+	a.Set(2, True)
+	a.Set(3, False)
+	cases := []struct {
+		l    Lit
+		want TriBool
+	}{
+		{PosLit(1), Undef},
+		{NegLit(1), Undef},
+		{PosLit(2), True},
+		{NegLit(2), False},
+		{PosLit(3), False},
+		{NegLit(3), True},
+	}
+	for _, c := range cases {
+		if got := a.LitValue(c.l); got != c.want {
+			t.Errorf("LitValue(%v) = %v, want %v", c.l, got, c.want)
+		}
+	}
+}
+
+func TestAssignmentSetLit(t *testing.T) {
+	a := NewAssignment(3)
+	a.SetLit(NegLit(2))
+	if a.Value(2) != False {
+		t.Errorf("SetLit(~x2) should make x2 false, got %v", a.Value(2))
+	}
+	if a.LitValue(NegLit(2)) != True {
+		t.Errorf("literal itself must be true after SetLit")
+	}
+	a.SetLit(PosLit(1))
+	if a.Value(1) != True {
+		t.Errorf("SetLit(x1) should make x1 true")
+	}
+}
+
+func TestAssignmentCopyIndependent(t *testing.T) {
+	a := NewAssignment(2)
+	a.Set(1, True)
+	b := a.Copy()
+	b.Set(1, False)
+	if a.Value(1) != True {
+		t.Errorf("copy is not independent")
+	}
+}
+
+func TestAssignmentOutOfRange(t *testing.T) {
+	a := NewAssignment(2)
+	if a.Value(99) != Undef {
+		t.Errorf("out-of-range Value should be Undef")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Set out of range should panic")
+		}
+	}()
+	a.Set(99, True)
+}
+
+func TestStrings(t *testing.T) {
+	if Var(3).String() != "x3" {
+		t.Errorf("Var string: %s", Var(3))
+	}
+	if PosLit(3).String() != "x3" || NegLit(3).String() != "~x3" {
+		t.Errorf("Lit strings: %s %s", PosLit(3), NegLit(3))
+	}
+	if True.String() != "T" || False.String() != "F" || Undef.String() != "U" {
+		t.Errorf("TriBool strings")
+	}
+	if VarUndef.String() != "x?" || LitUndef.String() != "lit?" {
+		t.Errorf("undef strings")
+	}
+}

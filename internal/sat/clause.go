@@ -1,0 +1,55 @@
+package sat
+
+import (
+	"strings"
+
+	"repro/internal/lits"
+)
+
+// clause is the solver-internal clause representation. Every clause carries
+// a pseudo ID used by the proof recorder: original clauses keep their index
+// in the input formula, learned clauses get sequential IDs following the
+// originals. The ID outlives the clause itself — the conflict dependency
+// graph kept by the recorder references deleted clauses by ID, which is the
+// paper's §3.1 trick for extracting unsat cores without disabling clause
+// deletion.
+type clause struct {
+	id     ClauseID
+	learnt bool
+	// act is a recency stamp (the conflict count when the clause last
+	// participated in conflict analysis); clause-database reduction evicts
+	// the stalest learned clauses first.
+	act  int64
+	lits []lits.Lit
+}
+
+// ClauseID identifies a clause in the proof. IDs below the original clause
+// count refer to input-formula clauses (by index); higher IDs are learned
+// clauses in order of derivation.
+type ClauseID = int32
+
+func (c *clause) String() string {
+	var b strings.Builder
+	if c.learnt {
+		b.WriteString("L")
+	} else {
+		b.WriteString("C")
+	}
+	b.WriteString("(")
+	for i, l := range c.lits {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		b.WriteString(l.String())
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// watcher is an entry in a literal's watch list: the watching clause plus a
+// "blocker" literal from the clause; if the blocker is already true the
+// clause is satisfied and the watch scan can skip loading the clause.
+type watcher struct {
+	c       *clause
+	blocker lits.Lit
+}

@@ -1,0 +1,119 @@
+package sat
+
+import "repro/internal/lits"
+
+// litHeap is an indexed binary max-heap over literals, ordered by the
+// solver's current decision comparator (guidance score, then cha_score,
+// then literal index for determinism). "Indexed" means each literal's heap
+// position is tracked so membership tests and targeted removals are O(1)
+// and O(log n).
+//
+// The comparator consults mutable solver state (scores, guidance mode).
+// Scores only change at the periodic VSIDS rescore and at the dynamic
+// guidance switch, and both events call rebuild(), so heap order is always
+// consistent with the comparator between those points.
+type litHeap struct {
+	s    *Solver
+	heap []lits.Lit
+	pos  []int32 // indexed by lit.Index(); -1 when absent
+}
+
+func newLitHeap(s *Solver, nVars int) *litHeap {
+	h := &litHeap{s: s, pos: make([]int32, 2*nVars+2)}
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	return h
+}
+
+func (h *litHeap) len() int    { return len(h.heap) }
+func (h *litHeap) empty() bool { return len(h.heap) == 0 }
+func (h *litHeap) contains(l lits.Lit) bool {
+	return h.pos[l.Index()] >= 0
+}
+
+// insert adds l if absent.
+func (h *litHeap) insert(l lits.Lit) {
+	if h.contains(l) {
+		return
+	}
+	h.heap = append(h.heap, l)
+	h.pos[l.Index()] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+// popMax removes and returns the best literal. Callers must check empty()
+// first.
+func (h *litHeap) popMax() lits.Lit {
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.pos[h.heap[0].Index()] = 0
+	h.heap = h.heap[:last]
+	h.pos[top.Index()] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return top
+}
+
+// rebuild re-establishes the heap property after a bulk comparator change
+// (VSIDS rescore or guidance switch). O(n).
+func (h *litHeap) rebuild() {
+	for i := len(h.heap)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// fill inserts every literal of variables 1..nVars.
+func (h *litHeap) fill(nVars int) {
+	h.heap = h.heap[:0]
+	for i := range h.pos {
+		h.pos[i] = -1
+	}
+	for v := lits.Var(1); int(v) <= nVars; v++ {
+		h.heap = append(h.heap, lits.PosLit(v), lits.NegLit(v))
+	}
+	for i, l := range h.heap {
+		h.pos[l.Index()] = int32(i)
+	}
+	h.rebuild()
+}
+
+func (h *litHeap) up(i int) {
+	l := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.s.better(l, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.pos[h.heap[i].Index()] = int32(i)
+		i = parent
+	}
+	h.heap[i] = l
+	h.pos[l.Index()] = int32(i)
+}
+
+func (h *litHeap) down(i int) {
+	l := h.heap[i]
+	n := len(h.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		best := left
+		if right := left + 1; right < n && h.s.better(h.heap[right], h.heap[left]) {
+			best = right
+		}
+		if !h.s.better(h.heap[best], l) {
+			break
+		}
+		h.heap[i] = h.heap[best]
+		h.pos[h.heap[i].Index()] = int32(i)
+		i = best
+	}
+	h.heap[i] = l
+	h.pos[l.Index()] = int32(i)
+}

@@ -1,0 +1,199 @@
+package sat
+
+import (
+	"time"
+
+	"repro/internal/lits"
+)
+
+// Status is the outcome of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	// Unknown means the solver exhausted a budget (conflicts, decisions,
+	// or deadline) before reaching an answer.
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula was proven unsatisfiable.
+	Unsat
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ProofRecorder receives the resolution-dependency events the solver emits
+// while searching. It is the hook through which the refinement layer
+// (internal/core) maintains the paper's simplified Conflict Dependency
+// Graph: only clause pseudo IDs flow through this interface, never literals,
+// so the recorder's memory footprint stays small and the solver remains free
+// to delete learned clauses.
+//
+// A nil recorder disables all bookkeeping (and its runtime overhead).
+type ProofRecorder interface {
+	// RecordLearned reports a newly learned clause: its pseudo ID and the
+	// IDs of every antecedent clause used in the resolution that derived
+	// it (the conflicting clause, the reason clauses resolved on, clauses
+	// used by learned-clause minimization, and the level-0 implication
+	// chains of dropped literals).
+	RecordLearned(id ClauseID, antecedents []ClauseID)
+	// RecordFinal reports that unsatisfiability was established, with the
+	// antecedents of the final (empty-clause) conflict. It is called at
+	// most once per Solve.
+	RecordFinal(antecedents []ClauseID)
+}
+
+// LearnedClauseRecorder optionally extends ProofRecorder with the learned
+// clause's literals. Recorders implementing it (the "complete CDG" of the
+// paper's §3.1, used for proof checking and the memory-overhead comparison)
+// receive RecordLearnedClause instead of RecordLearned. The literal slice
+// is only valid during the call and must be copied if retained.
+type LearnedClauseRecorder interface {
+	ProofRecorder
+	RecordLearnedClause(id ClauseID, literals []lits.Lit, antecedents []ClauseID)
+}
+
+// Options configures a Solver. The zero value is usable: Defaults are
+// applied by New for any field left at its zero value.
+type Options struct {
+	// RescoreInterval is the number of conflicts between Chaff-style VSIDS
+	// rescores (cha_score = cha_score/2 + new_lit_counts). Default 255.
+	RescoreInterval int
+
+	// RestartFirst is the conflict budget of the first restart interval.
+	// Default 100. RestartInc scales successive intervals when Luby is
+	// off; default 1.5.
+	RestartFirst int
+	RestartInc   float64
+	// LubyRestarts selects the Luby restart sequence (unit RestartFirst)
+	// instead of geometric growth. Default true via Defaults().
+	LubyRestarts bool
+	// NoRestarts disables restarts entirely.
+	NoRestarts bool
+
+	// MaxLearntFrac sets the initial learned-clause limit as a fraction of
+	// the original clause count (minimum floor applies). Default 1.0/3.
+	MaxLearntFrac float64
+	// MaxLearntInc is the geometric growth factor of the learned-clause
+	// limit applied at each database reduction. Default 1.1.
+	MaxLearntInc float64
+
+	// MinimizeLearned enables self-subsumption minimization of learned
+	// clauses. Default true via Defaults().
+	MinimizeLearned bool
+	// PhaseSaving reuses each variable's last assigned polarity instead of
+	// the polarity of the literal picked by score. Chaff derives phase
+	// from per-literal scores, so this is off by default.
+	PhaseSaving bool
+
+	// Guidance is an optional per-variable score (indexed by variable,
+	// entry 0 unused) consulted *before* cha_score when picking decisions:
+	// this is the paper's bmc_score. nil disables guidance.
+	Guidance []float64
+	// SwitchAfterDecisions, when > 0, permanently disables Guidance for
+	// the remainder of the solve once the decision count exceeds it (the
+	// paper's dynamic strategy uses #original_literals/64).
+	SwitchAfterDecisions int64
+
+	// Recorder receives proof events; nil disables recording.
+	Recorder ProofRecorder
+
+	// Budgets. Zero means unlimited.
+	MaxConflicts int64
+	MaxDecisions int64
+	// Deadline, when nonzero, aborts the solve (status Unknown) once
+	// passed; checked every few conflicts.
+	Deadline time.Time
+}
+
+// Defaults returns the options used throughout the repo's experiments:
+// Chaff-style scoring with modern restart/deletion plumbing.
+func Defaults() Options {
+	return Options{
+		RescoreInterval: 255,
+		RestartFirst:    100,
+		RestartInc:      1.5,
+		LubyRestarts:    true,
+		MaxLearntFrac:   1.0 / 3.0,
+		MaxLearntInc:    1.1,
+		MinimizeLearned: true,
+	}
+}
+
+// withDefaults fills zero-valued tuning fields. Boolean flags are taken
+// as-is (callers wanting paper defaults should start from Defaults()).
+func (o Options) withDefaults() Options {
+	if o.RescoreInterval <= 0 {
+		o.RescoreInterval = 255
+	}
+	if o.RestartFirst <= 0 {
+		o.RestartFirst = 100
+	}
+	if o.RestartInc <= 1.0 {
+		o.RestartInc = 1.5
+	}
+	if o.MaxLearntFrac <= 0 {
+		o.MaxLearntFrac = 1.0 / 3.0
+	}
+	if o.MaxLearntInc <= 1.0 {
+		o.MaxLearntInc = 1.1
+	}
+	return o
+}
+
+// Stats aggregates the search counters of one Solve call. Decisions and
+// Implications are the quantities plotted in the paper's Figure 7.
+type Stats struct {
+	Decisions    int64 // branching assignments
+	Implications int64 // assignments made by Boolean constraint propagation
+	Conflicts    int64 // falsified clauses encountered
+	Restarts     int64
+	Learned      int64 // learned clauses added
+	LearnedLits  int64 // total literals across learned clauses
+	Deleted      int64 // learned clauses removed by database reduction
+	MaxLevel     int   // deepest decision level reached
+
+	// GuidanceSwitched reports that the dynamic strategy abandoned the
+	// bmc_score ordering mid-solve; SwitchDecision is the decision count
+	// at which it happened.
+	GuidanceSwitched bool
+	SwitchDecision   int64
+
+	SolveTime time.Duration
+}
+
+// Add accumulates other into s (SolveTime sums; MaxLevel takes the max).
+func (s *Stats) Add(other Stats) {
+	s.Decisions += other.Decisions
+	s.Implications += other.Implications
+	s.Conflicts += other.Conflicts
+	s.Restarts += other.Restarts
+	s.Learned += other.Learned
+	s.LearnedLits += other.LearnedLits
+	s.Deleted += other.Deleted
+	if other.MaxLevel > s.MaxLevel {
+		s.MaxLevel = other.MaxLevel
+	}
+	s.GuidanceSwitched = s.GuidanceSwitched || other.GuidanceSwitched
+	s.SolveTime += other.SolveTime
+}
+
+// Result is the outcome of Solve: the status, the model when satisfiable,
+// and the search statistics.
+type Result struct {
+	Status Status
+	// Model is a total assignment satisfying the formula; only valid when
+	// Status == Sat. Variables not occurring in any clause default false.
+	Model lits.Assignment
+	Stats Stats
+}

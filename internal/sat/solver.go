@@ -1,0 +1,719 @@
+// Package sat implements a complete CDCL (conflict-driven clause learning)
+// satisfiability solver in the lineage of Chaff: two-watched-literal
+// propagation, first-UIP conflict analysis, Chaff's VSIDS decision heuristic
+// (per-literal decaying sum with periodic rescoring), learned-clause
+// database reduction, and restarts.
+//
+// Two hooks distinguish it from a plain solver and exist for the BMC
+// ordering-refinement layer built on top (internal/core):
+//
+//   - Options.Guidance supplies an external per-variable score consulted
+//     before cha_score when choosing decisions (the paper's bmc_score), with
+//     an optional decision-count switch back to pure VSIDS (the paper's
+//     dynamic strategy);
+//   - Options.Recorder receives, for every learned clause, the pseudo IDs of
+//     its resolution antecedents, enabling unsat-core extraction that
+//     survives learned-clause deletion (the paper's simplified CDG).
+//
+// The solver is deterministic: identical inputs and options produce
+// identical searches.
+package sat
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/lits"
+)
+
+// Solver holds the complete search state for one formula. A Solver is
+// single-use: build with New, call Solve once, then discard. (BMC in this
+// repo follows the paper in solving each unrolling from scratch; score
+// state that persists across instances lives in internal/core, not here.)
+type Solver struct {
+	opts  Options
+	nVars int
+
+	clauses []*clause // original clauses (tautologies excluded)
+	learnts []*clause
+
+	watches [][]watcher // indexed by lit.Index()
+
+	assigns  lits.Assignment
+	reason   []*clause // per var
+	level    []int32   // per var
+	trail    []lits.Lit
+	trailLim []int
+	qhead    int
+
+	chaScore     []float64 // per lit: Chaff decaying sum
+	newCount     []int32   // per lit: conflict-clause literal counts since last rescore
+	sinceRescore int
+
+	guid       []float64 // per var; nil when no guidance
+	guidActive bool
+
+	heap       *litHeap
+	savedPhase []int8 // per var: 0 unknown, +1 true, -1 false
+
+	seen    []bool // per var scratch for analyze
+	toClear []lits.Var
+
+	maxLearnts    float64
+	nextLearnedID ClauseID
+	recording     bool
+
+	status    Status
+	finalAnts []ClauseID
+
+	stats Stats
+
+	// restart bookkeeping
+	restartIdx    int
+	conflictsLeft int64
+}
+
+// New builds a solver for the formula with the given options. The formula
+// is copied into internal storage; it is not modified and may be reused.
+// Clause IDs reported to the proof recorder match indices into f.Clauses.
+func New(f *cnf.Formula, opts Options) *Solver {
+	opts = opts.withDefaults()
+	n := f.NumVars
+	s := &Solver{
+		opts:       opts,
+		nVars:      n,
+		watches:    make([][]watcher, 2*n+2),
+		assigns:    lits.NewAssignment(n),
+		reason:     make([]*clause, n+1),
+		level:      make([]int32, n+1),
+		chaScore:   make([]float64, 2*n+2),
+		newCount:   make([]int32, 2*n+2),
+		savedPhase: make([]int8, n+1),
+		seen:       make([]bool, n+1),
+		guid:       opts.Guidance,
+		guidActive: opts.Guidance != nil,
+		recording:  opts.Recorder != nil,
+		status:     Unknown,
+	}
+	s.heap = newLitHeap(s, n)
+
+	// cha_score initial value: the literal's occurrence count in the input
+	// formula (paper §3.3).
+	for _, c := range f.Clauses {
+		for _, l := range c {
+			s.chaScore[l.Index()]++
+		}
+	}
+
+	// Attach original clauses. IDs are formula indices. Tautologies can
+	// never be falsified, so they are skipped entirely (they cannot appear
+	// in any unsat core). Unit clauses are enqueued at level 0.
+	for i, raw := range f.Clauses {
+		id := ClauseID(i)
+		norm, taut := raw.Copy().Normalize()
+		if taut {
+			continue
+		}
+		c := &clause{id: id, lits: norm}
+		s.clauses = append(s.clauses, c)
+		switch len(norm) {
+		case 0:
+			// Empty clause: immediately unsatisfiable.
+			if s.status != Unsat {
+				s.status = Unsat
+				s.finalAnts = []ClauseID{id}
+			}
+		case 1:
+			l := norm[0]
+			switch s.assigns.LitValue(l) {
+			case lits.Undef:
+				s.uncheckedEnqueue(l, c)
+			case lits.False:
+				if s.status != Unsat {
+					s.status = Unsat
+					s.finalAnts = s.collectFinal(c)
+				}
+			}
+		default:
+			s.attach(c)
+		}
+	}
+
+	s.maxLearnts = float64(len(s.clauses)) * opts.MaxLearntFrac
+	if s.maxLearnts < 1000 {
+		s.maxLearnts = 1000
+	}
+	s.nextLearnedID = ClauseID(len(f.Clauses))
+	s.heap.fill(n)
+	return s
+}
+
+// NumVars returns the variable count of the underlying formula.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// Stats returns a snapshot of the current search statistics.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// attach registers the clause's first two literals in the watch lists.
+func (s *Solver) attach(c *clause) {
+	s.watches[c.lits[0].Neg().Index()] = append(s.watches[c.lits[0].Neg().Index()], watcher{c, c.lits[1]})
+	s.watches[c.lits[1].Neg().Index()] = append(s.watches[c.lits[1].Neg().Index()], watcher{c, c.lits[0]})
+}
+
+// detach removes the clause from both watch lists (used by reduceDB).
+func (s *Solver) detach(c *clause) {
+	for _, w := range []lits.Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[w.Index()]
+		for i := range ws {
+			if ws[i].c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[w.Index()] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// uncheckedEnqueue records the assignment making l true. from is the reason
+// clause (nil for decisions).
+func (s *Solver) uncheckedEnqueue(l lits.Lit, from *clause) {
+	v := l.Var()
+	s.assigns.SetLit(l)
+	s.reason[v] = from
+	s.level[v] = int32(s.decisionLevel())
+	s.trail = append(s.trail, l)
+	if from != nil {
+		s.stats.Implications++
+	}
+}
+
+// propagate runs Boolean constraint propagation until fixpoint; it returns
+// the first falsified clause, or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead] // p is true; scan clauses watching ¬p
+		s.qhead++
+		ws := s.watches[p.Index()] // watchers keyed by the literal that became true's... see attach: clause watching lit w is stored under w.Neg(); so the list for p holds clauses in which p's negation is watched
+		i, j := 0, 0
+		n := len(ws)
+	nextWatcher:
+		for i < n {
+			w := ws[i]
+			i++
+			if s.assigns.LitValue(w.blocker) == lits.True {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is at position 1.
+			falseLit := p.Neg()
+			if c.lits[0] == falseLit {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.assigns.LitValue(first) == lits.True {
+				ws[j] = watcher{c, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.assigns.LitValue(c.lits[k]) != lits.False {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Neg().Index()] = append(s.watches[c.lits[1].Neg().Index()], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// No new watch: clause is unit or falsified.
+			ws[j] = watcher{c, first}
+			j++
+			if s.assigns.LitValue(first) == lits.False {
+				// Conflict: copy back remaining watchers and report.
+				for i < n {
+					ws[j] = ws[i]
+					j++
+					i++
+				}
+				s.watches[p.Index()] = ws[:j]
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p.Index()] = ws[:j]
+	}
+	return nil
+}
+
+// newDecisionLevel opens a decision level.
+func (s *Solver) newDecisionLevel() {
+	s.trailLim = append(s.trailLim, len(s.trail))
+	if dl := s.decisionLevel(); dl > s.stats.MaxLevel {
+		s.stats.MaxLevel = dl
+	}
+}
+
+// cancelUntil backtracks to the given decision level, unassigning variables
+// and restoring them to the decision heap.
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		if l.Sign() {
+			s.savedPhase[v] = -1
+		} else {
+			s.savedPhase[v] = 1
+		}
+		s.assigns.Set(v, lits.Undef)
+		s.reason[v] = nil
+		s.heap.insert(lits.PosLit(v))
+		s.heap.insert(lits.NegLit(v))
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = len(s.trail)
+}
+
+// better is the decision comparator: guidance score first (while active),
+// then cha_score, then literal index. See litHeap.
+func (s *Solver) better(a, b lits.Lit) bool {
+	if s.guidActive {
+		ga, gb := s.guid[a.Var()], s.guid[b.Var()]
+		if ga != gb {
+			return ga > gb
+		}
+	}
+	ca, cb := s.chaScore[a.Index()], s.chaScore[b.Index()]
+	if ca != cb {
+		return ca > cb
+	}
+	return a < b
+}
+
+// pickBranch pops the best unassigned literal off the decision heap,
+// returning LitUndef when every variable is assigned.
+func (s *Solver) pickBranch() lits.Lit {
+	for !s.heap.empty() {
+		l := s.heap.popMax()
+		if s.assigns.Value(l.Var()) != lits.Undef {
+			continue
+		}
+		if s.opts.PhaseSaving {
+			switch s.savedPhase[l.Var()] {
+			case 1:
+				return lits.PosLit(l.Var())
+			case -1:
+				return lits.NegLit(l.Var())
+			}
+		}
+		return l
+	}
+	return lits.LitUndef
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause (asserting literal first), the backtrack level, and — when proof
+// recording is enabled — the antecedent clause IDs of the derivation.
+func (s *Solver) analyze(confl *clause) (learnt []lits.Lit, btLevel int, ants []ClauseID) {
+	learnt = append(learnt, lits.LitUndef) // slot for the asserting literal
+	pathC := 0
+	p := lits.LitUndef
+	idx := len(s.trail) - 1
+	c := confl
+
+	for {
+		if s.recording {
+			ants = append(ants, c.id)
+		}
+		c.act = s.stats.Conflicts
+		start := 0
+		if p != lits.LitUndef {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] {
+				continue
+			}
+			if s.level[v] > 0 {
+				s.seen[v] = true
+				s.toClear = append(s.toClear, v)
+				if int(s.level[v]) >= s.decisionLevel() {
+					pathC++
+				} else {
+					learnt = append(learnt, q)
+				}
+			} else if s.recording {
+				// Literals already false at level 0 are dropped from the
+				// learned clause; their implication chains are still part
+				// of the resolution proof.
+				s.recordLevel0Chain(v, &ants)
+			}
+		}
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		pathC--
+		if pathC == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learnt[0] = p.Neg()
+
+	if s.opts.MinimizeLearned {
+		learnt = s.minimize(learnt, &ants)
+	}
+
+	// Compute the backtrack level: the second-highest level in the clause,
+	// and move a literal of that level to position 1 for watching.
+	if len(learnt) == 1 {
+		btLevel = 0
+	} else {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.level[learnt[1].Var()])
+	}
+
+	// Chaff VSIDS: count the learned clause's literals toward the next
+	// rescore.
+	for _, l := range learnt {
+		s.newCount[l.Index()]++
+	}
+
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+	return learnt, btLevel, ants
+}
+
+// minimize removes self-subsumed literals from the learned clause: literal
+// l is redundant when its reason clause's remaining literals are all either
+// already in the clause or false at level 0. Reasons used this way extend
+// the antecedent set.
+func (s *Solver) minimize(learnt []lits.Lit, ants *[]ClauseID) []lits.Lit {
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		r := s.reason[l.Var()]
+		if r == nil {
+			out = append(out, l)
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits {
+			if q.Var() == l.Var() {
+				continue
+			}
+			if s.seen[q.Var()] {
+				continue
+			}
+			if s.level[q.Var()] == 0 && s.assigns.LitValue(q) == lits.False {
+				if s.recording {
+					s.recordLevel0Chain(q.Var(), ants)
+				}
+				continue
+			}
+			redundant = false
+			break
+		}
+		if redundant {
+			if s.recording {
+				*ants = append(*ants, r.id)
+			}
+		} else {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// recordLevel0Chain appends to ants the reason IDs of v's level-0
+// implication chain (transitively). It reuses the seen[] scratch (cleared
+// by the caller via toClear) to avoid recording a chain twice within one
+// derivation.
+func (s *Solver) recordLevel0Chain(v lits.Var, ants *[]ClauseID) {
+	stack := []lits.Var{v}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.seen[v] {
+			continue
+		}
+		s.seen[v] = true
+		s.toClear = append(s.toClear, v)
+		r := s.reason[v]
+		if r == nil {
+			continue
+		}
+		*ants = append(*ants, r.id)
+		for _, q := range r.lits {
+			if q.Var() != v && !s.seen[q.Var()] {
+				stack = append(stack, q.Var())
+			}
+		}
+	}
+}
+
+// collectFinal gathers the antecedents of a level-0 conflict on clause c:
+// c itself plus the implication chains of all its literals.
+func (s *Solver) collectFinal(c *clause) []ClauseID {
+	ants := []ClauseID{c.id}
+	for _, q := range c.lits {
+		s.recordLevel0Chain(q.Var(), &ants)
+	}
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+	return ants
+}
+
+// addLearned installs the learned clause, notifies the recorder, and
+// enqueues the asserting literal.
+func (s *Solver) addLearned(learnt []lits.Lit, ants []ClauseID) {
+	c := &clause{id: s.nextLearnedID, learnt: true, act: s.stats.Conflicts, lits: learnt}
+	s.nextLearnedID++
+	s.stats.Learned++
+	s.stats.LearnedLits += int64(len(learnt))
+	if s.recording {
+		if lr, ok := s.opts.Recorder.(LearnedClauseRecorder); ok {
+			lr.RecordLearnedClause(c.id, learnt, ants)
+		} else {
+			s.opts.Recorder.RecordLearned(c.id, ants)
+		}
+	}
+	s.learnts = append(s.learnts, c)
+	if len(learnt) >= 2 {
+		s.attach(c)
+	}
+	s.uncheckedEnqueue(learnt[0], c)
+}
+
+// rescore applies Chaff's periodic VSIDS update
+// (cha_score = cha_score/2 + new_lit_counts) and rebuilds the heap.
+func (s *Solver) rescore() {
+	for i := range s.chaScore {
+		s.chaScore[i] = s.chaScore[i]/2 + float64(s.newCount[i])
+		s.newCount[i] = 0
+	}
+	s.heap.rebuild()
+}
+
+// locked reports whether c is the reason of its first literal's assignment
+// (such clauses must not be deleted).
+func (s *Solver) locked(c *clause) bool {
+	return len(c.lits) > 0 &&
+		s.assigns.LitValue(c.lits[0]) == lits.True &&
+		s.reason[c.lits[0].Var()] == c
+}
+
+// reduceDB deletes roughly half of the learned clauses, preferring the
+// stalest (by last-use conflict stamp) and sparing binary, unit, and locked
+// clauses. The proof recorder's dependency records are untouched — that is
+// the point of the pseudo-ID CDG.
+func (s *Solver) reduceDB() {
+	if len(s.learnts) == 0 {
+		return
+	}
+	// Median act via copy-and-sort would allocate; a simple nth-element
+	// over stamps is overkill here — sort a stamp slice.
+	stamps := make([]int64, 0, len(s.learnts))
+	for _, c := range s.learnts {
+		stamps = append(stamps, c.act)
+	}
+	// insertion-free median: sort
+	sortInt64(stamps)
+	median := stamps[len(stamps)/2]
+
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if len(c.lits) <= 2 || s.locked(c) || c.act > median {
+			kept = append(kept, c)
+			continue
+		}
+		s.detach(c)
+		s.stats.Deleted++
+	}
+	s.learnts = kept
+	s.maxLearnts *= s.opts.MaxLearntInc
+}
+
+// restartLimit returns the conflict budget of restart interval i.
+func (s *Solver) restartLimit(i int) int64 {
+	if s.opts.LubyRestarts {
+		return int64(s.opts.RestartFirst) * luby(i)
+	}
+	lim := float64(s.opts.RestartFirst)
+	for k := 0; k < i; k++ {
+		lim *= s.opts.RestartInc
+	}
+	return int64(lim)
+}
+
+// luby returns the i-th element (0-based) of the Luby sequence
+// 1,1,2,1,1,2,4,1,1,2,1,1,2,4,8,...
+func luby(i int) int64 {
+	// Find the finite subsequence containing index i.
+	size, seq := int64(1), 0
+	for size < int64(i)+1 {
+		seq++
+		size = 2*size + 1
+	}
+	x := int64(i)
+	for size-1 != x {
+		size = (size - 1) / 2
+		seq--
+		x %= size
+	}
+	return int64(1) << seq
+}
+
+// Solve runs the CDCL search to completion or budget exhaustion.
+func (s *Solver) Solve() Result {
+	start := time.Now()
+	res := s.solve()
+	res.Stats.SolveTime = time.Since(start)
+	s.stats = res.Stats
+	return res
+}
+
+func (s *Solver) solve() Result {
+	if s.status == Unsat {
+		if s.recording {
+			s.opts.Recorder.RecordFinal(s.finalAnts)
+		}
+		return Result{Status: Unsat, Stats: s.stats}
+	}
+
+	s.conflictsLeft = s.restartLimit(s.restartIdx)
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			s.sinceRescore++
+			s.conflictsLeft--
+			if s.decisionLevel() == 0 {
+				if s.recording {
+					s.opts.Recorder.RecordFinal(s.collectFinal(confl))
+				}
+				s.status = Unsat
+				return Result{Status: Unsat, Stats: s.stats}
+			}
+			learnt, btLevel, ants := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			s.addLearned(learnt, ants)
+
+			if s.sinceRescore >= s.opts.RescoreInterval {
+				s.sinceRescore = 0
+				s.rescore()
+			}
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
+				return Result{Status: Unknown, Stats: s.stats}
+			}
+			if !s.opts.Deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(s.opts.Deadline) {
+				return Result{Status: Unknown, Stats: s.stats}
+			}
+			continue
+		}
+
+		// No conflict: consider restarting, reducing the database, then
+		// branch.
+		if !s.opts.NoRestarts && s.conflictsLeft <= 0 {
+			s.restartIdx++
+			s.conflictsLeft = s.restartLimit(s.restartIdx)
+			s.stats.Restarts++
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(len(s.learnts)) >= s.maxLearnts {
+			s.reduceDB()
+		}
+
+		// Dynamic guidance switch (paper §3.3): once the decision count
+		// exceeds the threshold, fall back to pure VSIDS for good.
+		if s.guidActive && s.opts.SwitchAfterDecisions > 0 &&
+			s.stats.Decisions > s.opts.SwitchAfterDecisions {
+			s.guidActive = false
+			s.stats.GuidanceSwitched = true
+			s.stats.SwitchDecision = s.stats.Decisions
+			s.heap.rebuild()
+		}
+
+		l := s.pickBranch()
+		if l == lits.LitUndef {
+			model := s.assigns.Copy()
+			for v := lits.Var(1); int(v) <= s.nVars; v++ {
+				if model.Value(v) == lits.Undef {
+					model.Set(v, lits.False)
+				}
+			}
+			s.status = Sat
+			return Result{Status: Sat, Model: model, Stats: s.stats}
+		}
+		s.stats.Decisions++
+		if s.opts.MaxDecisions > 0 && s.stats.Decisions > s.opts.MaxDecisions {
+			return Result{Status: Unknown, Stats: s.stats}
+		}
+		s.newDecisionLevel()
+		s.uncheckedEnqueue(l, nil)
+	}
+}
+
+// sortInt64 sorts in place (insertion sort for small, else quicksort via
+// recursion); kept dependency-free and deterministic.
+func sortInt64(a []int64) {
+	if len(a) < 24 {
+		for i := 1; i < len(a); i++ {
+			for j := i; j > 0 && a[j] < a[j-1]; j-- {
+				a[j], a[j-1] = a[j-1], a[j]
+			}
+		}
+		return
+	}
+	pivot := a[len(a)/2]
+	left, right := 0, len(a)-1
+	for left <= right {
+		for a[left] < pivot {
+			left++
+		}
+		for a[right] > pivot {
+			right--
+		}
+		if left <= right {
+			a[left], a[right] = a[right], a[left]
+			left++
+			right--
+		}
+	}
+	sortInt64(a[:right+1])
+	sortInt64(a[left:])
+}
+
+// VerifyModel checks that the model satisfies the formula; it is a test and
+// debugging aid.
+func VerifyModel(f *cnf.Formula, model lits.Assignment) error {
+	for i, c := range f.Clauses {
+		if c.Value(model) != lits.True {
+			return fmt.Errorf("sat: clause %d %v not satisfied", i, c)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,284 @@
+package sat
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cnf"
+	"repro/internal/lits"
+)
+
+// rng is a small deterministic generator (xorshift64*) so property tests
+// are reproducible without package math/rand.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	*r = rng(x)
+	return x * 0x2545F4914F6CDD1D
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// randomFormula builds a k-SAT-style formula with nVars variables and
+// nClauses clauses of lengths 1..maxLen.
+func randomFormula(seed uint64, nVars, nClauses, maxLen int) *cnf.Formula {
+	r := rng(seed | 1)
+	f := cnf.New(nVars)
+	for i := 0; i < nClauses; i++ {
+		n := 1 + r.intn(maxLen)
+		c := make(cnf.Clause, 0, n)
+		for j := 0; j < n; j++ {
+			v := lits.Var(1 + r.intn(nVars))
+			c = append(c, lits.MkLit(v, r.next()&1 == 0))
+		}
+		f.AddClause(c)
+	}
+	return f
+}
+
+// bruteStatus decides satisfiability by enumeration (nVars <= 20).
+func bruteStatus(f *cnf.Formula) Status {
+	n := f.NumVars
+	assign := lits.NewAssignment(n)
+	for mask := 0; mask < 1<<uint(n); mask++ {
+		for v := 1; v <= n; v++ {
+			if mask&(1<<uint(v-1)) != 0 {
+				assign.Set(lits.Var(v), lits.True)
+			} else {
+				assign.Set(lits.Var(v), lits.False)
+			}
+		}
+		if f.Satisfied(assign) {
+			return Sat
+		}
+	}
+	return Unsat
+}
+
+// optionMatrix enumerates solver configurations that must all be correct.
+func optionMatrix() []Options {
+	base := Defaults()
+	noRestarts := base
+	noRestarts.NoRestarts = true
+	geometric := base
+	geometric.LubyRestarts = false
+	noMin := base
+	noMin.MinimizeLearned = false
+	phase := base
+	phase.PhaseSaving = true
+	tinyDB := base
+	tinyDB.MaxLearntFrac = 0.01
+	fastRescore := base
+	fastRescore.RescoreInterval = 16
+	return []Options{base, noRestarts, geometric, noMin, phase, tinyDB, fastRescore}
+}
+
+// TestPropertySolverMatchesBruteForce cross-checks the solver against
+// enumeration on hundreds of small random formulas, across the whole
+// option matrix, with models verified on SAT.
+func TestPropertySolverMatchesBruteForce(t *testing.T) {
+	opts := optionMatrix()
+	for seed := uint64(1); seed <= 120; seed++ {
+		nVars := 3 + int(seed%8)
+		nClauses := 4 + int(3*seed%28)
+		f := randomFormula(seed*0x9E3779B97F4A7C15, nVars, nClauses, 4)
+		want := bruteStatus(f)
+		o := opts[int(seed)%len(opts)]
+		res := New(f, o).Solve()
+		if res.Status != want {
+			t.Fatalf("seed %d (opts %d): got %v, want %v\n%s", seed, int(seed)%len(opts), res.Status, want, f)
+		}
+		if res.Status == Sat {
+			if err := VerifyModel(f, res.Model); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}
+
+// TestPropertyOptionAgreement: every configuration must agree on the
+// status of the same formula (they may differ in search, never in answer).
+func TestPropertyOptionAgreement(t *testing.T) {
+	opts := optionMatrix()
+	for seed := uint64(200); seed < 240; seed++ {
+		f := randomFormula(seed*0xBF58476D1CE4E5B9, 12, 60, 3)
+		var first Status
+		for i, o := range opts {
+			res := New(f, o).Solve()
+			if i == 0 {
+				first = res.Status
+				continue
+			}
+			if res.Status != first {
+				t.Fatalf("seed %d: options %d disagree (%v vs %v)", seed, i, res.Status, first)
+			}
+		}
+	}
+}
+
+// TestPropertyGuidanceNeverChangesStatus: an arbitrary guidance vector may
+// reshape the search tree but must never change satisfiability.
+func TestPropertyGuidanceNeverChangesStatus(t *testing.T) {
+	check := func(seed uint64) bool {
+		f := randomFormula(seed|1, 10, 45, 3)
+		plain := New(f, Defaults()).Solve()
+
+		r := rng(seed*31 + 7)
+		guid := make([]float64, f.NumVars+1)
+		for i := range guid {
+			guid[i] = float64(r.intn(100))
+		}
+		o := Defaults()
+		o.Guidance = guid
+		guided := New(f, o).Solve()
+		return plain.Status == guided.Status
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertySwitchThresholdNeverChangesStatus: the dynamic fallback is a
+// pure heuristic switch; correctness is independent of when it fires.
+func TestPropertySwitchThresholdNeverChangesStatus(t *testing.T) {
+	for seed := uint64(300); seed < 330; seed++ {
+		f := randomFormula(seed*0x94D049BB133111EB, 10, 50, 3)
+		want := New(f, Defaults()).Solve().Status
+		for _, threshold := range []int64{1, 5, 1 << 30} {
+			o := Defaults()
+			guid := make([]float64, f.NumVars+1)
+			for i := range guid {
+				guid[i] = float64(i % 7)
+			}
+			o.Guidance = guid
+			o.SwitchAfterDecisions = threshold
+			res := New(f, o).Solve()
+			if res.Status != want {
+				t.Fatalf("seed %d threshold %d: %v != %v", seed, threshold, res.Status, want)
+			}
+		}
+	}
+}
+
+// TestPropertyUnitImpliedFormulaEquisat: appending the unit clauses of a
+// model to a satisfiable formula keeps it satisfiable; appending a
+// contradictory pair makes it unsatisfiable.
+func TestPropertyUnitImpliedFormulaEquisat(t *testing.T) {
+	for seed := uint64(400); seed < 430; seed++ {
+		f := randomFormula(seed*0xD6E8FEB86659FD93, 9, 30, 3)
+		res := New(f, Defaults()).Solve()
+		if res.Status != Sat {
+			continue
+		}
+		g := f.Copy()
+		for v := lits.Var(1); int(v) <= f.NumVars; v++ {
+			g.AddUnit(lits.MkLit(v, res.Model.Value(v) == lits.False))
+		}
+		if r2 := New(g, Defaults()).Solve(); r2.Status != Sat {
+			t.Fatalf("seed %d: formula plus its own model became %v", seed, r2.Status)
+		}
+		g.Add(1)
+		g.Add(-1)
+		if r3 := New(g, Defaults()).Solve(); r3.Status != Unsat {
+			t.Fatalf("seed %d: contradictory units still %v", seed, r3.Status)
+		}
+	}
+}
+
+// TestPropertyStatsSane: counters must be non-negative and mutually
+// consistent on random runs.
+func TestPropertyStatsSane(t *testing.T) {
+	for seed := uint64(500); seed < 540; seed++ {
+		f := randomFormula(seed*0xA0761D6478BD642F, 11, 52, 3)
+		res := New(f, Defaults()).Solve()
+		s := res.Stats
+		if s.Decisions < 0 || s.Implications < 0 || s.Conflicts < 0 || s.Learned < 0 {
+			t.Fatalf("seed %d: negative counters %+v", seed, s)
+		}
+		if s.Learned > s.Conflicts {
+			t.Fatalf("seed %d: learned %d > conflicts %d", seed, s.Learned, s.Conflicts)
+		}
+		if s.Deleted > s.Learned {
+			t.Fatalf("seed %d: deleted %d > learned %d", seed, s.Deleted, s.Learned)
+		}
+		if s.LearnedLits < s.Learned { // every learned clause has >= 1 literal
+			t.Fatalf("seed %d: learnedLits %d < learned %d", seed, s.LearnedLits, s.Learned)
+		}
+	}
+}
+
+// TestPropertyDeterministicAcrossRuns: identical input and options produce
+// identical statistics (the repo's reproducibility guarantee).
+func TestPropertyDeterministicAcrossRuns(t *testing.T) {
+	for seed := uint64(600); seed < 620; seed++ {
+		f := randomFormula(seed*0xE7037ED1A0B428DB, 12, 55, 3)
+		a := New(f, Defaults()).Solve()
+		b := New(f, Defaults()).Solve()
+		if a.Status != b.Status || a.Stats.Decisions != b.Stats.Decisions ||
+			a.Stats.Conflicts != b.Stats.Conflicts || a.Stats.Implications != b.Stats.Implications {
+			t.Fatalf("seed %d: nondeterministic (%+v vs %+v)", seed, a.Stats, b.Stats)
+		}
+	}
+}
+
+// TestPropertyXorChainUnsat exercises long implication chains: encode
+// x1 ⊕ x2 ⊕ ... ⊕ xn = 1 together with all xi = 0; must be UNSAT and the
+// empty-ish search must stay conflict-light under guidance.
+func TestPropertyXorChainUnsat(t *testing.T) {
+	for n := 3; n <= 12; n++ {
+		f := cnf.New(2 * n)
+		// t_i = t_{i-1} xor x_i, t_0 = 0 encoded by t-var indices n+1..2n.
+		// Final t_n must be true while all x_i are false.
+		tVar := func(i int) int { return n + i }
+		for i := 1; i <= n; i++ {
+			xi, ti := i, tVar(i)
+			if i == 1 {
+				// t_1 = x_1
+				f.Add(-ti, xi)
+				f.Add(ti, -xi)
+				continue
+			}
+			tp := tVar(i - 1)
+			// ti = tp xor xi (4 clauses)
+			f.Add(-ti, tp, xi)
+			f.Add(-ti, -tp, -xi)
+			f.Add(ti, -tp, xi)
+			f.Add(ti, tp, -xi)
+		}
+		f.Add(tVar(n))
+		for i := 1; i <= n; i++ {
+			f.Add(-i)
+		}
+		res := New(f, Defaults()).Solve()
+		if res.Status != Unsat {
+			t.Fatalf("n=%d: xor chain with zero inputs must be UNSAT, got %v", n, res.Status)
+		}
+		if res.Stats.Decisions != 0 {
+			t.Fatalf("n=%d: refutation should be pure BCP, used %d decisions", n, res.Stats.Decisions)
+		}
+	}
+}
+
+// TestPropertyMaxConflictsMonotone: a run given a larger conflict budget
+// never goes from an answer back to Unknown.
+func TestPropertyMaxConflictsMonotone(t *testing.T) {
+	for seed := uint64(700); seed < 715; seed++ {
+		f := randomFormula(seed*0x8EBC6AF09C88C6E3, 13, 62, 3)
+		small := Defaults()
+		small.MaxConflicts = 2
+		big := Defaults()
+		big.MaxConflicts = 1 << 40
+		rs := New(f, small).Solve()
+		rb := New(f, big).Solve()
+		if rs.Status != Unknown && rs.Status != rb.Status {
+			t.Fatalf("seed %d: budgeted answer %v contradicts full answer %v", seed, rs.Status, rb.Status)
+		}
+		if rb.Status == Unknown {
+			t.Fatalf("seed %d: full budget returned Unknown", seed)
+		}
+	}
+}

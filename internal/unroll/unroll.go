@@ -1,0 +1,191 @@
+// Package unroll performs the time-frame expansion at the heart of BMC:
+// it translates a sequential circuit and an invariant property into the
+// CNF formula of the paper's Eq. 1,
+//
+//	I(V⁰) ∧ ⋀_{1≤i≤k} T(Vⁱ⁻¹, Wⁱ, Vⁱ) ∧ ¬P(Vᵏ),
+//
+// satisfiable exactly when a counter-example of length k exists.
+//
+// Variable numbering is frame-stable: node n in frame f maps to CNF
+// variable 1 + f·stride + (n−1) regardless of the unrolling depth, so the
+// length-k instance shares every variable of the length-(k−1) instance.
+// This stability is what lets unsat-core scores learned at depth j transfer
+// verbatim to depth j+1 — the identification of variables across instances
+// that the paper's bmc_score relies on.
+package unroll
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/lits"
+)
+
+// Unroller builds BMC instances of increasing depth for one circuit and
+// one property.
+type Unroller struct {
+	c       *circuit.Circuit
+	propIdx int
+	stride  int // CNF variables per frame: every node except the constant
+}
+
+// New creates an unroller for property propIdx of circuit c. The circuit
+// must validate (all latches driven, property present).
+func New(c *circuit.Circuit, propIdx int) (*Unroller, error) {
+	if err := c.Validate(true); err != nil {
+		return nil, err
+	}
+	if propIdx < 0 || propIdx >= len(c.Properties()) {
+		return nil, fmt.Errorf("unroll: property index %d out of range (%d properties)", propIdx, len(c.Properties()))
+	}
+	return &Unroller{c: c, propIdx: propIdx, stride: c.NumNodes() - 1}, nil
+}
+
+// Circuit returns the underlying circuit.
+func (u *Unroller) Circuit() *circuit.Circuit { return u.c }
+
+// Stride returns the number of CNF variables per time frame.
+func (u *Unroller) Stride() int { return u.stride }
+
+// NumVars returns the variable count of the length-k instance.
+func (u *Unroller) NumVars(k int) int { return u.stride * (k + 1) }
+
+// VarFor returns the CNF variable of node n in frame f. The constant node
+// has no variable.
+func (u *Unroller) VarFor(n circuit.NodeID, frame int) lits.Var {
+	if n == circuit.ConstNode {
+		panic("unroll: the constant node has no CNF variable")
+	}
+	return lits.Var(1 + frame*u.stride + int(n) - 1)
+}
+
+// NodeOf inverts VarFor: it returns the circuit node and frame of CNF
+// variable v.
+func (u *Unroller) NodeOf(v lits.Var) (circuit.NodeID, int) {
+	idx := int(v) - 1
+	return circuit.NodeID(idx%u.stride + 1), idx / u.stride
+}
+
+// LitFor returns the CNF literal of signal s in frame f; it panics on
+// constant signals (callers must fold those).
+func (u *Unroller) LitFor(s circuit.Signal, frame int) lits.Lit {
+	return lits.MkLit(u.VarFor(s.Node(), frame), s.IsNeg())
+}
+
+// Formula builds the length-k BMC instance (gen_cnf_formula in the paper's
+// Fig. 5). The formula asserts that the property's bad signal holds in
+// frame k, so SAT means a counter-example of length k exists.
+func (u *Unroller) Formula(k int) *cnf.Formula {
+	if k < 0 {
+		panic(fmt.Sprintf("unroll: negative depth %d", k))
+	}
+	c := u.c
+	f := cnf.New(u.NumVars(k))
+
+	// I(V⁰): initial latch values.
+	for _, id := range c.Latches() {
+		v := u.VarFor(id, 0)
+		f.AddUnit(lits.MkLit(v, !c.LatchInit(id).IsTrue()))
+	}
+
+	// Gate relations in every frame (the combinational part of T, plus
+	// the property cone).
+	for frame := 0; frame <= k; frame++ {
+		for n := circuit.NodeID(1); int(n) < c.NumNodes(); n++ {
+			if c.Kind(n) != circuit.KindAnd {
+				continue
+			}
+			f0, f1 := c.Fanins(n)
+			out := lits.PosLit(u.VarFor(n, frame))
+			f.AddAnd2(out, u.LitFor(f0, frame), u.LitFor(f1, frame))
+		}
+	}
+
+	// Latch transitions between consecutive frames.
+	for frame := 0; frame < k; frame++ {
+		for _, id := range c.Latches() {
+			next := c.LatchNext(id)
+			lhs := lits.PosLit(u.VarFor(id, frame+1))
+			switch next {
+			case circuit.True:
+				f.AddUnit(lhs)
+			case circuit.False:
+				f.AddUnit(lhs.Neg())
+			default:
+				f.AddEq(lhs, u.LitFor(next, frame))
+			}
+		}
+	}
+
+	// ¬P(Vᵏ): the bad signal asserted in the final frame.
+	bad := c.Properties()[u.propIdx].Bad
+	switch bad {
+	case circuit.True:
+		// Property is constantly violated: every execution is a witness.
+	case circuit.False:
+		// Property can never be violated: instance is trivially unsat.
+		f.AddClause(cnf.Clause{})
+	default:
+		f.AddUnit(u.LitFor(bad, k))
+	}
+	return f
+}
+
+// Trace is a decoded counter-example: per-frame primary-input values and
+// latch states, for frames 0..Depth.
+type Trace struct {
+	Depth  int
+	Inputs [][]bool // [frame][input position]
+	States [][]bool // [frame][latch position]
+}
+
+// ExtractTrace decodes a satisfying model of the length-k instance into a
+// concrete input sequence and state trajectory.
+func (u *Unroller) ExtractTrace(model lits.Assignment, k int) *Trace {
+	c := u.c
+	tr := &Trace{Depth: k}
+	for frame := 0; frame <= k; frame++ {
+		in := make([]bool, c.NumInputs())
+		for i, id := range c.Inputs() {
+			in[i] = model.Value(u.VarFor(id, frame)).IsTrue()
+		}
+		st := make([]bool, c.NumLatches())
+		for i, id := range c.Latches() {
+			st[i] = model.Value(u.VarFor(id, frame)).IsTrue()
+		}
+		tr.Inputs = append(tr.Inputs, in)
+		tr.States = append(tr.States, st)
+	}
+	return tr
+}
+
+// Replay simulates the trace's inputs from the initial state and reports
+// whether the property's bad signal is asserted in the final frame — the
+// integrity check that a SAT answer is a genuine counter-example.
+func (u *Unroller) Replay(tr *Trace) bool {
+	bads := u.c.Simulate(tr.Inputs, u.propIdx)
+	return len(bads) > 0 && bads[len(bads)-1]
+}
+
+// AbstractModel maps unsat-core variables back to distinct circuit nodes
+// (the paper's Fig. 3: the sub-circuit "responsible" for unsatisfiability,
+// collapsed across time frames). The result is sorted by node ID.
+func (u *Unroller) AbstractModel(coreVars []lits.Var) []circuit.NodeID {
+	seen := make(map[circuit.NodeID]bool)
+	var out []circuit.NodeID
+	for _, v := range coreVars {
+		n, _ := u.NodeOf(v)
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	// insertion sort — node sets are small relative to circuits
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
