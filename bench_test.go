@@ -12,6 +12,7 @@
 //	BenchmarkScoreAblation   — §3.2 score-rule ablation
 //	BenchmarkSwitchThreshold — §3.3 switch-divisor sweep
 //	BenchmarkTimeAxis        — related-work time-axis comparison
+//	BenchmarkPortfolio       — concurrent portfolio vs single orderings
 //
 // Per-configuration solver micro-benchmarks live in internal/sat.
 package repro
@@ -142,6 +143,35 @@ func BenchmarkTimeAxis(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.RunTimeAxis(cfg); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPortfolio runs the portfolio ablation (concurrent race of all
+// orderings vs each ordering alone) and reports the headline ratios. On
+// multi-core hardware speedup_vs_worst_x is >= 1 by construction (the
+// race ends at the first verdict); on a single core the racers are
+// time-sliced, so the portfolio only beats the worst ordering where the
+// spread between strategies exceeds the portfolio width — the hard rows'
+// regime, not every ablation model's.
+func BenchmarkPortfolio(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.AblationModels()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPortfolioAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Disagreements > 0 {
+			b.Fatalf("%d verdict disagreements", res.Disagreements)
+		}
+		if i == b.N-1 {
+			report(b, "portfolio_s", res.TotalPortfolio.Seconds())
+			report(b, "best_single_s", res.TotalBest.Seconds())
+			report(b, "worst_single_s", res.TotalWorst.Seconds())
+			if res.TotalPortfolio > 0 {
+				report(b, "speedup_vs_worst_x", float64(res.TotalWorst)/float64(res.TotalPortfolio))
+			}
 		}
 	}
 }

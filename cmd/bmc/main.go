@@ -2,11 +2,14 @@
 // on an AIGER (.aag) circuit with a selectable decision ordering:
 //
 //	bmc -order=dynamic -depth=20 design.aag
+//	bmc -order=portfolio -jobs=4 -depth=20 design.aag
 //	bmc -engine=kind -depth=16 design.aag
 //
 // Orders: vsids (plain Chaff baseline), static, dynamic (the paper's two
 // refined configurations), timeaxis (Shtrichman-style comparator; BMC
-// engine only).
+// engine only), and portfolio — race several orderings concurrently per
+// depth, keep the first verdict, and cancel the losers (-jobs bounds the
+// concurrent solvers, -strategies picks the raced set).
 //
 // The exit code is 0 when the property holds up to the bound (or is proved
 // by induction), 1 when a counter-example is found, and 2 on errors or
@@ -23,8 +26,25 @@ import (
 	"repro/internal/bmc"
 	"repro/internal/core"
 	"repro/internal/induction"
+	"repro/internal/portfolio"
 	"repro/internal/sat"
+	"repro/internal/unroll"
 )
+
+// printWitness dumps the per-frame input vectors of a counter-example.
+func printWitness(tr *unroll.Trace) {
+	for f, in := range tr.Inputs {
+		fmt.Printf("  frame %2d inputs:", f)
+		for _, b := range in {
+			if b {
+				fmt.Print(" 1")
+			} else {
+				fmt.Print(" 0")
+			}
+		}
+		fmt.Println()
+	}
+}
 
 func main() {
 	os.Exit(run())
@@ -33,7 +53,9 @@ func main() {
 func run() int {
 	var (
 		engine    = flag.String("engine", "bmc", "verification engine: bmc|kind (k-induction)")
-		order     = flag.String("order", "dynamic", "decision ordering: vsids|static|dynamic|timeaxis")
+		order     = flag.String("order", "dynamic", "decision ordering: vsids|static|dynamic|timeaxis|portfolio")
+		jobs      = flag.Int("jobs", 0, "portfolio: max concurrent solvers per depth (0 = one per strategy)")
+		strats    = flag.String("strategies", "", "portfolio: comma-separated strategy set (default vsids,static,dynamic,timeaxis)")
 		depth     = flag.Int("depth", 20, "maximum unrolling depth (inclusive)")
 		prop      = flag.Int("prop", 0, "property (output) index to check")
 		conflicts = flag.Int64("conflicts", 0, "per-instance conflict budget (0 = unlimited)")
@@ -72,10 +94,8 @@ func run() int {
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
 	}
-	switch *order {
-	case "timeaxis":
-		opts.Strategy = bmc.TimeAxis
-	default:
+	isPortfolio := *order == "portfolio"
+	if !isPortfolio {
 		st, ok := core.ParseStrategy(*order)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "bmc: unknown order %q\n", *order)
@@ -98,7 +118,7 @@ func run() int {
 	}
 
 	if *engine == "kind" {
-		if opts.Strategy == bmc.TimeAxis {
+		if isPortfolio || opts.Strategy == bmc.TimeAxis {
 			fmt.Fprintln(os.Stderr, "bmc: the k-induction engine supports vsids|static|dynamic orders only")
 			return 2
 		}
@@ -126,6 +146,44 @@ func run() int {
 		}
 	}
 
+	if isPortfolio {
+		set, err := portfolio.ParseSet(*strats)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bmc:", err)
+			return 2
+		}
+		pres, err := bmc.RunPortfolio(circ, *prop, bmc.PortfolioOptions{
+			Options:    opts,
+			Strategies: set,
+			Jobs:       *jobs,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bmc:", err)
+			return 2
+		}
+		if *verbose {
+			pres.Telemetry.WriteDepths(os.Stdout)
+		}
+		pres.Telemetry.WriteSummary(os.Stdout)
+		fmt.Printf("verdict: %s (depth %d) in %s — %d decisions, %d implications, %d conflicts (winners only)\n",
+			pres.Verdict, pres.Depth, pres.TotalTime.Round(time.Millisecond),
+			pres.Total.Decisions, pres.Total.Implications, pres.Total.Conflicts)
+		switch pres.Verdict {
+		case bmc.Falsified:
+			fmt.Printf("counter-example of length %d found\n", pres.Depth)
+			if *witness && pres.Trace != nil {
+				printWitness(pres.Trace)
+			}
+			return 1
+		case bmc.Holds:
+			fmt.Printf("no counter-example up to depth %d\n", pres.Depth)
+			return 0
+		default:
+			fmt.Println("budget exhausted before a verdict")
+			return 2
+		}
+	}
+
 	res, err := bmc.Run(circ, *prop, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bmc:", err)
@@ -149,17 +207,7 @@ func run() int {
 	case bmc.Falsified:
 		fmt.Printf("counter-example of length %d found\n", res.Depth)
 		if *witness && res.Trace != nil {
-			for f, in := range res.Trace.Inputs {
-				fmt.Printf("  frame %2d inputs:", f)
-				for _, b := range in {
-					if b {
-						fmt.Print(" 1")
-					} else {
-						fmt.Print(" 0")
-					}
-				}
-				fmt.Println()
-			}
+			printWitness(res.Trace)
 		}
 		return 1
 	case bmc.Holds:

@@ -32,7 +32,7 @@ func main() {
 
 func run() int {
 	var (
-		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|all")
+		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|all")
 		budget = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
 		quick  = flag.Bool("quick", false, "cap depths for a fast smoke run")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the text table")
@@ -134,6 +134,14 @@ func run() int {
 		res.Write(os.Stdout)
 		return nil
 	}
+	runPortfolio := func() error {
+		res, err := experiments.RunPortfolioAblation(ablationCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
 
 	var err error
 	switch *exp {
@@ -153,8 +161,10 @@ func run() int {
 		err = runTimeAxis()
 	case "cdgmemory":
 		err = runCDGMemory()
+	case "portfolio":
+		err = runPortfolio()
 	case "all":
-		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis} {
+		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio} {
 			if err = step(); err != nil {
 				break
 			}

@@ -1,0 +1,22 @@
+// Package repro reproduces "Refining the SAT decision ordering for bounded
+// model checking" (DAC 2004) and grows it into a concurrent verification
+// engine.
+//
+// Layout:
+//
+//	internal/sat         CDCL solver (Chaff lineage) with proof recording,
+//	                     guidance scores, and cooperative cancellation
+//	internal/core        simplified CDG, unsat cores, bmc_score board,
+//	                     ordering strategies (§3.1-§3.3)
+//	internal/bmc         the refine_order_bmc loop (Fig. 5) and the
+//	                     concurrent portfolio variant RunPortfolio
+//	internal/portfolio   strategy-racing engine: cancellable solver race,
+//	                     worker pool, win/loss telemetry
+//	internal/experiments paper tables/figures plus ablations (incl. the
+//	                     portfolio vs best-single-order comparison)
+//	internal/bench       the 37-model synthetic evaluation suite
+//	cmd/bmc              CLI front end (-order=vsids|static|dynamic|
+//	                     timeaxis|portfolio)
+//
+// The root package holds the paper-artifact benchmarks (bench_test.go).
+package repro

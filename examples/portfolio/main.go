@@ -1,0 +1,71 @@
+// Portfolio: race all four decision orderings concurrently on a hard
+// model, then run each ordering alone, and print the comparison — the
+// min-of-strategies latency the portfolio buys, which ordering won each
+// depth, and how much work the cancelled racers burned.
+//
+//	go run ./examples/portfolio
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+)
+
+const model = "mix_w5"
+
+func main() {
+	m, ok := bench.ByName(model)
+	if !ok {
+		log.Fatalf("suite model %s missing", model)
+	}
+	depth := 7
+	deadline := 60 * time.Second
+
+	fmt.Printf("racing %s on %s up to depth %d\n\n",
+		portfolio.DefaultSet(), model, depth)
+	pres, err := bmc.RunPortfolio(m.Build(), 0, bmc.PortfolioOptions{
+		Options: bmc.Options{
+			MaxDepth: depth,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(deadline),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pres.Telemetry.WriteDepths(os.Stdout)
+	fmt.Println()
+	pres.Telemetry.WriteSummary(os.Stdout)
+	fmt.Printf("\nportfolio: %-8v in %v\n", pres.Verdict, pres.TotalTime.Round(time.Millisecond))
+
+	fmt.Println("\nsingle-ordering runs for comparison:")
+	slowest := time.Duration(0)
+	for _, st := range portfolio.DefaultSet() {
+		res, err := bmc.Run(m.Build(), 0, bmc.Options{
+			MaxDepth: depth,
+			Strategy: st,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(deadline),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Verdict != pres.Verdict {
+			log.Fatalf("%s verdict %v disagrees with portfolio %v", st, res.Verdict, pres.Verdict)
+		}
+		if res.TotalTime > slowest {
+			slowest = res.TotalTime
+		}
+		fmt.Printf("  %-9s %-8v in %v\n", st, res.Verdict, res.TotalTime.Round(time.Millisecond))
+	}
+	fmt.Printf("\nportfolio vs slowest single ordering: %v vs %v (%.1fx)\n",
+		pres.TotalTime.Round(time.Millisecond), slowest.Round(time.Millisecond),
+		float64(slowest)/float64(pres.TotalTime))
+}

@@ -28,9 +28,9 @@ import (
 
 // TimeAxis is an additional ordering mode beyond the paper's three: it
 // scores variables by how early their time frame is, approximating
-// Shtrichman's sorting along the time axis. It reuses the core.Strategy
-// value space at an offset so Options.Strategy stays a single field.
-const TimeAxis core.Strategy = 100
+// Shtrichman's sorting along the time axis. It is an alias for
+// core.OrderTimeAxis, kept for compatibility with earlier callers.
+const TimeAxis = core.OrderTimeAxis
 
 // Verdict classifies the outcome of a BMC run.
 type Verdict int
@@ -99,6 +99,9 @@ type DepthStats struct {
 	K      int
 	Status sat.Status
 	Stats  sat.Stats
+	// Winner names the strategy whose verdict was kept at this depth; set
+	// only by RunPortfolio (empty for single-strategy runs).
+	Winner string
 	// Wall is the wall-clock time of this depth, including CNF generation,
 	// the SAT call, and score maintenance. Table 1 sums these up to the
 	// deepest depth every configuration completed, mirroring the paper's
@@ -170,12 +173,7 @@ func Run(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
 			solverOpts.Deadline = opts.Deadline
 		}
 
-		switch {
-		case opts.Strategy == TimeAxis:
-			solverOpts.Guidance = timeAxisGuidance(u, k, f.NumVars)
-		default:
-			opts.Strategy.ConfigureWithDivisor(&solverOpts, board, f, divisor)
-		}
+		configureStrategy(&solverOpts, opts.Strategy, board, f, u, k, divisor)
 
 		var rec *core.Recorder
 		if useCores || opts.ForceRecording {
@@ -233,6 +231,19 @@ func Run(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
 	}
 	res.TotalTime = time.Since(start)
 	return res, nil
+}
+
+// configureStrategy applies one ordering strategy to solver options for
+// the depth-k instance: guidance scores (from the shared score board, or
+// frame numbers for TimeAxis) and the dynamic switch threshold. Shared by
+// Run and RunPortfolio.
+func configureStrategy(solverOpts *sat.Options, st core.Strategy, board *core.ScoreBoard, f *cnf.Formula, u *unroll.Unroller, k, divisor int) {
+	if st == TimeAxis {
+		solverOpts.Guidance = timeAxisGuidance(u, k, f.NumVars)
+		solverOpts.SwitchAfterDecisions = 0
+		return
+	}
+	st.ConfigureWithDivisor(solverOpts, board, f, divisor)
 }
 
 // timeAxisGuidance builds a per-variable score preferring earlier frames

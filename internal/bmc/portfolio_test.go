@@ -1,0 +1,211 @@
+package bmc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+)
+
+// portfolioOpts builds a default portfolio configuration for tests.
+func portfolioOpts(depth, jobs int) bmc.PortfolioOptions {
+	return bmc.PortfolioOptions{
+		Options: bmc.Options{
+			MaxDepth: depth,
+			Solver:   sat.Defaults(),
+		},
+		Jobs: jobs,
+	}
+}
+
+// TestPortfolioAgreesWithSingleOrders runs the portfolio and every single
+// ordering on models from both verdict classes and checks they agree —
+// the acceptance criterion that racing never changes the answer.
+func TestPortfolioAgreesWithSingleOrders(t *testing.T) {
+	models := []struct {
+		name  string
+		depth int
+	}{
+		{"twin_w8", 6},    // holds up to the bound
+		{"cnt_w4_t9", 10},  // falsified
+		{"lock_s8", 10},   // falsified
+		{"mix_w5", 4},     // holds, conflict-heavy
+	}
+	for _, tc := range models {
+		m, ok := bench.ByName(tc.name)
+		if !ok {
+			t.Fatalf("model %s missing", tc.name)
+		}
+		pres, err := bmc.RunPortfolio(m.Build(), 0, portfolioOpts(tc.depth, 4))
+		if err != nil {
+			t.Fatalf("%s portfolio: %v", tc.name, err)
+		}
+		for _, st := range portfolio.DefaultSet() {
+			sres, err := bmc.Run(m.Build(), 0, bmc.Options{
+				MaxDepth: tc.depth,
+				Strategy: st,
+				Solver:   sat.Defaults(),
+			})
+			if err != nil {
+				t.Fatalf("%s %s: %v", tc.name, st, err)
+			}
+			if sres.Verdict != pres.Verdict || sres.Depth != pres.Depth {
+				t.Errorf("%s: portfolio (%v, depth %d) disagrees with %s (%v, depth %d)",
+					tc.name, pres.Verdict, pres.Depth, st, sres.Verdict, sres.Depth)
+			}
+		}
+	}
+}
+
+// TestPortfolioSeedsScoreBoard checks that the refinement feedback loop
+// survives parallelization: after UNSAT depths, later races must have
+// recorded cores (visible as nonzero CoreVars on the per-depth stats) and
+// every depth must name a winner.
+func TestPortfolioSeedsScoreBoard(t *testing.T) {
+	m, ok := bench.ByName("mix_w5")
+	if !ok {
+		t.Fatal("model mix_w5 missing")
+	}
+	res, err := bmc.RunPortfolio(m.Build(), 0, portfolioOpts(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.Holds {
+		t.Fatalf("verdict = %v, want Holds", res.Verdict)
+	}
+	if len(res.PerDepth) != 5 {
+		t.Fatalf("per-depth rows = %d, want 5", len(res.PerDepth))
+	}
+	for _, d := range res.PerDepth {
+		if d.Status != sat.Unsat {
+			t.Fatalf("depth %d: status %v", d.K, d.Status)
+		}
+		if d.Winner == "" {
+			t.Fatalf("depth %d has no winner", d.K)
+		}
+		if d.CoreVars == 0 {
+			t.Fatalf("depth %d: winner contributed no core vars", d.K)
+		}
+	}
+	if got := len(res.Telemetry.Depths); got != 5 {
+		t.Fatalf("telemetry depths = %d, want 5", got)
+	}
+}
+
+// TestPortfolioBudgetExhausted forces tiny budgets so no racer can decide
+// and checks the run reports BudgetExhausted at the first stuck depth.
+func TestPortfolioBudgetExhausted(t *testing.T) {
+	m, ok := bench.ByName("mix_w8")
+	if !ok {
+		t.Fatal("model mix_w8 missing")
+	}
+	opts := portfolioOpts(6, 4)
+	opts.PerInstanceConflicts = 1
+	res, err := bmc.RunPortfolio(m.Build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.BudgetExhausted {
+		t.Fatalf("verdict = %v, want BudgetExhausted", res.Verdict)
+	}
+}
+
+// TestPortfolioDeadline checks that a pre-expired deadline stops the run
+// before any depth is attempted.
+func TestPortfolioDeadline(t *testing.T) {
+	m, ok := bench.ByName("twin_w8")
+	if !ok {
+		t.Fatal("model twin_w8 missing")
+	}
+	opts := portfolioOpts(10, 2)
+	opts.Deadline = time.Now().Add(-time.Second)
+	res, err := bmc.RunPortfolio(m.Build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.BudgetExhausted || res.Depth != 0 {
+		t.Fatalf("verdict = %v depth %d, want BudgetExhausted at 0", res.Verdict, res.Depth)
+	}
+	if len(res.PerDepth) != 0 {
+		t.Fatalf("expired deadline still ran %d depths", len(res.PerDepth))
+	}
+}
+
+// TestPortfolioNotSlowerThanWorst is the latency half of the acceptance
+// bar: on a model with a large spread between orderings (mix_w5, where
+// plain VSIDS is ~10x slower than the refined orders), the racing
+// portfolio must finish no later than the slowest single strategy — even
+// on a single core, where the racers are time-sliced rather than truly
+// parallel, because the spread exceeds the portfolio width.
+func TestPortfolioNotSlowerThanWorst(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison; skipped in -short")
+	}
+	m, ok := bench.ByName("mix_w5")
+	if !ok {
+		t.Fatal("model mix_w5 missing")
+	}
+	const depth = 7
+	set, err := portfolio.ParseSet("vsids,static")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := portfolioOpts(depth, 0)
+	opts.Strategies = set
+	pres, err := bmc.RunPortfolio(m.Build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := time.Duration(0)
+	for _, st := range set {
+		sres, err := bmc.Run(m.Build(), 0, bmc.Options{
+			MaxDepth: depth,
+			Strategy: st,
+			Solver:   sat.Defaults(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sres.Verdict != pres.Verdict {
+			t.Fatalf("%s verdict %v != portfolio %v", st, sres.Verdict, pres.Verdict)
+		}
+		if sres.TotalTime > worst {
+			worst = sres.TotalTime
+		}
+	}
+	if pres.TotalTime > worst {
+		t.Errorf("portfolio took %v, slower than the slowest single ordering (%v)",
+			pres.TotalTime, worst)
+	}
+}
+
+// TestPortfolioSubset races a two-strategy set and checks the telemetry
+// only ever names members of the set.
+func TestPortfolioSubset(t *testing.T) {
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	set, err := portfolio.ParseSet("vsids,timeaxis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := portfolioOpts(10, 2)
+	opts.Strategies = set
+	res, err := bmc.RunPortfolio(m.Build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.Falsified {
+		t.Fatalf("verdict = %v, want Falsified", res.Verdict)
+	}
+	allowed := map[string]bool{"vsids": true, "timeaxis": true}
+	for _, d := range res.Telemetry.Depths {
+		if !allowed[d.Winner] {
+			t.Fatalf("winner %q outside the configured set", d.Winner)
+		}
+	}
+}

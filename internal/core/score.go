@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"repro/internal/lits"
 )
 
@@ -47,7 +49,15 @@ func (m ScoreMode) String() string {
 // identity is the CNF variable number, which the unroller keeps stable
 // across unrolling depths, so scores learned at depth j apply directly at
 // depth j+1.
+//
+// A ScoreBoard is safe for concurrent use: the portfolio engine
+// (internal/portfolio, bmc.RunPortfolio) shares one board across racing
+// solver goroutines, folding each depth's winning core in while the next
+// depth's attempts may already be reading guidance snapshots. All methods
+// take the internal mutex; Guidance returns an independent copy, so
+// solvers never observe a board mid-update.
 type ScoreBoard struct {
+	mu    sync.Mutex
 	mode  ScoreMode
 	score []float64 // indexed by variable; grows as deeper instances add variables
 	cores int       // number of cores folded in
@@ -62,11 +72,17 @@ func NewScoreBoard(mode ScoreMode) *ScoreBoard {
 func (b *ScoreBoard) Mode() ScoreMode { return b.mode }
 
 // NumCores returns how many unsat cores have been folded in.
-func (b *ScoreBoard) NumCores() int { return b.cores }
+func (b *ScoreBoard) NumCores() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.cores
+}
 
 // Update folds the variables of the depth-k unsat core into the scores
 // (update_ranking in Fig. 5).
 func (b *ScoreBoard) Update(coreVars []lits.Var, k int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	maxV := 0
 	for _, v := range coreVars {
 		if int(v) > maxV {
@@ -104,6 +120,8 @@ func (b *ScoreBoard) Update(coreVars []lits.Var, k int) {
 
 // Score returns the current bmc_score of variable v (0 when never seen).
 func (b *ScoreBoard) Score(v lits.Var) float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	if int(v) >= len(b.score) {
 		return 0
 	}
@@ -114,6 +132,8 @@ func (b *ScoreBoard) Score(v lits.Var) float64 {
 // formula with nVars variables, suitable for sat.Options.Guidance. The
 // returned slice is a copy; later Updates do not affect it.
 func (b *ScoreBoard) Guidance(nVars int) []float64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	g := make([]float64, nVars+1)
 	copy(g, b.score)
 	return g
@@ -121,6 +141,8 @@ func (b *ScoreBoard) Guidance(nVars int) []float64 {
 
 // NumScored returns the number of variables with a nonzero score.
 func (b *ScoreBoard) NumScored() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	n := 0
 	for _, s := range b.score {
 		if s != 0 {

@@ -24,6 +24,14 @@ const (
 	OrderDynamic
 )
 
+// OrderTimeAxis is the Shtrichman-style frame ordering (earliest frames
+// first), the related-work comparator discussed in the paper's
+// introduction. Its guidance scores depend on the unrolling, so it is
+// configured by internal/bmc rather than by Configure; the value lives at
+// an offset so Strategy stays a single field across packages (and so the
+// portfolio engine can list it in a StrategySet).
+const OrderTimeAxis Strategy = 100
+
 // String implements fmt.Stringer.
 func (s Strategy) String() string {
 	switch s {
@@ -33,6 +41,8 @@ func (s Strategy) String() string {
 		return "static"
 	case OrderDynamic:
 		return "dynamic"
+	case OrderTimeAxis:
+		return "timeaxis"
 	default:
 		return "unknown"
 	}
@@ -47,6 +57,8 @@ func ParseStrategy(s string) (Strategy, bool) {
 		return OrderStatic, true
 	case "dynamic":
 		return OrderDynamic, true
+	case "timeaxis":
+		return OrderTimeAxis, true
 	default:
 		return OrderVSIDS, false
 	}

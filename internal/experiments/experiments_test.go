@@ -326,3 +326,42 @@ func TestFmtHelpers(t *testing.T) {
 		t.Errorf("ratio(0) = %q", got)
 	}
 }
+
+func TestRunPortfolioAblationSmall(t *testing.T) {
+	res, err := RunPortfolioAblation(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	if res.Disagreements != 0 {
+		t.Fatalf("%d verdict disagreements between portfolio and single orders", res.Disagreements)
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if len(row.Single) != len(res.Strategies) {
+			t.Fatalf("%s: %d single times for %d strategies", row.Name, len(row.Single), len(res.Strategies))
+		}
+		if row.Portfolio <= 0 {
+			t.Errorf("%s: nonpositive portfolio time", row.Name)
+		}
+		if row.Best() > row.Worst() {
+			t.Errorf("%s: best %v > worst %v", row.Name, row.Best(), row.Worst())
+		}
+		wins := 0
+		for _, n := range row.Winners {
+			wins += n
+		}
+		if wins == 0 {
+			t.Errorf("%s: portfolio recorded no winning races", row.Name)
+		}
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	for _, want := range []string{"portfolio", "TOTAL", "vsids"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

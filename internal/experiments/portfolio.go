@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+)
+
+// --- portfolio vs best-single-order ablation ---
+
+// PortfolioRow compares, on one model, every single-ordering run against
+// the concurrent portfolio that races all of them.
+type PortfolioRow struct {
+	Name string
+	// Single holds one wall time per strategy, in set order.
+	Single []time.Duration
+	// Portfolio is the racing run's wall time; Winners tallies which
+	// strategy won how many of its depths; WastedConflicts is the search
+	// effort burned by cancelled racers.
+	Portfolio       time.Duration
+	Winners         map[string]int
+	WastedConflicts int64
+	// Agreed reports that the portfolio verdict and depth matched every
+	// single-ordering run that reached a verdict (the correctness half of
+	// the acceptance bar). Runs that exhausted their budget are excluded:
+	// the portfolio finishing where a slow ordering timed out is the
+	// expected win, not a disagreement.
+	Agreed bool
+}
+
+// Best and Worst return the fastest and slowest single-ordering times.
+func (r *PortfolioRow) Best() time.Duration {
+	best := r.Single[0]
+	for _, d := range r.Single[1:] {
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+func (r *PortfolioRow) Worst() time.Duration {
+	worst := r.Single[0]
+	for _, d := range r.Single[1:] {
+		if d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// PortfolioAblationResult is the "portfolio vs best-single-order" table:
+// how close racing gets to the per-instance best strategy (which no fixed
+// single ordering achieves, per Table 1) and what it costs.
+type PortfolioAblationResult struct {
+	Strategies []string
+	Rows       []PortfolioRow
+	// Totals across rows.
+	TotalSingle    []time.Duration
+	TotalPortfolio time.Duration
+	TotalBest      time.Duration // sum of per-row best single times
+	TotalWorst     time.Duration // sum of per-row worst single times
+	Disagreements  int
+}
+
+// RunPortfolioAblation executes the comparison on the config's model set
+// with the full default strategy portfolio.
+func RunPortfolioAblation(cfg Config) (*PortfolioAblationResult, error) {
+	set := portfolio.DefaultSet()
+	res := &PortfolioAblationResult{
+		Strategies:  set.Names(),
+		TotalSingle: make([]time.Duration, len(set)),
+	}
+	for _, m := range cfg.models() {
+		row := PortfolioRow{Name: m.Name, Winners: map[string]int{}, Agreed: true}
+
+		pr, err := cfg.runPortfolio(m, set)
+		if err != nil {
+			return nil, fmt.Errorf("portfolio %s: %w", m.Name, err)
+		}
+		row.Portfolio = pr.TotalTime
+		row.WastedConflicts = pr.Telemetry.WastedConflicts
+		for name, wins := range pr.Telemetry.Wins {
+			row.Winners[name] += wins
+		}
+
+		for si, st := range set {
+			sr, err := cfg.runOne(m, st)
+			if err != nil {
+				return nil, fmt.Errorf("portfolio ablation %s/%s: %w", m.Name, st, err)
+			}
+			row.Single = append(row.Single, sr.TotalTime)
+			res.TotalSingle[si] += sr.TotalTime
+			bothDecided := sr.Verdict != bmc.BudgetExhausted && pr.Verdict != bmc.BudgetExhausted
+			if bothDecided && (sr.Verdict != pr.Verdict || sr.Depth != pr.Depth) {
+				row.Agreed = false
+			}
+		}
+		if !row.Agreed {
+			res.Disagreements++
+		}
+		res.TotalPortfolio += row.Portfolio
+		res.TotalBest += row.Best()
+		res.TotalWorst += row.Worst()
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runPortfolio executes one model under the racing engine with the
+// config's budgets (the portfolio analogue of runOne).
+func (cfg Config) runPortfolio(m bench.Model, set portfolio.StrategySet) (*bmc.PortfolioResult, error) {
+	opts := bmc.PortfolioOptions{
+		Options: bmc.Options{
+			MaxDepth:             cfg.depthFor(m),
+			Solver:               sat.Defaults(),
+			PerInstanceConflicts: cfg.PerInstanceConflicts,
+		},
+		Strategies: set,
+	}
+	if cfg.PerModelBudget > 0 {
+		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
+	}
+	return bmc.RunPortfolio(m.Build(), 0, opts)
+}
+
+// Write renders the comparison table.
+func (r *PortfolioAblationResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Portfolio vs best single order (concurrent race of all strategies)")
+	fmt.Fprintf(w, "%-14s", "model")
+	for _, s := range r.Strategies {
+		fmt.Fprintf(w, " %12s", s+" (s)")
+	}
+	fmt.Fprintf(w, " %12s %12s %8s %6s\n", "portfolio(s)", "vs worst", "wasted", "agree")
+	width := 14 + 13*len(r.Strategies) + 13 + 13 + 9 + 7
+	writeRule(w, width)
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		fmt.Fprintf(w, "%-14s", row.Name)
+		for _, d := range row.Single {
+			fmt.Fprintf(w, " %12s", fmtDuration(d))
+		}
+		agree := "yes"
+		if !row.Agreed {
+			agree = "NO"
+		}
+		fmt.Fprintf(w, " %12s %11.1fx %8d %6s\n",
+			fmtDuration(row.Portfolio), speedup(row.Worst(), row.Portfolio),
+			row.WastedConflicts, agree)
+	}
+	writeRule(w, width)
+	fmt.Fprintf(w, "%-14s", "TOTAL")
+	for _, d := range r.TotalSingle {
+		fmt.Fprintf(w, " %12s", fmtDuration(d))
+	}
+	fmt.Fprintf(w, " %12s %11.1fx\n", fmtDuration(r.TotalPortfolio), speedup(r.TotalWorst, r.TotalPortfolio))
+	fmt.Fprintf(w, "sum of per-row best singles: %s (the oracle no fixed order reaches)\n",
+		fmtDuration(r.TotalBest))
+	if r.Disagreements > 0 {
+		fmt.Fprintf(w, "WARNING: %d verdict disagreements\n", r.Disagreements)
+	}
+}
+
+// speedup returns a/b as a factor (0 when b is zero).
+func speedup(a, b time.Duration) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,190 @@
+// Package portfolio implements the concurrent strategy-racing engine: for
+// one CNF instance, it runs several independently configured SAT solvers
+// (one per ordering strategy) in parallel, keeps the first Sat/Unsat
+// verdict, and cancels the rest through the solver's cooperative Stop
+// channel.
+//
+// The paper's Table 1 shows that no single decision ordering (vsids,
+// static, dynamic, timeaxis) dominates across benchmarks; racing them
+// buys min-of-strategies latency at the price of extra cores. The BMC
+// depth loop that feeds races and folds the winner's unsat core back into
+// the shared core.ScoreBoard lives in internal/bmc (RunPortfolio); this
+// package is instance-level and strategy-agnostic — it races whatever
+// solver configurations it is handed.
+package portfolio
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Attempt is one racer: a label (usually the strategy name) plus fully
+// configured solver options. The race overrides Opts.Stop to wire in its
+// own cancellation; every other field — guidance, recorder, budgets — is
+// the caller's. Recorders must not be shared between attempts: each
+// solver calls its recorder from its own goroutine.
+type Attempt struct {
+	Name string
+	Opts sat.Options
+}
+
+// AttemptOutcome is the per-racer telemetry of one race.
+type AttemptOutcome struct {
+	Name   string
+	Status sat.Status
+	Stats  sat.Stats
+	Wall   time.Duration
+	// Canceled marks racers that were stopped because another attempt won
+	// (their Status is Interrupted).
+	Canceled bool
+	// Skipped marks attempts that never started: the race was decided (or
+	// externally stopped) before a worker slot reached them.
+	Skipped bool
+}
+
+// RaceResult is the outcome of racing all attempts on one instance.
+type RaceResult struct {
+	// Winner is the index into the attempts slice of the racer whose
+	// verdict was kept, or -1 when no attempt reached Sat/Unsat (all
+	// budgets exhausted, externally stopped, or an empty attempt list).
+	Winner int
+	// Result is the winner's solver result; zero-valued when Winner < 0.
+	Result sat.Result
+	// Outcomes has one entry per attempt, in input order.
+	Outcomes []AttemptOutcome
+	// Wall is the wall-clock time of the whole race.
+	Wall time.Duration
+}
+
+// WinnerName returns the winning attempt's label, or "" when no attempt won.
+func (r *RaceResult) WinnerName() string {
+	if r.Winner < 0 {
+		return ""
+	}
+	return r.Outcomes[r.Winner].Name
+}
+
+// LoserConflicts sums the conflicts spent by every non-winning attempt —
+// the "wasted" parallel work a portfolio pays for its latency win.
+func (r *RaceResult) LoserConflicts() int64 {
+	var n int64
+	for i, o := range r.Outcomes {
+		if i != r.Winner {
+			n += o.Stats.Conflicts
+		}
+	}
+	return n
+}
+
+// Race solves formula f with every attempt concurrently, at most jobs
+// solvers at a time (jobs <= 0 means one per attempt), and returns as
+// soon as every started attempt has come to rest. The first attempt to
+// reach a Sat/Unsat verdict wins; all others are cancelled immediately
+// and attempts still waiting for a worker slot are skipped.
+//
+// jobs deliberately is not clamped to GOMAXPROCS: with fewer cores than
+// racers the Go scheduler time-slices them, which preserves the
+// min-of-strategies property (paying a constant-factor slowdown) —
+// whereas a GOMAXPROCS clamp would silently turn the race into "first
+// strategy only". Use jobs to bound oversubscription for large sets.
+//
+// stop, when non-nil, cancels the whole race from outside (deadline or
+// caller shutdown); the race then reports Winner == -1 unless a verdict
+// landed first. The formula is shared read-only: sat.New copies clauses
+// into per-solver storage, so racers never touch f after construction.
+func Race(f *cnf.Formula, attempts []Attempt, jobs int, stop <-chan struct{}) RaceResult {
+	start := time.Now()
+	res := RaceResult{Winner: -1, Outcomes: make([]AttemptOutcome, len(attempts))}
+	for i := range attempts {
+		res.Outcomes[i] = AttemptOutcome{Name: attempts[i].Name, Skipped: true}
+	}
+	if len(attempts) == 0 {
+		res.Wall = time.Since(start)
+		return res
+	}
+	if jobs <= 0 || jobs > len(attempts) {
+		jobs = len(attempts)
+	}
+
+	// cancel is closed exactly once — by the first verdict or by the
+	// external stop — and is what every racing solver polls.
+	cancel := make(chan struct{})
+	var cancelOnce sync.Once
+	doCancel := func() { cancelOnce.Do(func() { close(cancel) }) }
+
+	// Forward the external stop to the racers. raceDone unblocks the
+	// forwarder when the race ends on its own.
+	raceDone := make(chan struct{})
+	if stop != nil {
+		go func() {
+			select {
+			case <-stop:
+				doCancel()
+			case <-raceDone:
+			}
+		}()
+	}
+
+	winner := int32(-1)
+	var winnerResult sat.Result
+	var mu sync.Mutex // guards winnerResult
+
+	work := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for idx := range work {
+				// A decided (or externally stopped) race skips the
+				// remaining queue instead of launching doomed solvers.
+				select {
+				case <-cancel:
+					continue
+				default:
+				}
+				opts := attempts[idx].Opts
+				opts.Stop = cancel
+				t0 := time.Now()
+				r := sat.New(f, opts).Solve()
+				wall := time.Since(t0)
+
+				o := &res.Outcomes[idx]
+				o.Skipped = false
+				o.Status = r.Status
+				o.Stats = r.Stats
+				o.Wall = wall
+				if r.Status.Decided() && atomic.CompareAndSwapInt32(&winner, -1, int32(idx)) {
+					mu.Lock()
+					winnerResult = r
+					mu.Unlock()
+					doCancel()
+				}
+			}
+		}()
+	}
+	for i := range attempts {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	close(raceDone)
+
+	if wi := atomic.LoadInt32(&winner); wi >= 0 {
+		res.Winner = int(wi)
+		res.Result = winnerResult
+		// Losers that ran but did not decide were cancelled by the win.
+		for i := range res.Outcomes {
+			o := &res.Outcomes[i]
+			if i != res.Winner && !o.Skipped && !o.Status.Decided() {
+				o.Canceled = true
+			}
+		}
+	}
+	res.Wall = time.Since(start)
+	return res
+}

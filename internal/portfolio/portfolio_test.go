@@ -1,0 +1,216 @@
+package portfolio
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/sat"
+)
+
+// php builds the pigeonhole formula PHP(p, h): unsat when p > h, and hard
+// for CDCL as p grows — the standard cancellation workload.
+func php(p, h int) *cnf.Formula {
+	f := cnf.New(p * h)
+	v := func(pi, hi int) int { return pi*h + hi + 1 }
+	for pi := 0; pi < p; pi++ {
+		c := make(cnf.Clause, h)
+		for hi := 0; hi < h; hi++ {
+			c[hi] = lits.PosLit(lits.Var(v(pi, hi)))
+		}
+		f.AddClause(c)
+	}
+	for hi := 0; hi < h; hi++ {
+		for a := 0; a < p; a++ {
+			for b := a + 1; b < p; b++ {
+				f.Add(-v(a, hi), -v(b, hi))
+			}
+		}
+	}
+	return f
+}
+
+func attempts(n int, opts sat.Options) []Attempt {
+	out := make([]Attempt, n)
+	for i := range out {
+		out[i] = Attempt{Name: DefaultSet()[i%4].String(), Opts: opts}
+	}
+	return out
+}
+
+func TestRaceUnsatVerdict(t *testing.T) {
+	f := php(6, 5)
+	res := Race(f, attempts(4, sat.Defaults()), 4, nil)
+	if res.Winner < 0 {
+		t.Fatalf("race had no winner")
+	}
+	if res.Result.Status != sat.Unsat {
+		t.Fatalf("status = %v, want Unsat", res.Result.Status)
+	}
+	if res.WinnerName() == "" {
+		t.Fatalf("winner has no name")
+	}
+	for i, o := range res.Outcomes {
+		if o.Skipped {
+			continue
+		}
+		if i != res.Winner && !o.Canceled && !o.Status.Decided() {
+			t.Fatalf("loser %d (%s) neither cancelled nor decided: %v", i, o.Name, o.Status)
+		}
+	}
+}
+
+func TestRaceSatVerdictAndModel(t *testing.T) {
+	f := php(5, 5) // satisfiable: one pigeon per hole
+	res := Race(f, attempts(3, sat.Defaults()), 0, nil)
+	if res.Winner < 0 || res.Result.Status != sat.Sat {
+		t.Fatalf("want Sat winner, got winner=%d status=%v", res.Winner, res.Result.Status)
+	}
+	if err := sat.VerifyModel(f, res.Result.Model); err != nil {
+		t.Fatalf("winner model invalid: %v", err)
+	}
+}
+
+func TestRaceNoWinnerOnBudget(t *testing.T) {
+	opts := sat.Defaults()
+	opts.MaxConflicts = 1
+	res := Race(php(9, 8), attempts(3, opts), 3, nil)
+	if res.Winner != -1 {
+		t.Fatalf("winner = %d, want -1", res.Winner)
+	}
+	if name := res.WinnerName(); name != "" {
+		t.Fatalf("WinnerName = %q, want empty", name)
+	}
+	for _, o := range res.Outcomes {
+		if o.Status.Decided() {
+			t.Fatalf("budgeted racer decided: %v", o.Status)
+		}
+	}
+}
+
+func TestRaceExternalStop(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan RaceResult, 1)
+	go func() {
+		done <- Race(php(11, 10), attempts(4, sat.Defaults()), 4, stop)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case res := <-done:
+		if res.Winner != -1 {
+			t.Fatalf("externally stopped race reported winner %d", res.Winner)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("race did not stop within 5s")
+	}
+}
+
+func TestRaceSkipsQueueAfterWin(t *testing.T) {
+	// jobs=1 serializes the attempts; the first decides, so the rest must
+	// be skipped, not solved.
+	res := Race(php(5, 4), attempts(4, sat.Defaults()), 1, nil)
+	if res.Winner != 0 {
+		t.Fatalf("winner = %d, want 0 with one worker", res.Winner)
+	}
+	skipped := 0
+	for i, o := range res.Outcomes {
+		if i != res.Winner && o.Skipped {
+			skipped++
+		}
+	}
+	if skipped != len(res.Outcomes)-1 {
+		t.Fatalf("skipped %d of %d losers, want all", skipped, len(res.Outcomes)-1)
+	}
+}
+
+func TestRaceEmptyAttempts(t *testing.T) {
+	res := Race(php(3, 3), nil, 2, nil)
+	if res.Winner != -1 || len(res.Outcomes) != 0 {
+		t.Fatalf("empty race: winner=%d outcomes=%d", res.Winner, len(res.Outcomes))
+	}
+}
+
+// TestRaceSharedScoreBoard hammers one mutex-guarded core.ScoreBoard from
+// concurrent races the way bmc.RunPortfolio does across depths — guidance
+// snapshots are read while winner cores are folded in. Run under -race.
+func TestRaceSharedScoreBoard(t *testing.T) {
+	board := core.NewScoreBoard(core.WeightedSum)
+	f := php(6, 5)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				opts := sat.Defaults()
+				opts.Guidance = board.Guidance(f.NumVars)
+				rec := core.NewRecorder(f.NumClauses())
+				opts.Recorder = rec
+				res := Race(f, []Attempt{
+					{Name: "static", Opts: opts},
+					{Name: "vsids", Opts: sat.Defaults()},
+				}, 2, nil)
+				if res.Winner >= 0 && res.Result.Status == sat.Unsat && res.Winner == 0 && rec.HasProof() {
+					board.Update(rec.CoreVars(f), round+1)
+				}
+				// Unconditional concurrent reads/writes exercise the lock.
+				board.Update([]lits.Var{lits.Var(g + 1)}, round+1)
+				_ = board.Score(lits.Var(g + 1))
+				_ = board.NumScored()
+				_ = board.NumCores()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if board.NumCores() == 0 {
+		t.Fatalf("no cores folded in")
+	}
+}
+
+func TestParseSet(t *testing.T) {
+	set, err := ParseSet("vsids, dynamic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != 2 || set[0] != core.OrderVSIDS || set[1] != core.OrderDynamic {
+		t.Fatalf("bad set: %v", set)
+	}
+	if set.String() != "vsids,dynamic" {
+		t.Fatalf("String = %q", set.String())
+	}
+	if _, err := ParseSet("vsids,vsids"); err == nil {
+		t.Fatalf("duplicate accepted")
+	}
+	if _, err := ParseSet("nope"); err == nil {
+		t.Fatalf("unknown strategy accepted")
+	}
+	if def, err := ParseSet(""); err != nil || len(def) != 4 {
+		t.Fatalf("empty spec should give the default set, got %v, %v", def, err)
+	}
+	if def := DefaultSet(); def.String() != "vsids,static,dynamic,timeaxis" {
+		t.Fatalf("default set = %q", def.String())
+	}
+}
+
+func TestTelemetryAggregation(t *testing.T) {
+	tel := NewTelemetry()
+	f := php(6, 5)
+	for k := 0; k < 3; k++ {
+		res := Race(f, attempts(3, sat.Defaults()), 3, nil)
+		tel.Observe(k, &res)
+	}
+	if len(tel.Depths) != 3 {
+		t.Fatalf("depths = %d", len(tel.Depths))
+	}
+	totalWins := 0
+	for _, n := range tel.Strategies() {
+		totalWins += tel.Wins[n]
+	}
+	if totalWins != 3 {
+		t.Fatalf("wins = %d, want 3", totalWins)
+	}
+}

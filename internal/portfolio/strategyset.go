@@ -1,0 +1,70 @@
+package portfolio
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// StrategySet is the ordered list of decision-ordering strategies a
+// portfolio races at every depth. Order matters when there are fewer
+// worker slots than strategies: earlier entries start first.
+type StrategySet []core.Strategy
+
+// DefaultSet returns the full four-way portfolio: the paper's baseline and
+// two refined orderings plus the Shtrichman-style time-axis comparator —
+// one racer per row family of Table 1.
+func DefaultSet() StrategySet {
+	return StrategySet{
+		core.OrderVSIDS,
+		core.OrderStatic,
+		core.OrderDynamic,
+		core.OrderTimeAxis,
+	}
+}
+
+// ParseSet converts a comma-separated strategy list (e.g.
+// "vsids,static,dynamic,timeaxis") into a StrategySet. Duplicates are
+// rejected: racing two identical deterministic solvers can only waste a
+// core.
+func ParseSet(s string) (StrategySet, error) {
+	if strings.TrimSpace(s) == "" {
+		return DefaultSet(), nil
+	}
+	var set StrategySet
+	seen := map[core.Strategy]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		st, ok := core.ParseStrategy(name)
+		if !ok {
+			return nil, fmt.Errorf("portfolio: unknown strategy %q", name)
+		}
+		if seen[st] {
+			return nil, fmt.Errorf("portfolio: duplicate strategy %q", st)
+		}
+		seen[st] = true
+		set = append(set, st)
+	}
+	if len(set) == 0 {
+		return nil, fmt.Errorf("portfolio: empty strategy set %q", s)
+	}
+	return set, nil
+}
+
+// String renders the set as a comma-separated list.
+func (s StrategySet) String() string {
+	return strings.Join(s.Names(), ",")
+}
+
+// Names returns the per-strategy labels in set order.
+func (s StrategySet) Names() []string {
+	names := make([]string, len(s))
+	for i, st := range s {
+		names[i] = st.String()
+	}
+	return names
+}

@@ -1,0 +1,124 @@
+package portfolio
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/sat"
+)
+
+// DepthWin records who won one depth's race and what the race cost.
+type DepthWin struct {
+	K      int
+	Winner string // "" when the race was undecided
+	Status sat.Status
+	// WinnerConflicts / LoserConflicts split the race's total search
+	// effort into the part that produced the verdict and the part thrown
+	// away with the cancelled racers.
+	WinnerConflicts int64
+	LoserConflicts  int64
+	Wall            time.Duration
+}
+
+// Telemetry aggregates per-strategy win/loss statistics across the depths
+// of one portfolio BMC run (and renders the CLI summary). It is not
+// goroutine-safe; races are observed sequentially by the depth loop.
+type Telemetry struct {
+	Depths []DepthWin
+	// Wins / CancelledRuns / SkippedRuns count, per strategy name, how its
+	// racers fared across all depths.
+	Wins          map[string]int
+	CancelledRuns map[string]int
+	SkippedRuns   map[string]int
+	// ConflictsSpent is each strategy's total search effort (winning or
+	// not); WastedConflicts is the portion spent by losing racers only.
+	ConflictsSpent  map[string]int64
+	WastedConflicts int64
+}
+
+// NewTelemetry returns an empty telemetry accumulator.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{
+		Wins:           map[string]int{},
+		CancelledRuns:  map[string]int{},
+		SkippedRuns:    map[string]int{},
+		ConflictsSpent: map[string]int64{},
+	}
+}
+
+// Observe folds the race of depth k into the totals.
+func (t *Telemetry) Observe(k int, r *RaceResult) {
+	dw := DepthWin{K: k, Winner: r.WinnerName(), Wall: r.Wall}
+	if r.Winner >= 0 {
+		dw.Status = r.Result.Status
+		dw.WinnerConflicts = r.Outcomes[r.Winner].Stats.Conflicts
+		t.Wins[dw.Winner]++
+	}
+	dw.LoserConflicts = r.LoserConflicts()
+	t.WastedConflicts += dw.LoserConflicts
+	for _, o := range r.Outcomes {
+		switch {
+		case o.Skipped:
+			t.SkippedRuns[o.Name]++
+		case o.Canceled:
+			t.CancelledRuns[o.Name]++
+		}
+		t.ConflictsSpent[o.Name] += o.Stats.Conflicts
+	}
+	t.Depths = append(t.Depths, dw)
+}
+
+// Strategies returns every strategy name seen, sorted by wins (descending)
+// then name — the order the summary table uses.
+func (t *Telemetry) Strategies() []string {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for n := range t.ConflictsSpent {
+		add(n)
+	}
+	for n := range t.Wins {
+		add(n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		if t.Wins[names[i]] != t.Wins[names[j]] {
+			return t.Wins[names[i]] > t.Wins[names[j]]
+		}
+		return names[i] < names[j]
+	})
+	return names
+}
+
+// WriteSummary renders the per-strategy scoreboard and the wasted-work
+// figure — the CLI's "which ordering won where" report.
+func (t *Telemetry) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "portfolio: %d races, %d conflicts spent by losers\n",
+		len(t.Depths), t.WastedConflicts)
+	fmt.Fprintf(w, "%-12s %6s %9s %8s %12s\n", "strategy", "wins", "cancelled", "skipped", "conflicts")
+	for _, name := range t.Strategies() {
+		fmt.Fprintf(w, "%-12s %6d %9d %8d %12d\n",
+			name, t.Wins[name], t.CancelledRuns[name], t.SkippedRuns[name], t.ConflictsSpent[name])
+	}
+}
+
+// WriteDepths renders the per-depth winner log (the -v view).
+func (t *Telemetry) WriteDepths(w io.Writer) {
+	fmt.Fprintf(w, "%-4s %-10s %-8s %12s %12s %10s\n",
+		"k", "winner", "status", "winConf", "loseConf", "wall")
+	for _, d := range t.Depths {
+		winner := d.Winner
+		if winner == "" {
+			winner = "-"
+		}
+		fmt.Fprintf(w, "%-4d %-10s %-8s %12d %12d %10s\n",
+			d.K, winner, d.Status, d.WinnerConflicts, d.LoserConflicts,
+			d.Wall.Round(time.Microsecond))
+	}
+}

@@ -18,6 +18,11 @@ const (
 	Sat
 	// Unsat means the formula was proven unsatisfiable.
 	Unsat
+	// Interrupted means the solve was cancelled through Options.Stop before
+	// reaching an answer. Like Unknown it carries no verdict; it is kept
+	// distinct so callers (the portfolio engine) can tell "lost the race"
+	// from "ran out of budget".
+	Interrupted
 )
 
 // String implements fmt.Stringer.
@@ -27,10 +32,16 @@ func (s Status) String() string {
 		return "SAT"
 	case Unsat:
 		return "UNSAT"
+	case Interrupted:
+		return "INTERRUPTED"
 	default:
 		return "UNKNOWN"
 	}
 }
+
+// Decided reports whether the status is a verdict (Sat or Unsat) rather
+// than a budget or cancellation outcome.
+func (s Status) Decided() bool { return s == Sat || s == Unsat }
 
 // ProofRecorder receives the resolution-dependency events the solver emits
 // while searching. It is the hook through which the refinement layer
@@ -114,6 +125,18 @@ type Options struct {
 	// Deadline, when nonzero, aborts the solve (status Unknown) once
 	// passed; checked every few conflicts.
 	Deadline time.Time
+
+	// Stop, when non-nil, requests cooperative cancellation: once the
+	// channel is closed the solve returns status Interrupted at the next
+	// poll point. A context.Context's Done() channel plugs in directly.
+	// Polling happens every StopCheckEvery search steps (conflicts and
+	// decisions), so the single-threaded path with Stop == nil pays
+	// nothing and the cancellable path pays one counter increment per
+	// step plus a rare non-blocking channel read.
+	Stop <-chan struct{}
+	// StopCheckEvery is the polling interval for Stop in search steps.
+	// Default 64.
+	StopCheckEvery int
 }
 
 // Defaults returns the options used throughout the repo's experiments:
@@ -147,6 +170,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxLearntInc <= 1.0 {
 		o.MaxLearntInc = 1.1
+	}
+	if o.StopCheckEvery <= 0 {
+		o.StopCheckEvery = 64
 	}
 	return o
 }

@@ -67,6 +67,11 @@ type Solver struct {
 	status    Status
 	finalAnts []ClauseID
 
+	// cooperative cancellation (Options.Stop); stopping gates all polling
+	// so the non-cancellable path costs nothing.
+	stopping      bool
+	sinceStopPoll int
+
 	stats Stats
 
 	// restart bookkeeping
@@ -94,6 +99,7 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		guid:       opts.Guidance,
 		guidActive: opts.Guidance != nil,
 		recording:  opts.Recorder != nil,
+		stopping:   opts.Stop != nil,
 		status:     Unknown,
 	}
 	s.heap = newLitHeap(s, n)
@@ -594,12 +600,40 @@ func (s *Solver) Solve() Result {
 	return res
 }
 
+// interrupted polls Options.Stop; it is only called when stopping is set
+// and at most once per StopCheckEvery search steps.
+func (s *Solver) interrupted() bool {
+	select {
+	case <-s.opts.Stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// pollStop increments the step counter and checks Stop once per
+// StopCheckEvery steps. It reports true when the solve must abort.
+func (s *Solver) pollStop() bool {
+	if !s.stopping {
+		return false
+	}
+	s.sinceStopPoll++
+	if s.sinceStopPoll < s.opts.StopCheckEvery {
+		return false
+	}
+	s.sinceStopPoll = 0
+	return s.interrupted()
+}
+
 func (s *Solver) solve() Result {
 	if s.status == Unsat {
 		if s.recording {
 			s.opts.Recorder.RecordFinal(s.finalAnts)
 		}
 		return Result{Status: Unsat, Stats: s.stats}
+	}
+	if s.stopping && s.interrupted() {
+		return Result{Status: Interrupted, Stats: s.stats}
 	}
 
 	s.conflictsLeft = s.restartLimit(s.restartIdx)
@@ -630,6 +664,9 @@ func (s *Solver) solve() Result {
 			}
 			if !s.opts.Deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(s.opts.Deadline) {
 				return Result{Status: Unknown, Stats: s.stats}
+			}
+			if s.pollStop() {
+				return Result{Status: Interrupted, Stats: s.stats}
 			}
 			continue
 		}
@@ -671,6 +708,9 @@ func (s *Solver) solve() Result {
 		s.stats.Decisions++
 		if s.opts.MaxDecisions > 0 && s.stats.Decisions > s.opts.MaxDecisions {
 			return Result{Status: Unknown, Stats: s.stats}
+		}
+		if s.pollStop() {
+			return Result{Status: Interrupted, Stats: s.stats}
 		}
 		s.newDecisionLevel()
 		s.uncheckedEnqueue(l, nil)
