@@ -13,6 +13,7 @@
 //	BenchmarkSwitchThreshold — §3.3 switch-divisor sweep
 //	BenchmarkTimeAxis        — related-work time-axis comparison
 //	BenchmarkPortfolio       — concurrent portfolio vs single orderings
+//	BenchmarkIncremental     — incremental (one live solver) vs scratch loop
 //
 // Per-configuration solver micro-benchmarks live in internal/sat.
 package repro
@@ -171,6 +172,32 @@ func BenchmarkPortfolio(b *testing.B) {
 			report(b, "worst_single_s", res.TotalWorst.Seconds())
 			if res.TotalPortfolio > 0 {
 				report(b, "speedup_vs_worst_x", float64(res.TotalWorst)/float64(res.TotalPortfolio))
+			}
+		}
+	}
+}
+
+// BenchmarkIncremental runs the incremental-vs-scratch ablation (one live
+// solver accumulating clauses across depths vs per-depth rebuilds) and
+// reports the headline totals. Conflicts saved is the direct measure of the
+// clause-database compounding; wall time folds in the avoided rebuild work.
+func BenchmarkIncremental(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.AblationModels()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunIncrementalAblation(cfg, core.OrderDynamic)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Disagreements > 0 {
+			b.Fatalf("%d verdict disagreements", res.Disagreements)
+		}
+		if i == b.N-1 {
+			report(b, "scratch_s", res.TotalScratch.Seconds())
+			report(b, "incremental_s", res.TotalIncremental.Seconds())
+			report(b, "conflicts_saved", float64(res.ConflictsSaved))
+			if res.TotalIncremental > 0 {
+				report(b, "speedup_x", float64(res.TotalScratch)/float64(res.TotalIncremental))
 			}
 		}
 	}

@@ -2,6 +2,7 @@
 // on an AIGER (.aag) circuit with a selectable decision ordering:
 //
 //	bmc -order=dynamic -depth=20 design.aag
+//	bmc -order=dynamic -incremental -depth=20 design.aag
 //	bmc -order=portfolio -jobs=4 -depth=20 design.aag
 //	bmc -engine=kind -depth=16 design.aag
 //
@@ -10,6 +11,11 @@
 // engine only), and portfolio — race several orderings concurrently per
 // depth, keep the first verdict, and cancel the losers (-jobs bounds the
 // concurrent solvers, -strategies picks the raced set).
+//
+// -incremental switches the depth loop to a single live solver: each depth
+// adds only the new frame's clauses and solves under an activation-literal
+// assumption, so learned clauses and scores carry over between depths
+// instead of being rebuilt (vsids|static|dynamic|timeaxis orders).
 //
 // The exit code is 0 when the property holds up to the bound (or is proved
 // by induction), 1 when a counter-example is found, and 2 on errors or
@@ -54,6 +60,7 @@ func run() int {
 	var (
 		engine    = flag.String("engine", "bmc", "verification engine: bmc|kind (k-induction)")
 		order     = flag.String("order", "dynamic", "decision ordering: vsids|static|dynamic|timeaxis|portfolio")
+		increment = flag.Bool("incremental", false, "keep one live solver across depths (assumption-based incremental BMC)")
 		jobs      = flag.Int("jobs", 0, "portfolio: max concurrent solvers per depth (0 = one per strategy)")
 		strats    = flag.String("strategies", "", "portfolio: comma-separated strategy set (default vsids,static,dynamic,timeaxis)")
 		depth     = flag.Int("depth", 20, "maximum unrolling depth (inclusive)")
@@ -95,6 +102,10 @@ func run() int {
 		opts.Deadline = time.Now().Add(*timeout)
 	}
 	isPortfolio := *order == "portfolio"
+	if *increment && isPortfolio {
+		fmt.Fprintln(os.Stderr, "bmc: -incremental supports the vsids|static|dynamic|timeaxis orders only")
+		return 2
+	}
 	if !isPortfolio {
 		st, ok := core.ParseStrategy(*order)
 		if !ok {
@@ -118,8 +129,8 @@ func run() int {
 	}
 
 	if *engine == "kind" {
-		if isPortfolio || opts.Strategy == bmc.TimeAxis {
-			fmt.Fprintln(os.Stderr, "bmc: the k-induction engine supports vsids|static|dynamic orders only")
+		if isPortfolio || *increment || opts.Strategy == bmc.TimeAxis {
+			fmt.Fprintln(os.Stderr, "bmc: the k-induction engine supports non-incremental vsids|static|dynamic orders only")
 			return 2
 		}
 		ires, err := induction.Prove(circ, *prop, induction.Options{
@@ -184,7 +195,12 @@ func run() int {
 		}
 	}
 
-	res, err := bmc.Run(circ, *prop, opts)
+	var res *bmc.Result
+	if *increment {
+		res, err = bmc.RunIncremental(circ, *prop, opts)
+	} else {
+		res, err = bmc.Run(circ, *prop, opts)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bmc:", err)
 		return 2

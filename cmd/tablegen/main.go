@@ -8,6 +8,7 @@
 //	tablegen -experiment=ablation    # §3.2 score-rule ablation
 //	tablegen -experiment=threshold   # §3.3 switch-divisor sweep
 //	tablegen -experiment=timeaxis    # related-work time-axis comparison
+//	tablegen -experiment=incremental # incremental vs scratch depth loop
 //	tablegen -experiment=all         # everything
 //
 // -csv switches the output to machine-readable CSV where available, -quick
@@ -32,7 +33,7 @@ func main() {
 
 func run() int {
 	var (
-		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|all")
+		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|incremental|all")
 		budget = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
 		quick  = flag.Bool("quick", false, "cap depths for a fast smoke run")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the text table")
@@ -142,6 +143,14 @@ func run() int {
 		res.Write(os.Stdout)
 		return nil
 	}
+	runIncremental := func() error {
+		res, err := experiments.RunIncrementalAblation(ablationCfg, core.OrderDynamic)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
 
 	var err error
 	switch *exp {
@@ -163,8 +172,10 @@ func run() int {
 		err = runCDGMemory()
 	case "portfolio":
 		err = runPortfolio()
+	case "incremental":
+		err = runIncremental()
 	case "all":
-		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio} {
+		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio, runIncremental} {
 			if err = step(); err != nil {
 				break
 			}

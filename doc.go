@@ -4,19 +4,24 @@
 //
 // Layout:
 //
-//	internal/sat         CDCL solver (Chaff lineage) with proof recording,
-//	                     guidance scores, and cooperative cancellation
-//	internal/core        simplified CDG, unsat cores, bmc_score board,
-//	                     ordering strategies (§3.1-§3.3)
-//	internal/bmc         the refine_order_bmc loop (Fig. 5) and the
-//	                     concurrent portfolio variant RunPortfolio
+//	internal/sat         incremental CDCL solver (Chaff lineage): clause
+//	                     addition and assumption solving on a live solver,
+//	                     proof recording, guidance scores, cancellation
+//	internal/core        simplified CDG (per-instance and cross-depth
+//	                     incremental recorders), unsat cores, bmc_score
+//	                     board, ordering strategies (§3.1-§3.3)
+//	internal/unroll      time-frame expansion: whole-instance Formula and
+//	                     per-frame Delta (activation-guarded properties)
+//	internal/bmc         the refine_order_bmc loop (Fig. 5), the concurrent
+//	                     portfolio variant RunPortfolio, and the
+//	                     assumption-based incremental variant RunIncremental
 //	internal/portfolio   strategy-racing engine: cancellable solver race,
 //	                     worker pool, win/loss telemetry
-//	internal/experiments paper tables/figures plus ablations (incl. the
-//	                     portfolio vs best-single-order comparison)
+//	internal/experiments paper tables/figures plus ablations (portfolio vs
+//	                     best single order, incremental vs scratch)
 //	internal/bench       the 37-model synthetic evaluation suite
 //	cmd/bmc              CLI front end (-order=vsids|static|dynamic|
-//	                     timeaxis|portfolio)
+//	                     timeaxis|portfolio, -incremental)
 //
 // The root package holds the paper-artifact benchmarks (bench_test.go).
 package repro

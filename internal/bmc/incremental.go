@@ -1,0 +1,204 @@
+package bmc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// RunIncremental model-checks property propIdx with a single live solver
+// across the whole depth loop — the assumption-based incremental
+// counterpart of Run. Instead of rebuilding every unrolling from scratch,
+// each depth adds only the new frame's clauses (unroll.Delta.Frame) and
+// solves under the depth's activation-literal assumption
+// (sat.SolveAssuming), so learned clauses, VSIDS scores, and saved phases
+// compound across depths.
+//
+// The refinement feedback loop survives intact: an incremental CDG
+// recorder (core.IncrementalRecorder) persists across depths, each UNSAT
+// depth's core — original clauses reached from that depth's final
+// conflict, which may travel through learned clauses of earlier frames —
+// is folded into the score board, and the current strategy's guidance is
+// re-applied to the live solver before every SolveAssuming
+// (sat.SetGuidance).
+//
+// Verdicts and counter-example depths are identical to Run's: the clause
+// set with actₖ assumed is equisatisfiable with the scratch depth-k
+// instance. Only the search effort differs (DepthStats record per-call
+// deltas, not lifetime totals).
+func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
+	u, err := unroll.New(c, propIdx)
+	if err != nil {
+		return nil, err
+	}
+	d := u.Delta()
+	start := time.Now()
+	board := core.NewScoreBoard(opts.ScoreMode)
+	res := &Result{Verdict: Holds, Depth: -1}
+
+	useCores := opts.Strategy == core.OrderStatic || opts.Strategy == core.OrderDynamic
+	divisor := opts.SwitchDivisor
+	if divisor == 0 {
+		divisor = core.SwitchDivisor
+	}
+
+	solverOpts := opts.Solver
+	solverOpts.Guidance = nil
+	solverOpts.SwitchAfterDecisions = 0
+	solverOpts.Recorder = nil
+	if opts.PerInstanceConflicts > 0 {
+		// MaxConflicts bounds each SolveAssuming call (per-call counters
+		// reset between depths), mirroring Run's per-instance budget.
+		solverOpts.MaxConflicts = opts.PerInstanceConflicts
+	}
+	if !opts.Deadline.IsZero() {
+		solverOpts.Deadline = opts.Deadline
+	}
+	var rec *core.IncrementalRecorder
+	if useCores || opts.ForceRecording {
+		rec = core.NewIncrementalRecorder()
+		solverOpts.Recorder = rec
+	}
+
+	s := sat.New(cnf.New(0), solverOpts)
+	// clausesByID maps original-clause proof IDs back to literals for core
+	// extraction (the incremental analogue of indexing f.Clauses).
+	clausesByID := make(map[sat.ClauseID]cnf.Clause)
+	totalClauses, totalLits := 0, 0
+
+	for k := 0; k <= opts.MaxDepth; k++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			res.Verdict = BudgetExhausted
+			res.Depth = k
+			break
+		}
+		depthStart := time.Now()
+		frame := d.Frame(k)
+		s.AddVars(frame.NumVars)
+		for _, cl := range frame.Clauses {
+			id := s.AddClause(cl)
+			if rec != nil {
+				clausesByID[id] = cl
+			}
+			totalLits += len(cl)
+		}
+		totalClauses += frame.NumClauses()
+
+		applyIncrementalStrategy(s, opts.Strategy, board, d, k, totalLits, divisor)
+
+		r := s.SolveAssuming([]lits.Lit{d.ActLit(k)})
+		ds := DepthStats{
+			K:              k,
+			Status:         r.Status,
+			Stats:          r.Stats,
+			FormulaVars:    frame.NumVars,
+			FormulaClauses: totalClauses,
+			FormulaLits:    totalLits,
+		}
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Verdict = Falsified
+			res.Depth = k
+			res.Trace = d.ExtractTrace(r.Model, k)
+			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("bmc: incremental depth-%d counter-example failed replay on %s", k, c.Name())
+			}
+			res.TotalTime = time.Since(start)
+			return res, nil
+		case sat.Unsat:
+			if rec != nil && rec.HasProof() {
+				coreIDs := rec.Core()
+				coreVars := incrementalCoreVars(d, coreIDs, clausesByID, frame.NumVars)
+				ds.CoreClauses = len(coreIDs)
+				ds.CoreVars = len(coreVars)
+				ds.RecorderBytes = rec.ApproxBytes()
+				if useCores {
+					// update_ranking: weight by the 1-based instance number
+					// (the paper's j), exactly as in the scratch loop.
+					board.Update(coreVars, k+1)
+				}
+				rec.ResetFinal()
+			}
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Depth = k
+		default: // Unknown: budget exhausted mid-instance
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Verdict = BudgetExhausted
+			res.Depth = k
+			res.TotalTime = time.Since(start)
+			return res, nil
+		}
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// applyIncrementalStrategy re-applies one ordering strategy to the live
+// solver before the depth-k SolveAssuming — the incremental counterpart of
+// configureStrategy, using delta numbering throughout.
+func applyIncrementalStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, d *unroll.Delta, k, totalLits, divisor int) {
+	nVars := d.NumVars(k)
+	switch st {
+	case core.OrderStatic:
+		s.SetGuidance(board.Guidance(nVars), 0)
+	case core.OrderDynamic:
+		var switchAfter int64
+		if divisor > 0 {
+			switchAfter = int64(totalLits / divisor)
+			if switchAfter < 1 {
+				switchAfter = 1
+			}
+		}
+		s.SetGuidance(board.Guidance(nVars), switchAfter)
+	case TimeAxis:
+		g := make([]float64, nVars+1)
+		for v := 1; v <= nVars; v++ {
+			_, frame, _ := d.NodeOf(lits.Var(v))
+			g[v] = float64(k + 1 - frame)
+		}
+		s.SetGuidance(g, 0)
+	default: // OrderVSIDS: plain Chaff ordering
+		s.SetGuidance(nil, 0)
+	}
+}
+
+// incrementalCoreVars maps unsat-core clause IDs back to the distinct
+// circuit variables occurring in them, excluding activation variables
+// (guard plumbing, not circuit state — the paper's bmc_score ranks circuit
+// variables only). Sorted ascending like Recorder.CoreVars.
+func incrementalCoreVars(d *unroll.Delta, coreIDs []sat.ClauseID, clausesByID map[sat.ClauseID]cnf.Clause, nVars int) []lits.Var {
+	seen := make([]bool, nVars+1)
+	var out []lits.Var
+	for _, id := range coreIDs {
+		for _, l := range clausesByID[id] {
+			v := l.Var()
+			if int(v) > nVars || seen[v] {
+				continue
+			}
+			seen[v] = true
+			if _, _, isAct := d.NodeOf(v); isAct {
+				continue
+			}
+			out = append(out, v)
+		}
+	}
+	// insertion sort — core variable sets are small relative to formulas
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

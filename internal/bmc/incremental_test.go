@@ -1,0 +1,217 @@
+package bmc_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+)
+
+func mustParseSet(t *testing.T, s string) portfolio.StrategySet {
+	t.Helper()
+	set, err := portfolio.ParseSet(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestIncrementalAgreesWithScratchSuite is the acceptance criterion of the
+// incremental engine: on every internal/bench family, RunIncremental must
+// return the verdict and counter-example depth of the scratch Run. Failing
+// rows run to their full suite depth (the counter-example length must match
+// exactly); passing rows are depth-capped to keep the sweep fast.
+func TestIncrementalAgreesWithScratchSuite(t *testing.T) {
+	for _, m := range bench.Suite() {
+		depth := m.MaxDepth
+		if !m.ExpectFail && depth > 5 {
+			depth = 5
+		}
+		if testing.Short() && m.ExpectFail && depth > 10 {
+			depth = 10
+		}
+		opts := bmc.Options{
+			MaxDepth: depth,
+			Strategy: core.OrderDynamic,
+			Solver:   sat.Defaults(),
+		}
+		sres, err := bmc.Run(m.Build(), 0, opts)
+		if err != nil {
+			t.Fatalf("%s scratch: %v", m.Name, err)
+		}
+		ires, err := bmc.RunIncremental(m.Build(), 0, opts)
+		if err != nil {
+			t.Fatalf("%s incremental: %v", m.Name, err)
+		}
+		if sres.Verdict != ires.Verdict || sres.Depth != ires.Depth {
+			t.Errorf("%s: incremental (%v, depth %d) disagrees with scratch (%v, depth %d)",
+				m.Name, ires.Verdict, ires.Depth, sres.Verdict, sres.Depth)
+		}
+		if m.ExpectFail && !testing.Short() && ires.Verdict == bmc.Falsified && ires.Depth != m.FailDepth {
+			t.Errorf("%s: counter-example at depth %d, ground truth %d", m.Name, ires.Depth, m.FailDepth)
+		}
+	}
+}
+
+// TestIncrementalAllStrategies checks verdict agreement for every ordering
+// strategy on one model from each verdict class.
+func TestIncrementalAllStrategies(t *testing.T) {
+	models := []struct {
+		name    string
+		depth   int
+		verdict bmc.Verdict
+		vDepth  int
+	}{
+		{"cnt_w4_t9", 12, bmc.Falsified, 9},
+		{"twin_w8", 6, bmc.Holds, 6},
+	}
+	for _, tc := range models {
+		m, ok := bench.ByName(tc.name)
+		if !ok {
+			t.Fatalf("model %s missing", tc.name)
+		}
+		for _, st := range []core.Strategy{core.OrderVSIDS, core.OrderStatic, core.OrderDynamic, bmc.TimeAxis} {
+			res, err := bmc.RunIncremental(m.Build(), 0, bmc.Options{
+				MaxDepth: tc.depth,
+				Strategy: st,
+				Solver:   sat.Defaults(),
+			})
+			if err != nil {
+				t.Fatalf("%s/%v: %v", tc.name, st, err)
+			}
+			if res.Verdict != tc.verdict || res.Depth != tc.vDepth {
+				t.Errorf("%s/%v: verdict=%v depth=%d, want %v at %d",
+					tc.name, st, res.Verdict, res.Depth, tc.verdict, tc.vDepth)
+			}
+		}
+	}
+}
+
+// TestIncrementalExtractsCores: the incremental CDG must yield a nonempty
+// core at every UNSAT depth under the core-consuming strategies, and the
+// trace of a falsifying run must replay (checked inside RunIncremental).
+func TestIncrementalExtractsCores(t *testing.T) {
+	m, ok := bench.ByName("twin_w8")
+	if !ok {
+		t.Fatal("model twin_w8 missing")
+	}
+	res, err := bmc.RunIncremental(m.Build(), 0, bmc.Options{
+		MaxDepth: 5,
+		Strategy: core.OrderStatic,
+		Solver:   sat.Defaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.Holds {
+		t.Fatalf("verdict=%v", res.Verdict)
+	}
+	for _, d := range res.PerDepth {
+		if d.Status != sat.Unsat {
+			t.Fatalf("depth %d: status %v", d.K, d.Status)
+		}
+		if d.CoreClauses == 0 || d.CoreVars == 0 {
+			t.Errorf("depth %d: empty incremental core (%d clauses, %d vars)",
+				d.K, d.CoreClauses, d.CoreVars)
+		}
+	}
+}
+
+// TestIncrementalPerDepthStatsAreDeltas: DepthStats must record per-call
+// deltas whose sum is the run total, not cumulative lifetime counters.
+func TestIncrementalPerDepthStatsAreDeltas(t *testing.T) {
+	m, ok := bench.ByName("mix_w5")
+	if !ok {
+		t.Fatal("model mix_w5 missing")
+	}
+	res, err := bmc.RunIncremental(m.Build(), 0, bmc.Options{
+		MaxDepth: 4,
+		Strategy: core.OrderVSIDS,
+		Solver:   sat.Defaults(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var conf, dec int64
+	for _, d := range res.PerDepth {
+		conf += d.Stats.Conflicts
+		dec += d.Stats.Decisions
+	}
+	if res.Total.Conflicts != conf || res.Total.Decisions != dec {
+		t.Errorf("totals (%d conf, %d dec) != per-depth sums (%d, %d)",
+			res.Total.Conflicts, res.Total.Decisions, conf, dec)
+	}
+}
+
+func TestIncrementalBudgetExhausted(t *testing.T) {
+	m, ok := bench.ByName("mix_w8")
+	if !ok {
+		t.Fatal("model mix_w8 missing")
+	}
+	res, err := bmc.RunIncremental(m.Build(), 0, bmc.Options{
+		MaxDepth:             8,
+		Strategy:             core.OrderVSIDS,
+		Solver:               sat.Defaults(),
+		PerInstanceConflicts: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.BudgetExhausted {
+		t.Errorf("verdict=%v, want budget-exhausted", res.Verdict)
+	}
+}
+
+func TestIncrementalDeadlineInPast(t *testing.T) {
+	m, ok := bench.ByName("twin_w8")
+	if !ok {
+		t.Fatal("model twin_w8 missing")
+	}
+	res, err := bmc.RunIncremental(m.Build(), 0, bmc.Options{
+		MaxDepth: 10,
+		Strategy: core.OrderVSIDS,
+		Solver:   sat.Defaults(),
+		Deadline: time.Now().Add(-time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.BudgetExhausted || res.Depth != 0 {
+		t.Errorf("verdict=%v depth=%d, want budget-exhausted at 0", res.Verdict, res.Depth)
+	}
+}
+
+// TestPortfolioClearsCallerRecorder is the regression test for the shared-
+// recorder data race: a caller-supplied Recorder on a vsids/timeaxis-only
+// strategy set used to be shared verbatim by all racing goroutines (a data
+// race on core.Recorder's slices, visible under -race and as out-of-order
+// clause-ID panics). RunPortfolio must clear it like Run does.
+func TestPortfolioClearsCallerRecorder(t *testing.T) {
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	set := mustParseSet(t, "vsids,timeaxis")
+	opts := bmc.PortfolioOptions{
+		Options: bmc.Options{
+			MaxDepth: 9,
+			Solver:   sat.Defaults(),
+		},
+		Strategies: set,
+		Jobs:       2,
+	}
+	// The dangerous input: a recorder in the base solver options while no
+	// strategy in the set consumes cores.
+	opts.Solver.Recorder = core.NewRecorder(0)
+	res, err := bmc.RunPortfolio(m.Build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != bmc.Falsified || res.Depth != 9 {
+		t.Errorf("verdict=%v depth=%d, want falsified at 9", res.Verdict, res.Depth)
+	}
+}

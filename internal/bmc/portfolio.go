@@ -98,6 +98,10 @@ func RunPortfolio(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*Port
 			solverOpts := opts.Solver
 			solverOpts.Guidance = nil
 			solverOpts.SwitchAfterDecisions = 0
+			// Clear any caller-supplied recorder, exactly as Run does: a
+			// single recorder shared by all racing goroutines would be a
+			// data race (each racer below gets its own when cores are on).
+			solverOpts.Recorder = nil
 			if opts.PerInstanceConflicts > 0 {
 				solverOpts.MaxConflicts = opts.PerInstanceConflicts
 			}

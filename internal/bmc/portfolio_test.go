@@ -30,7 +30,7 @@ func TestPortfolioAgreesWithSingleOrders(t *testing.T) {
 		depth int
 	}{
 		{"twin_w8", 6},    // holds up to the bound
-		{"cnt_w4_t9", 10},  // falsified
+		{"cnt_w4_t9", 10}, // falsified
 		{"lock_s8", 10},   // falsified
 		{"mix_w5", 4},     // holds, conflict-heavy
 	}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/sat"
+)
+
+// IncrementalRecorder is the simplified CDG for a long-lived incremental
+// solver (sat.Solver reused across BMC depths via AddClause/SolveAssuming).
+// It differs from Recorder in two ways forced by incrementality:
+//
+//   - clause IDs of originals and learnts interleave — original clauses are
+//     added between solves, after learned clauses already exist — so
+//     originals cannot be identified by an ID threshold. Instead, any ID
+//     that never arrived through RecordLearned is an original.
+//   - RecordFinal fires once per unsatisfiable depth, not once per solver
+//     lifetime. The dependency records persist across depths (learned
+//     clauses from earlier frames legitimately appear in later proofs —
+//     that is the compounding the incremental loop exists for); only the
+//     final-conflict marker is per-depth, cleared with ResetFinal.
+//
+// It implements sat.ProofRecorder.
+type IncrementalRecorder struct {
+	deps      map[sat.ClauseID][]sat.ClauseID
+	finalAnts []sat.ClauseID
+	final     bool
+	totalAnts int64
+}
+
+// NewIncrementalRecorder creates an empty incremental recorder.
+func NewIncrementalRecorder() *IncrementalRecorder {
+	return &IncrementalRecorder{deps: make(map[sat.ClauseID][]sat.ClauseID)}
+}
+
+// RecordLearned implements sat.ProofRecorder. Antecedent slices are copied.
+func (r *IncrementalRecorder) RecordLearned(id sat.ClauseID, antecedents []sat.ClauseID) {
+	ants := make([]sat.ClauseID, len(antecedents))
+	copy(ants, antecedents)
+	r.deps[id] = ants
+	r.totalAnts += int64(len(ants))
+}
+
+// RecordFinal implements sat.ProofRecorder. For an incremental solver it is
+// called once per unsatisfiable SolveAssuming (either a level-0 refutation
+// or a failed-assumption analysis); the previous final conflict, if any, is
+// replaced.
+func (r *IncrementalRecorder) RecordFinal(antecedents []sat.ClauseID) {
+	r.finalAnts = make([]sat.ClauseID, len(antecedents))
+	copy(r.finalAnts, antecedents)
+	r.final = true
+}
+
+// HasProof reports whether a final conflict is currently recorded.
+func (r *IncrementalRecorder) HasProof() bool { return r.final }
+
+// ResetFinal clears the final-conflict marker between depths while keeping
+// every dependency record (the clause database persists, so must the CDG).
+func (r *IncrementalRecorder) ResetFinal() {
+	r.final = false
+	r.finalAnts = nil
+}
+
+// NumLearnedRecorded returns the number of learned-clause records.
+func (r *IncrementalRecorder) NumLearnedRecorded() int { return len(r.deps) }
+
+// ApproxBytes estimates the recorder's memory footprint.
+func (r *IncrementalRecorder) ApproxBytes() int64 {
+	// 4 bytes per antecedent ID plus per-record map overhead.
+	return r.totalAnts*4 + int64(len(r.deps))*48
+}
+
+// Core traverses the CDG backward from the current final conflict and
+// returns the sorted IDs of the original clauses in the unsat core — the
+// exact counterpart of Recorder.Core, except that "original" means "never
+// recorded as learned". It returns nil when no final conflict is recorded.
+func (r *IncrementalRecorder) Core() []sat.ClauseID {
+	if !r.final {
+		return nil
+	}
+	visited := make(map[sat.ClauseID]bool)
+	inCore := make(map[sat.ClauseID]bool)
+	stack := append([]sat.ClauseID(nil), r.finalAnts...)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if visited[id] {
+			continue
+		}
+		visited[id] = true
+		ants, learned := r.deps[id]
+		if !learned {
+			inCore[id] = true
+			continue
+		}
+		stack = append(stack, ants...)
+	}
+	out := make([]sat.ClauseID, 0, len(inCore))
+	for id := range inCore {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -365,3 +365,35 @@ func TestRunPortfolioAblationSmall(t *testing.T) {
 		}
 	}
 }
+
+func TestRunIncrementalAblationSmall(t *testing.T) {
+	res, err := RunIncrementalAblation(tinyCfg(), core.OrderDynamic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	if res.Disagreements != 0 {
+		t.Fatalf("%d verdict disagreements between incremental and scratch", res.Disagreements)
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.TimeScratch <= 0 || row.TimeIncremental <= 0 {
+			t.Errorf("%s: nonpositive wall time", row.Name)
+		}
+		if row.ConflictsScratch < 0 || row.ConflictsIncremental < 0 {
+			t.Errorf("%s: negative conflict counts", row.Name)
+		}
+	}
+	if res.UnsatRows == 0 {
+		t.Fatalf("tiny config must contain UNSAT-heavy rows")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	for _, want := range []string{"Incremental vs scratch", "TOTAL", "conflicts saved"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

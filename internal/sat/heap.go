@@ -57,6 +57,14 @@ func (h *litHeap) popMax() lits.Lit {
 	return top
 }
 
+// grow extends the position index to cover variables 1..nVars (incremental
+// variable addition); new literals are absent until inserted.
+func (h *litHeap) grow(nVars int) {
+	for len(h.pos) < 2*nVars+2 {
+		h.pos = append(h.pos, -1)
+	}
+}
+
 // rebuild re-establishes the heap property after a bulk comparator change
 // (VSIDS rescore or guidance switch). O(n).
 func (h *litHeap) rebuild() {

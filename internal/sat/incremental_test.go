@@ -1,0 +1,388 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bruteforce"
+	"repro/internal/cnf"
+	"repro/internal/lits"
+)
+
+func TestSolveAssumingSat(t *testing.T) {
+	f := cnf.New(3)
+	f.Add(1, 2)
+	f.Add(-2, 3)
+	s := New(f, Defaults())
+	res := s.SolveAssuming([]lits.Lit{lits.NegLit(1)})
+	if res.Status != Sat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Model.Value(1) != lits.False {
+		t.Errorf("assumption ¬x1 not honored: %v", res.Model.Value(1))
+	}
+	if err := VerifyModel(f, res.Model); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveAssumingUnsatIsNotSticky(t *testing.T) {
+	// x1 → x2 → x3; assuming x1 ∧ ¬x3 is inconsistent, but the clauses
+	// alone are satisfiable, so the solver must stay reusable.
+	f := cnf.New(3)
+	f.Add(-1, 2)
+	f.Add(-2, 3)
+	s := New(f, Defaults())
+
+	res := s.SolveAssuming([]lits.Lit{lits.PosLit(1), lits.NegLit(3)})
+	if res.Status != Unsat {
+		t.Fatalf("status=%v, want UNSAT under contradictory assumptions", res.Status)
+	}
+	if len(res.FailedAssumptions) == 0 {
+		t.Fatalf("missing failed assumptions")
+	}
+
+	res = s.Solve()
+	if res.Status != Sat {
+		t.Fatalf("after assumption-unsat: status=%v, want SAT", res.Status)
+	}
+
+	res = s.SolveAssuming([]lits.Lit{lits.PosLit(1)})
+	if res.Status != Sat || res.Model.Value(3) != lits.True {
+		t.Fatalf("x1 assumption must imply x3: status=%v model=%v", res.Status, res.Model)
+	}
+}
+
+func TestFailedAssumptionsSubset(t *testing.T) {
+	// x1 → x2 → x3. Assume a free variable x5, then x1, then ¬x3: only
+	// {x1, ¬x3} are inconsistent; x5 must not appear in the failed set.
+	f := cnf.New(5)
+	f.Add(-1, 2)
+	f.Add(-2, 3)
+	s := New(f, Defaults())
+	res := s.SolveAssuming([]lits.Lit{lits.PosLit(5), lits.PosLit(1), lits.NegLit(3)})
+	if res.Status != Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	got := map[lits.Lit]bool{}
+	for _, l := range res.FailedAssumptions {
+		got[l] = true
+	}
+	if !got[lits.NegLit(3)] || !got[lits.PosLit(1)] {
+		t.Errorf("failed set %v must contain x1 and ¬x3", res.FailedAssumptions)
+	}
+	if got[lits.PosLit(5)] {
+		t.Errorf("free assumption x5 leaked into failed set %v", res.FailedAssumptions)
+	}
+}
+
+func TestFailedAssumptionContradictsLevel0(t *testing.T) {
+	// Unit clause ¬x1: assuming x1 fails by itself at level 0.
+	f := cnf.New(2)
+	f.Add(-1)
+	s := New(f, Defaults())
+	res := s.SolveAssuming([]lits.Lit{lits.PosLit(1)})
+	if res.Status != Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if len(res.FailedAssumptions) != 1 || res.FailedAssumptions[0] != lits.PosLit(1) {
+		t.Errorf("failed=%v, want [x1]", res.FailedAssumptions)
+	}
+	if res := s.Solve(); res.Status != Sat {
+		t.Fatalf("formula alone must stay SAT, got %v", res.Status)
+	}
+}
+
+func TestContradictoryAssumptionPair(t *testing.T) {
+	s := New(cnf.New(2), Defaults())
+	res := s.SolveAssuming([]lits.Lit{lits.PosLit(1), lits.NegLit(1)})
+	if res.Status != Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	got := map[lits.Lit]bool{}
+	for _, l := range res.FailedAssumptions {
+		got[l] = true
+	}
+	if !got[lits.PosLit(1)] || !got[lits.NegLit(1)] {
+		t.Errorf("failed=%v, want both x1 and ¬x1", res.FailedAssumptions)
+	}
+}
+
+func TestAddClauseGrowsSolver(t *testing.T) {
+	f := cnf.New(2)
+	f.Add(1, 2)
+	s := New(f, Defaults())
+	// Clause over variables beyond the construction-time count.
+	s.AddClause(cnf.NewClause(-1, 5))
+	s.AddClause(cnf.NewClause(-5, 6))
+	if s.NumVars() != 6 {
+		t.Fatalf("NumVars=%d, want 6", s.NumVars())
+	}
+	res := s.SolveAssuming([]lits.Lit{lits.PosLit(1)})
+	if res.Status != Sat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Model.Value(5) != lits.True || res.Model.Value(6) != lits.True {
+		t.Errorf("x1 must imply x5 and x6: %v", res.Model)
+	}
+}
+
+func TestAddClauseUnitConflictIsSticky(t *testing.T) {
+	f := cnf.New(1)
+	f.Add(1)
+	s := New(f, Defaults())
+	if res := s.Solve(); res.Status != Sat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	s.AddClause(cnf.NewClause(-1))
+	if res := s.Solve(); res.Status != Unsat {
+		t.Fatalf("after contradicting unit: status=%v", res.Status)
+	}
+	// A formula-level UNSAT is sticky: further calls keep reporting it.
+	if res := s.SolveAssuming([]lits.Lit{}); res.Status != Unsat {
+		t.Fatalf("sticky unsat lost: %v", res.Status)
+	}
+}
+
+func TestAddClauseSatisfiedAndFalsifiedLiterals(t *testing.T) {
+	// After level-0 propagation fixes x1 true, add clauses whose literals
+	// are already satisfied or falsified at level 0.
+	f := cnf.New(3)
+	f.Add(1)
+	s := New(f, Defaults())
+	if res := s.Solve(); res.Status != Sat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	s.AddClause(cnf.NewClause(1, 2))  // satisfied at level 0
+	s.AddClause(cnf.NewClause(-1, 3)) // unit under level 0: forces x3
+	res := s.Solve()
+	if res.Status != Sat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Model.Value(3) != lits.True {
+		t.Errorf("x3 must be forced, model=%v", res.Model)
+	}
+}
+
+// TestIncrementalMatchesScratch is the central equivalence property of the
+// incremental interface: adding clauses in batches with solves in between
+// must agree with solving the accumulated formula from scratch (verified
+// against brute force for good measure).
+func TestIncrementalMatchesScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 120; iter++ {
+		nVars := rng.Intn(9) + 2
+		full := randomCNF(rng, nVars, rng.Intn(4*nVars)+2, 3)
+		cut := rng.Intn(len(full.Clauses))
+
+		first := cnf.New(nVars)
+		for _, c := range full.Clauses[:cut] {
+			first.AddClause(c)
+		}
+		s := New(first, Defaults())
+		s.Solve() // warm the clause database mid-stream
+		for _, c := range full.Clauses[cut:] {
+			s.AddClause(c)
+		}
+		res := s.Solve()
+
+		want, _, err := bruteforce.Solve(full)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status == Unknown || (res.Status == Sat) != want {
+			t.Fatalf("iter %d: incremental=%v bruteforce=%v\n%s", iter, res.Status, want, cnf.DimacsString(full))
+		}
+		if res.Status == Sat {
+			if err := VerifyModel(full, res.Model); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+	}
+}
+
+// TestAssumptionsMatchUnits: solving under assumptions must agree with
+// solving the formula extended by the assumption units from scratch.
+func TestAssumptionsMatchUnits(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for iter := 0; iter < 120; iter++ {
+		nVars := rng.Intn(9) + 2
+		f := randomCNF(rng, nVars, rng.Intn(4*nVars)+2, 3)
+		var assumps []lits.Lit
+		withUnits := f.Copy()
+		for v := 1; v <= nVars; v++ {
+			if rng.Intn(3) == 0 {
+				l := lits.MkLit(lits.Var(v), rng.Intn(2) == 0)
+				assumps = append(assumps, l)
+				withUnits.AddUnit(l)
+			}
+		}
+		got := New(f, Defaults()).SolveAssuming(assumps)
+		want, _, err := bruteforce.Solve(withUnits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Status == Unknown || (got.Status == Sat) != want {
+			t.Fatalf("iter %d: assuming=%v units-bruteforce=%v", iter, got.Status, want)
+		}
+		if got.Status == Unsat {
+			// The failed subset must itself be inconsistent with the
+			// formula: re-adding it as units must be unsat.
+			check := f.Copy()
+			for _, l := range got.FailedAssumptions {
+				check.AddUnit(l)
+			}
+			sub, _, err := bruteforce.Solve(check)
+			if err == nil && sub {
+				t.Fatalf("iter %d: failed subset %v is not actually inconsistent", iter, got.FailedAssumptions)
+			}
+		}
+	}
+}
+
+func TestPerCallStatsReset(t *testing.T) {
+	f := pigeonhole(6, 5)
+	s := New(f, Defaults())
+	r1 := s.SolveAssuming(nil)
+	if r1.Status != Unsat || r1.Stats.Conflicts == 0 {
+		t.Fatalf("first call: %v, %d conflicts", r1.Status, r1.Stats.Conflicts)
+	}
+	r2 := s.SolveAssuming(nil)
+	if r2.Status != Unsat {
+		t.Fatalf("second call: %v", r2.Status)
+	}
+	// A sticky formula-level UNSAT answers immediately: per-call stats must
+	// be fresh, not carry the first call's search.
+	if r2.Stats.Conflicts != 0 || r2.Stats.Decisions != 0 {
+		t.Errorf("second call stats not per-call: %+v", r2.Stats)
+	}
+	life := s.Stats()
+	if life.Conflicts != r1.Stats.Conflicts+r2.Stats.Conflicts {
+		t.Errorf("lifetime conflicts %d != %d + %d", life.Conflicts, r1.Stats.Conflicts, r2.Stats.Conflicts)
+	}
+}
+
+func TestIncrementalDeterminism(t *testing.T) {
+	run := func() Result {
+		rng := rand.New(rand.NewSource(17))
+		f := randomCNF(rng, 30, 100, 3)
+		s := New(f, Defaults())
+		s.Solve()
+		extra := randomCNF(rng, 30, 30, 3)
+		for _, c := range extra.Clauses {
+			s.AddClause(c)
+		}
+		return s.SolveAssuming([]lits.Lit{lits.PosLit(1)})
+	}
+	r1, r2 := run(), run()
+	if r1.Status != r2.Status || r1.Stats.Decisions != r2.Stats.Decisions ||
+		r1.Stats.Conflicts != r2.Stats.Conflicts {
+		t.Fatalf("non-deterministic: %+v vs %+v", r1.Stats, r2.Stats)
+	}
+}
+
+func TestSetGuidanceRearmsPerCall(t *testing.T) {
+	f := pigeonhole(6, 5)
+	guid := make([]float64, 6*5+1)
+	for i := range guid {
+		guid[i] = 1
+	}
+	s := New(f, Defaults())
+	s.SetGuidance(guid, 5)
+	r1 := s.SolveAssuming(nil)
+	if r1.Status != Unsat || !r1.Stats.GuidanceSwitched {
+		t.Fatalf("first call: %v switched=%v", r1.Status, r1.Stats.GuidanceSwitched)
+	}
+	// Replacing the guidance must re-arm it for the next call.
+	s.SetGuidance(guid, 0)
+	r2 := s.SolveAssuming(nil)
+	if r2.Stats.GuidanceSwitched {
+		t.Errorf("threshold 0 must never switch")
+	}
+}
+
+// --- satellite regressions ---
+
+// TestDeadlineHonoredOnDecisionPath: a decision/propagation-heavy solve
+// with zero conflicts previously checked Options.Deadline only on the
+// conflict path and ran to completion unboundedly. It must now abort.
+func TestDeadlineHonoredOnDecisionPath(t *testing.T) {
+	// 200 independent implication blocks: each needs one decision on its
+	// head and then a unit-propagation chain; no conflicts ever occur.
+	const blocks, width = 200, 6
+	f := cnf.New(blocks * width)
+	for b := 0; b < blocks; b++ {
+		head := b*width + 1
+		for i := 0; i < width-1; i++ {
+			f.Add(-(head + i), head+i+1)
+		}
+	}
+	opts := Defaults()
+	opts.Deadline = time.Now().Add(-time.Second)
+	res := New(f, opts).Solve()
+	if res.Status != Unknown {
+		t.Fatalf("expired deadline ignored on the decision path: status=%v after %d decisions",
+			res.Status, res.Stats.Decisions)
+	}
+	if res.Stats.Conflicts != 0 {
+		t.Fatalf("test premise broken: %d conflicts occurred", res.Stats.Conflicts)
+	}
+	// The overshoot is bounded by the polling cadence (default 64 steps),
+	// not by the instance size.
+	if res.Stats.Decisions > 2*64+2 {
+		t.Errorf("deadline overshoot: %d decisions before abort", res.Stats.Decisions)
+	}
+}
+
+// TestStatsAddCarriesSwitchDecision: Add previously propagated
+// GuidanceSwitched but dropped SwitchDecision, so aggregated totals always
+// reported 0.
+func TestStatsAddCarriesSwitchDecision(t *testing.T) {
+	var total Stats
+	total.Add(Stats{Decisions: 7})
+	total.Add(Stats{Decisions: 9, GuidanceSwitched: true, SwitchDecision: 42})
+	if !total.GuidanceSwitched || total.SwitchDecision != 42 {
+		t.Fatalf("SwitchDecision dropped: %+v", total)
+	}
+	// First nonzero wins; later switches do not overwrite it.
+	total.Add(Stats{GuidanceSwitched: true, SwitchDecision: 99})
+	if total.SwitchDecision != 42 {
+		t.Errorf("SwitchDecision overwritten: %d", total.SwitchDecision)
+	}
+}
+
+// TestWithDefaultsRestartInc: RestartInc 1.0 (constant-interval geometric
+// restarts) is a legitimate setting and must survive defaulting; only the
+// zero value is defaulted, and sub-1.0 values are clamped up.
+func TestWithDefaultsRestartInc(t *testing.T) {
+	if got := (Options{RestartInc: 1.0}).withDefaults().RestartInc; got != 1.0 {
+		t.Errorf("RestartInc 1.0 overwritten to %v", got)
+	}
+	if got := (Options{}).withDefaults().RestartInc; got != 1.5 {
+		t.Errorf("zero RestartInc defaulted to %v, want 1.5", got)
+	}
+	if got := (Options{RestartInc: 0.5}).withDefaults().RestartInc; got != 1.0 {
+		t.Errorf("RestartInc 0.5 clamped to %v, want 1.0", got)
+	}
+}
+
+// TestConstantIntervalRestarts exercises the configuration the old
+// defaulting made unexpressible end to end.
+func TestConstantIntervalRestarts(t *testing.T) {
+	opts := Defaults()
+	opts.LubyRestarts = false
+	opts.RestartFirst = 16
+	opts.RestartInc = 1.0
+	s := New(pigeonhole(6, 5), opts)
+	if lim := s.restartLimit(5); lim != 16 {
+		t.Fatalf("interval 5 budget = %d, want constant 16", lim)
+	}
+	res := s.Solve()
+	if res.Status != Unsat {
+		t.Fatalf("status=%v", res.Status)
+	}
+	if res.Stats.Restarts == 0 {
+		t.Errorf("expected restarts at constant interval 16")
+	}
+}

@@ -153,8 +153,12 @@ func Defaults() Options {
 	}
 }
 
-// withDefaults fills zero-valued tuning fields. Boolean flags are taken
-// as-is (callers wanting paper defaults should start from Defaults()).
+// withDefaults fills zero-valued tuning fields and validates the rest.
+// Boolean flags are taken as-is (callers wanting paper defaults should
+// start from Defaults()). Only a zero RestartInc is defaulted (to 1.5):
+// RestartInc = 1.0 is a legitimate configuration meaning constant-interval
+// geometric restarts, and values below 1.0 (which would shrink intervals)
+// are clamped up to 1.0.
 func (o Options) withDefaults() Options {
 	if o.RescoreInterval <= 0 {
 		o.RescoreInterval = 255
@@ -162,8 +166,10 @@ func (o Options) withDefaults() Options {
 	if o.RestartFirst <= 0 {
 		o.RestartFirst = 100
 	}
-	if o.RestartInc <= 1.0 {
+	if o.RestartInc == 0 {
 		o.RestartInc = 1.5
+	} else if o.RestartInc < 1.0 {
+		o.RestartInc = 1.0
 	}
 	if o.MaxLearntFrac <= 0 {
 		o.MaxLearntFrac = 1.0 / 3.0
@@ -198,7 +204,9 @@ type Stats struct {
 	SolveTime time.Duration
 }
 
-// Add accumulates other into s (SolveTime sums; MaxLevel takes the max).
+// Add accumulates other into s (SolveTime sums; MaxLevel takes the max;
+// SwitchDecision keeps the first nonzero value, i.e. the decision count of
+// the earliest solve whose dynamic switch fired).
 func (s *Stats) Add(other Stats) {
 	s.Decisions += other.Decisions
 	s.Implications += other.Implications
@@ -211,15 +219,24 @@ func (s *Stats) Add(other Stats) {
 		s.MaxLevel = other.MaxLevel
 	}
 	s.GuidanceSwitched = s.GuidanceSwitched || other.GuidanceSwitched
+	if s.SwitchDecision == 0 {
+		s.SwitchDecision = other.SwitchDecision
+	}
 	s.SolveTime += other.SolveTime
 }
 
 // Result is the outcome of Solve: the status, the model when satisfiable,
-// and the search statistics.
+// and the search statistics (per-call for a reused incremental solver).
 type Result struct {
 	Status Status
 	// Model is a total assignment satisfying the formula; only valid when
 	// Status == Sat. Variables not occurring in any clause default false.
 	Model lits.Assignment
-	Stats Stats
+	// FailedAssumptions is an inconsistent subset of the literals passed to
+	// SolveAssuming, set when Status == Unsat was established under
+	// assumptions (nil when the clause set is unsatisfiable outright). It
+	// is the assumption-level analogue of an unsat core: the clauses remain
+	// satisfiable without these assumptions as far as this call proved.
+	FailedAssumptions []lits.Lit
+	Stats             Stats
 }

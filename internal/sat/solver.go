@@ -28,9 +28,14 @@ import (
 )
 
 // Solver holds the complete search state for one formula. A Solver is
-// single-use: build with New, call Solve once, then discard. (BMC in this
-// repo follows the paper in solving each unrolling from scratch; score
-// state that persists across instances lives in internal/core, not here.)
+// reusable and incremental: build with New, then alternate AddVars/AddClause
+// (which grow the watch lists, scores, and decision heap in place) with
+// SolveAssuming calls that solve the current clause set under a literal
+// assumption list. Learned clauses, VSIDS scores, and saved phases persist
+// across calls, which is what lets a BMC loop compound its clause database
+// across unrolling depths instead of rebuilding every instance from scratch
+// (bmc.RunIncremental). Plain Solve is SolveAssuming(nil); single-use
+// callers need not know about any of this.
 type Solver struct {
 	opts  Options
 	nVars int
@@ -60,19 +65,35 @@ type Solver struct {
 	seen    []bool // per var scratch for analyze
 	toClear []lits.Var
 
-	maxLearnts    float64
-	nextLearnedID ClauseID
-	recording     bool
+	maxLearnts float64
+	// nextID is the shared clause-ID counter: original clauses added after
+	// construction and learned clauses draw from the same sequence, so IDs
+	// stay unique even when originals and learnts interleave across
+	// incremental SolveAssuming calls.
+	nextID    ClauseID
+	recording bool
 
 	status    Status
 	finalAnts []ClauseID
+
+	// assumps is the assumption list of the SolveAssuming call in progress:
+	// each literal is enqueued as the pseudo-decision of its own decision
+	// level before ordinary branching starts.
+	assumps []lits.Lit
 
 	// cooperative cancellation (Options.Stop); stopping gates all polling
 	// so the non-cancellable path costs nothing.
 	stopping      bool
 	sinceStopPoll int
 
-	stats Stats
+	// deadline polling shares the StopCheckEvery cadence and covers both
+	// the conflict and the decision path, so propagation-heavy solves with
+	// few conflicts still observe Options.Deadline.
+	hasDeadline       bool
+	sinceDeadlinePoll int
+
+	stats Stats // per-call counters (reset by each Solve/SolveAssuming)
+	total Stats // lifetime counters accumulated across calls
 
 	// restart bookkeeping
 	restartIdx    int
@@ -86,21 +107,22 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	opts = opts.withDefaults()
 	n := f.NumVars
 	s := &Solver{
-		opts:       opts,
-		nVars:      n,
-		watches:    make([][]watcher, 2*n+2),
-		assigns:    lits.NewAssignment(n),
-		reason:     make([]*clause, n+1),
-		level:      make([]int32, n+1),
-		chaScore:   make([]float64, 2*n+2),
-		newCount:   make([]int32, 2*n+2),
-		savedPhase: make([]int8, n+1),
-		seen:       make([]bool, n+1),
-		guid:       opts.Guidance,
-		guidActive: opts.Guidance != nil,
-		recording:  opts.Recorder != nil,
-		stopping:   opts.Stop != nil,
-		status:     Unknown,
+		opts:        opts,
+		nVars:       n,
+		watches:     make([][]watcher, 2*n+2),
+		assigns:     lits.NewAssignment(n),
+		reason:      make([]*clause, n+1),
+		level:       make([]int32, n+1),
+		chaScore:    make([]float64, 2*n+2),
+		newCount:    make([]int32, 2*n+2),
+		savedPhase:  make([]int8, n+1),
+		seen:        make([]bool, n+1),
+		guid:        opts.Guidance,
+		guidActive:  opts.Guidance != nil,
+		recording:   opts.Recorder != nil,
+		stopping:    opts.Stop != nil,
+		hasDeadline: !opts.Deadline.IsZero(),
+		status:      Unknown,
 	}
 	s.heap = newLitHeap(s, n)
 
@@ -150,7 +172,7 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	if s.maxLearnts < 1000 {
 		s.maxLearnts = 1000
 	}
-	s.nextLearnedID = ClauseID(len(f.Clauses))
+	s.nextID = ClauseID(len(f.Clauses))
 	s.heap.fill(n)
 	return s
 }
@@ -158,8 +180,135 @@ func New(f *cnf.Formula, opts Options) *Solver {
 // NumVars returns the variable count of the underlying formula.
 func (s *Solver) NumVars() int { return s.nVars }
 
-// Stats returns a snapshot of the current search statistics.
-func (s *Solver) Stats() Stats { return s.stats }
+// Stats returns a snapshot of the current search statistics. For a reused
+// solver the counters are lifetime totals across all Solve/SolveAssuming
+// calls (plus any enqueues made since the last call); each Result carries
+// its own per-call snapshot.
+func (s *Solver) Stats() Stats {
+	t := s.total
+	t.Add(s.stats)
+	return t
+}
+
+// AddVars grows the solver so variables 1..n exist, extending the watch
+// lists, score tables, and decision heap in place. Growing is idempotent;
+// shrinking is not supported. Part of the incremental interface: the BMC
+// delta unroller adds one frame's worth of variables per depth.
+func (s *Solver) AddVars(n int) {
+	if n <= s.nVars {
+		return
+	}
+	grown := make([][]watcher, 2*n+2)
+	copy(grown, s.watches)
+	s.watches = grown
+	for len(s.chaScore) < 2*n+2 {
+		s.chaScore = append(s.chaScore, 0)
+		s.newCount = append(s.newCount, 0)
+	}
+	for len(s.assigns) < n+1 {
+		s.assigns = append(s.assigns, lits.Undef)
+		s.reason = append(s.reason, nil)
+		s.level = append(s.level, 0)
+		s.savedPhase = append(s.savedPhase, 0)
+		s.seen = append(s.seen, false)
+	}
+	if s.guid != nil {
+		for len(s.guid) < n+1 {
+			s.guid = append(s.guid, 0)
+		}
+	}
+	s.heap.grow(n)
+	for v := lits.Var(s.nVars + 1); int(v) <= n; v++ {
+		s.heap.insert(lits.PosLit(v))
+		s.heap.insert(lits.NegLit(v))
+	}
+	s.nVars = n
+}
+
+// AddClause attaches an original clause to a live solver and returns its
+// proof ID (unique across originals and learnts, so incremental recorders
+// can map IDs back to clauses). The clause is copied. Variables beyond the
+// current count are added automatically. The solver first backtracks to
+// decision level 0 (discarding any model left by a previous Sat call);
+// implications of the new clause are enqueued immediately but only
+// propagated by the next solve call.
+func (s *Solver) AddClause(raw cnf.Clause) ClauseID {
+	s.cancelUntil(0)
+	if mv := int(raw.MaxVar()); mv > s.nVars {
+		s.AddVars(mv)
+	}
+	id := s.nextID
+	s.nextID++
+	norm, taut := raw.Copy().Normalize()
+	if taut {
+		return id
+	}
+	// Occurrence-count scoring, exactly as New seeds cha_score; raising a
+	// key in the max-heap only needs an up-fix.
+	for _, l := range norm {
+		s.chaScore[l.Index()]++
+		if pos := s.heap.pos[l.Index()]; pos >= 0 {
+			s.heap.up(int(pos))
+		}
+	}
+	c := &clause{id: id, lits: norm}
+	s.clauses = append(s.clauses, c)
+	if m := float64(len(s.clauses)) * s.opts.MaxLearntFrac; m > s.maxLearnts {
+		s.maxLearnts = m
+	}
+
+	// Level-0 assignments may already falsify or satisfy literals; pick
+	// watches among the non-false ones so propagation stays sound.
+	nonFalse, satisfied := 0, false
+	for i, l := range norm {
+		switch s.assigns.LitValue(l) {
+		case lits.True:
+			satisfied = true
+			fallthrough
+		case lits.Undef:
+			norm[i], norm[nonFalse] = norm[nonFalse], norm[i]
+			nonFalse++
+		}
+	}
+	switch {
+	case nonFalse == 0:
+		// Empty, or every literal false at level 0: unsatisfiable now.
+		if s.status != Unsat {
+			s.status = Unsat
+			if len(norm) == 0 {
+				s.finalAnts = []ClauseID{id}
+			} else {
+				s.finalAnts = s.collectFinal(c)
+			}
+		}
+	case nonFalse == 1 && !satisfied:
+		if len(norm) >= 2 {
+			s.attach(c)
+		}
+		s.uncheckedEnqueue(norm[0], c)
+	case len(norm) >= 2:
+		s.attach(c)
+	}
+	return id
+}
+
+// SetGuidance replaces the guidance scores and the dynamic-switch threshold
+// for subsequent solve calls, rebuilding the decision heap. This is how an
+// incremental BMC loop re-applies its refined ordering before each depth's
+// SolveAssuming; nil guidance reverts to pure VSIDS. The slice is used
+// as-is and padded if shorter than the variable count.
+func (s *Solver) SetGuidance(g []float64, switchAfterDecisions int64) {
+	if g != nil {
+		for len(g) < s.nVars+1 {
+			g = append(g, 0)
+		}
+	}
+	s.guid = g
+	s.opts.Guidance = g
+	s.opts.SwitchAfterDecisions = switchAfterDecisions
+	s.guidActive = g != nil
+	s.heap.rebuild()
+}
 
 // attach registers the clause's first two literals in the watch lists.
 func (s *Solver) attach(c *clause) {
@@ -339,7 +488,7 @@ func (s *Solver) analyze(confl *clause) (learnt []lits.Lit, btLevel int, ants []
 		if s.recording {
 			ants = append(ants, c.id)
 		}
-		c.act = s.stats.Conflicts
+		c.act = s.conflictStamp()
 		start := 0
 		if p != lits.LitUndef {
 			start = 1
@@ -491,11 +640,19 @@ func (s *Solver) collectFinal(c *clause) []ClauseID {
 	return ants
 }
 
+// conflictStamp returns the lifetime conflict count — the recency stamp
+// for clause-database reduction. Per-call counters reset between
+// incremental solves, so stamps must come from the monotonic total or
+// clauses learned in earlier calls would compare as recent forever.
+func (s *Solver) conflictStamp() int64 {
+	return s.total.Conflicts + s.stats.Conflicts
+}
+
 // addLearned installs the learned clause, notifies the recorder, and
 // enqueues the asserting literal.
 func (s *Solver) addLearned(learnt []lits.Lit, ants []ClauseID) {
-	c := &clause{id: s.nextLearnedID, learnt: true, act: s.stats.Conflicts, lits: learnt}
-	s.nextLearnedID++
+	c := &clause{id: s.nextID, learnt: true, act: s.conflictStamp(), lits: learnt}
+	s.nextID++
 	s.stats.Learned++
 	s.stats.LearnedLits += int64(len(learnt))
 	if s.recording {
@@ -591,12 +748,46 @@ func luby(i int) int64 {
 	return int64(1) << seq
 }
 
-// Solve runs the CDCL search to completion or budget exhaustion.
+// Solve runs the CDCL search to completion or budget exhaustion. It is
+// SolveAssuming with no assumptions.
 func (s *Solver) Solve() Result {
+	return s.SolveAssuming(nil)
+}
+
+// SolveAssuming runs the search with the given literals assumed true: each
+// assumption is enqueued as the pseudo-decision of its own decision level
+// before ordinary branching. An Unsat result under assumptions is not
+// sticky — the solver backtracks and remains reusable, and
+// Result.FailedAssumptions reports an inconsistent subset of the
+// assumptions (the final-conflict analysis over assumptions, the
+// assumption-level analogue of an unsat core). Result.Stats covers only
+// this call; Stats() accumulates across calls.
+func (s *Solver) SolveAssuming(assumptions []lits.Lit) Result {
 	start := time.Now()
+	s.cancelUntil(0)
+	s.assumps = assumptions
+	if s.status != Unsat {
+		s.status = Unknown
+	}
+	if s.guid != nil {
+		// Re-arm the dynamic guidance switch: each call gets a fresh
+		// decision count against Options.SwitchAfterDecisions.
+		if !s.guidActive {
+			s.guidActive = true
+			s.heap.rebuild()
+		}
+	}
+	s.restartIdx = 0
+	s.sinceStopPoll = 0
+	s.sinceDeadlinePoll = 0
 	res := s.solve()
 	res.Stats.SolveTime = time.Since(start)
-	s.stats = res.Stats
+	// Fold this call into the lifetime totals and reset the per-call
+	// counters; enqueues made by New/AddClause before a call count toward
+	// the call that propagates them.
+	s.total.Add(res.Stats)
+	s.stats = Stats{}
+	s.assumps = nil
 	return res
 }
 
@@ -623,6 +814,80 @@ func (s *Solver) pollStop() bool {
 	}
 	s.sinceStopPoll = 0
 	return s.interrupted()
+}
+
+// pollDeadline checks Options.Deadline once per StopCheckEvery search steps.
+// It is called from both the conflict and the decision path, so
+// propagation/decision-heavy solves with few conflicts cannot overshoot the
+// deadline unboundedly; hasDeadline gates it so the common no-deadline path
+// pays nothing.
+func (s *Solver) pollDeadline() bool {
+	if !s.hasDeadline {
+		return false
+	}
+	s.sinceDeadlinePoll++
+	if s.sinceDeadlinePoll < s.opts.StopCheckEvery {
+		return false
+	}
+	s.sinceDeadlinePoll = 0
+	return time.Now().After(s.opts.Deadline)
+}
+
+// analyzeFinal computes the failed-assumption subset when assumption p is
+// already false under the current trail (MiniSat's analyzeFinal): walking
+// the implication graph of ¬p backward, every decision reached is an
+// assumption that participates in the inconsistency. When proof recording
+// is on it also collects the antecedent clause IDs of the derivation, so an
+// incremental recorder can extract the unsat core over the clause database
+// exactly as for a level-0 refutation.
+func (s *Solver) analyzeFinal(p lits.Lit) (failed []lits.Lit, ants []ClauseID) {
+	failed = []lits.Lit{p}
+	if s.level[p.Var()] == 0 || s.decisionLevel() == 0 {
+		// ¬p is a level-0 consequence of the clauses alone: p fails by
+		// itself; the proof is its level-0 implication chain.
+		if s.recording {
+			s.recordLevel0Chain(p.Var(), &ants)
+			for _, v := range s.toClear {
+				s.seen[v] = false
+			}
+			s.toClear = s.toClear[:0]
+		}
+		return failed, ants
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		s.seen[v] = false
+		if r := s.reason[v]; r == nil {
+			// A decision above level 0 is an assumption (analyzeFinal only
+			// runs before ordinary branching resumes); the trail holds ¬p,
+			// never p itself, so no literal is double-counted.
+			failed = append(failed, s.trail[i])
+		} else {
+			if s.recording {
+				ants = append(ants, r.id)
+			}
+			for _, q := range r.lits {
+				if q.Var() == v {
+					continue
+				}
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				} else if s.recording {
+					s.recordLevel0Chain(q.Var(), &ants)
+				}
+			}
+		}
+	}
+	s.seen[p.Var()] = false
+	for _, v := range s.toClear {
+		s.seen[v] = false
+	}
+	s.toClear = s.toClear[:0]
+	return failed, ants
 }
 
 func (s *Solver) solve() Result {
@@ -662,7 +927,7 @@ func (s *Solver) solve() Result {
 			if s.opts.MaxConflicts > 0 && s.stats.Conflicts >= s.opts.MaxConflicts {
 				return Result{Status: Unknown, Stats: s.stats}
 			}
-			if !s.opts.Deadline.IsZero() && s.stats.Conflicts%64 == 0 && time.Now().After(s.opts.Deadline) {
+			if s.pollDeadline() {
 				return Result{Status: Unknown, Stats: s.stats}
 			}
 			if s.pollStop() {
@@ -694,6 +959,29 @@ func (s *Solver) solve() Result {
 			s.heap.rebuild()
 		}
 
+		// Assumptions first: each occupies its own decision level ahead of
+		// ordinary branching (restarts cancel to level 0, so they are
+		// re-assumed here on every descent).
+		if dl := s.decisionLevel(); dl < len(s.assumps) {
+			p := s.assumps[dl]
+			switch s.assigns.LitValue(p) {
+			case lits.True:
+				// Already implied: open a dummy level so assumption i always
+				// lives at decision level i+1.
+				s.newDecisionLevel()
+			case lits.False:
+				failed, ants := s.analyzeFinal(p)
+				if s.recording {
+					s.opts.Recorder.RecordFinal(ants)
+				}
+				return Result{Status: Unsat, FailedAssumptions: failed, Stats: s.stats}
+			default:
+				s.newDecisionLevel()
+				s.uncheckedEnqueue(p, nil)
+			}
+			continue
+		}
+
 		l := s.pickBranch()
 		if l == lits.LitUndef {
 			model := s.assigns.Copy()
@@ -707,6 +995,9 @@ func (s *Solver) solve() Result {
 		}
 		s.stats.Decisions++
 		if s.opts.MaxDecisions > 0 && s.stats.Decisions > s.opts.MaxDecisions {
+			return Result{Status: Unknown, Stats: s.stats}
+		}
+		if s.pollDeadline() {
 			return Result{Status: Unknown, Stats: s.stats}
 		}
 		if s.pollStop() {

@@ -1,0 +1,80 @@
+package unroll
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/lits"
+	"repro/internal/sat"
+)
+
+func TestDeltaNumbering(t *testing.T) {
+	c := counterCircuit(3, 5)
+	u, err := New(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := u.Delta()
+	if d.Stride() != u.Stride()+1 {
+		t.Fatalf("delta stride %d, want %d", d.Stride(), u.Stride()+1)
+	}
+	for k := 0; k < 4; k++ {
+		if got := d.NumVars(k); got != d.Stride()*(k+1) {
+			t.Errorf("NumVars(%d)=%d", k, got)
+		}
+		av := d.ActVar(k)
+		if n, frame, isAct := d.NodeOf(av); !isAct || frame != k || n != 0 {
+			t.Errorf("NodeOf(act %d) = (%v,%d,%v)", k, n, frame, isAct)
+		}
+	}
+	// Round-trip every node variable of a few frames.
+	for frame := 0; frame < 3; frame++ {
+		for n := circuit.NodeID(1); int(n) < c.NumNodes(); n++ {
+			v := d.VarFor(n, frame)
+			gn, gf, isAct := d.NodeOf(v)
+			if isAct || gn != n || gf != frame {
+				t.Fatalf("NodeOf(VarFor(%v,%d)) = (%v,%d,%v)", n, frame, gn, gf, isAct)
+			}
+		}
+	}
+}
+
+// TestDeltaFramesMatchFormula is the delta API's defining property: the
+// union of Frame(0..k) with actₖ assumed must be equisatisfiable with the
+// scratch Formula(k), for every k, on both failing and passing circuits
+// and on random sequential circuits.
+func TestDeltaFramesMatchFormula(t *testing.T) {
+	circuits := []*circuit.Circuit{
+		counterCircuit(3, 5), // counter-example at depth 5
+		counterCircuit(4, 0), // counter-example at depth 0
+	}
+	for seed := uint64(0); seed < 6; seed++ {
+		circuits = append(circuits, randomCircuit(seed, 2, 3, 12))
+	}
+	for ci, c := range circuits {
+		u, err := New(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := u.Delta()
+		union := cnf.New(0)
+		for k := 0; k <= 7; k++ {
+			for _, cl := range d.Frame(k).Clauses {
+				union.AddClause(cl)
+			}
+			inc := sat.New(union.Copy(), sat.Defaults()).SolveAssuming([]lits.Lit{d.ActLit(k)})
+			scratch := sat.New(u.Formula(k), sat.Defaults()).Solve()
+			if inc.Status != scratch.Status {
+				t.Fatalf("circuit %d depth %d: delta=%v scratch=%v", ci, k, inc.Status, scratch.Status)
+			}
+			if inc.Status == sat.Sat {
+				// The decoded trace must replay on the simulator.
+				tr := d.ExtractTrace(inc.Model, k)
+				if !u.Replay(tr) {
+					t.Fatalf("circuit %d depth %d: delta trace failed replay", ci, k)
+				}
+			}
+		}
+	}
+}
