@@ -14,6 +14,7 @@
 //	BenchmarkTimeAxis        — related-work time-axis comparison
 //	BenchmarkPortfolio       — concurrent portfolio vs single orderings
 //	BenchmarkIncremental     — incremental (one live solver) vs scratch loop
+//	BenchmarkWarmPortfolio   — cold portfolio vs warm racer pool vs warm+sharing
 //
 // Per-configuration solver micro-benchmarks live in internal/sat.
 package repro
@@ -198,6 +199,35 @@ func BenchmarkIncremental(b *testing.B) {
 			report(b, "conflicts_saved", float64(res.ConflictsSaved))
 			if res.TotalIncremental > 0 {
 				report(b, "speedup_x", float64(res.TotalScratch)/float64(res.TotalIncremental))
+			}
+		}
+	}
+}
+
+// BenchmarkWarmPortfolio runs the warm-pool ablation (cold per-depth
+// portfolio vs persistent racers vs persistent racers with the clause
+// bus) and reports the headline totals. Conflicts count every racer —
+// winners and cancelled losers — so conf_shared < conf_cold is the direct
+// measure of wasted conflicts turned into warm-start capital.
+func BenchmarkWarmPortfolio(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.AblationModels()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWarmAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Disagreements > 0 {
+			b.Fatalf("%d verdict disagreements", res.Disagreements)
+		}
+		if i == b.N-1 {
+			report(b, "cold_s", res.TotalCold.Seconds())
+			report(b, "warm_s", res.TotalWarm.Seconds())
+			report(b, "shared_s", res.TotalShared.Seconds())
+			report(b, "conf_cold", float64(res.ConfCold))
+			report(b, "conf_shared", float64(res.ConfShared))
+			if res.ConfCold > 0 {
+				report(b, "conf_shared_vs_cold_%", 100*float64(res.ConfShared)/float64(res.ConfCold))
 			}
 		}
 	}

@@ -4,7 +4,9 @@
 //	bmc -order=dynamic -depth=20 design.aag
 //	bmc -order=dynamic -incremental -depth=20 design.aag
 //	bmc -order=portfolio -jobs=4 -depth=20 design.aag
+//	bmc -order=portfolio -incremental -depth=20 design.aag   # warm racer pool
 //	bmc -engine=kind -depth=16 design.aag
+//	bmc -engine=kind -order=portfolio -depth=16 design.aag
 //
 // Orders: vsids (plain Chaff baseline), static, dynamic (the paper's two
 // refined configurations), timeaxis (Shtrichman-style comparator; BMC
@@ -12,10 +14,19 @@
 // depth, keep the first verdict, and cancel the losers (-jobs bounds the
 // concurrent solvers, -strategies picks the raced set).
 //
-// -incremental switches the depth loop to a single live solver: each depth
-// adds only the new frame's clauses and solves under an activation-literal
+// -incremental switches the depth loop to live solvers: each depth adds
+// only the new frame's clauses and solves under an activation-literal
 // assumption, so learned clauses and scores carry over between depths
-// instead of being rebuilt (vsids|static|dynamic|timeaxis orders).
+// instead of being rebuilt. With a single order that is one persistent
+// solver; combined with -order=portfolio it is the warm racer pool — one
+// persistent solver per strategy racing at every depth, with -share
+// (default on) exchanging short learned clauses between all racers at
+// depth boundaries, so even cancelled losers' conflicts warm-start the
+// next depth.
+//
+// With -engine=kind, -order=portfolio races the independent base and step
+// queries of every induction depth in parallel, each across the strategy
+// set.
 //
 // The exit code is 0 when the property holds up to the bound (or is proved
 // by induction), 1 when a counter-example is found, and 2 on errors or
@@ -26,6 +37,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/aiger"
@@ -33,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/induction"
 	"repro/internal/portfolio"
+	"repro/internal/racer"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -60,9 +73,10 @@ func run() int {
 	var (
 		engine    = flag.String("engine", "bmc", "verification engine: bmc|kind (k-induction)")
 		order     = flag.String("order", "dynamic", "decision ordering: vsids|static|dynamic|timeaxis|portfolio")
-		increment = flag.Bool("incremental", false, "keep one live solver across depths (assumption-based incremental BMC)")
+		increment = flag.Bool("incremental", false, "keep live solvers across depths (assumption-based incremental BMC; with -order=portfolio: the warm racer pool)")
 		jobs      = flag.Int("jobs", 0, "portfolio: max concurrent solvers per depth (0 = one per strategy)")
 		strats    = flag.String("strategies", "", "portfolio: comma-separated strategy set (default vsids,static,dynamic,timeaxis)")
+		share     = flag.Bool("share", true, "warm pool: exchange short learned clauses between racers at depth boundaries")
 		depth     = flag.Int("depth", 20, "maximum unrolling depth (inclusive)")
 		prop      = flag.Int("prop", 0, "property (output) index to check")
 		conflicts = flag.Int64("conflicts", 0, "per-instance conflict budget (0 = unlimited)")
@@ -76,6 +90,27 @@ func run() int {
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: bmc [flags] design.aag")
 		flag.PrintDefaults()
+		return 2
+	}
+
+	// Validate the portfolio configuration up front — before the circuit
+	// is even opened — so a typo in -strategies or a bogus -jobs reports
+	// everything wrong at once instead of failing mid-run.
+	isPortfolio := *order == "portfolio"
+	if *jobs < 0 {
+		fmt.Fprintf(os.Stderr, "bmc: -jobs must be >= 0 (0 = one solver per strategy), got %d\n", *jobs)
+		return 2
+	}
+	var set portfolio.StrategySet
+	if isPortfolio {
+		var err error
+		if set, err = portfolio.ParseSet(*strats); err != nil {
+			fmt.Fprintln(os.Stderr, "bmc:", err)
+			return 2
+		}
+	} else if *strats != "" {
+		fmt.Fprintf(os.Stderr, "bmc: -strategies requires -order=portfolio (valid strategies: %s)\n",
+			strings.Join(portfolio.ValidNames(), ", "))
 		return 2
 	}
 
@@ -101,11 +136,6 @@ func run() int {
 	if *timeout > 0 {
 		opts.Deadline = time.Now().Add(*timeout)
 	}
-	isPortfolio := *order == "portfolio"
-	if *increment && isPortfolio {
-		fmt.Fprintln(os.Stderr, "bmc: -incremental supports the vsids|static|dynamic|timeaxis orders only")
-		return 2
-	}
 	if !isPortfolio {
 		st, ok := core.ParseStrategy(*order)
 		if !ok {
@@ -129,20 +159,41 @@ func run() int {
 	}
 
 	if *engine == "kind" {
-		if isPortfolio || *increment || opts.Strategy == bmc.TimeAxis {
-			fmt.Fprintln(os.Stderr, "bmc: the k-induction engine supports non-incremental vsids|static|dynamic orders only")
+		if *increment || (!isPortfolio && opts.Strategy == bmc.TimeAxis) {
+			fmt.Fprintln(os.Stderr, "bmc: the k-induction engine supports non-incremental vsids|static|dynamic|portfolio orders only")
 			return 2
 		}
-		ires, err := induction.Prove(circ, *prop, induction.Options{
+		iopts := induction.Options{
 			MaxK:                 *depth,
 			Strategy:             opts.Strategy,
 			Solver:               opts.Solver,
 			PerInstanceConflicts: opts.PerInstanceConflicts,
 			Deadline:             opts.Deadline,
-		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bmc:", err)
-			return 2
+		}
+		var ires *induction.Result
+		if isPortfolio {
+			pres, perr := induction.ProvePortfolio(circ, *prop, induction.PortfolioOptions{
+				Options:    iopts,
+				Strategies: set,
+				Jobs:       *jobs,
+			})
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "bmc:", perr)
+				return 2
+			}
+			if *verbose {
+				fmt.Println("base-case races:")
+				pres.BaseTelemetry.WriteSummary(os.Stdout)
+				fmt.Println("step-case races:")
+				pres.StepTelemetry.WriteSummary(os.Stdout)
+			}
+			ires = &pres.Result
+		} else {
+			ires, err = induction.Prove(circ, *prop, iopts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bmc:", err)
+				return 2
+			}
 		}
 		fmt.Printf("k-induction: %s at k=%d — base %d decisions, step %d decisions\n",
 			ires.Status, ires.K, ires.BaseStats.Decisions, ires.StepStats.Decisions)
@@ -158,16 +209,18 @@ func run() int {
 	}
 
 	if isPortfolio {
-		set, err := portfolio.ParseSet(*strats)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bmc:", err)
-			return 2
-		}
-		pres, err := bmc.RunPortfolio(circ, *prop, bmc.PortfolioOptions{
+		popts := bmc.PortfolioOptions{
 			Options:    opts,
 			Strategies: set,
 			Jobs:       *jobs,
-		})
+		}
+		var pres *bmc.PortfolioResult
+		if *increment {
+			popts.Exchange = racer.ExchangeOptions{Enabled: *share}
+			pres, err = bmc.RunPortfolioIncremental(circ, *prop, popts)
+		} else {
+			pres, err = bmc.RunPortfolio(circ, *prop, popts)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bmc:", err)
 			return 2

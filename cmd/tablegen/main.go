@@ -9,6 +9,7 @@
 //	tablegen -experiment=threshold   # §3.3 switch-divisor sweep
 //	tablegen -experiment=timeaxis    # related-work time-axis comparison
 //	tablegen -experiment=incremental # incremental vs scratch depth loop
+//	tablegen -experiment=warm        # cold portfolio vs warm pool vs warm+sharing
 //	tablegen -experiment=all         # everything
 //
 // -csv switches the output to machine-readable CSV where available, -quick
@@ -33,7 +34,7 @@ func main() {
 
 func run() int {
 	var (
-		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|incremental|all")
+		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|incremental|warm|all")
 		budget = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
 		quick  = flag.Bool("quick", false, "cap depths for a fast smoke run")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the text table")
@@ -151,6 +152,14 @@ func run() int {
 		res.Write(os.Stdout)
 		return nil
 	}
+	runWarm := func() error {
+		res, err := experiments.RunWarmAblation(ablationCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
 
 	var err error
 	switch *exp {
@@ -174,8 +183,10 @@ func run() int {
 		err = runPortfolio()
 	case "incremental":
 		err = runIncremental()
+	case "warm":
+		err = runWarm()
 	case "all":
-		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio, runIncremental} {
+		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio, runIncremental, runWarm} {
 			if err = step(); err != nil {
 				break
 			}

@@ -6,22 +6,32 @@
 //
 //	internal/sat         incremental CDCL solver (Chaff lineage): clause
 //	                     addition and assumption solving on a live solver,
-//	                     proof recording, guidance scores, cancellation
+//	                     proof recording, guidance scores, cancellation,
+//	                     learned-clause export/import for cross-solver
+//	                     sharing (ExportLearned/ImportClause)
 //	internal/core        simplified CDG (per-instance and cross-depth
 //	                     incremental recorders), unsat cores, bmc_score
 //	                     board, ordering strategies (§3.1-§3.3)
 //	internal/unroll      time-frame expansion: whole-instance Formula and
 //	                     per-frame Delta (activation-guarded properties)
 //	internal/bmc         the refine_order_bmc loop (Fig. 5), the concurrent
-//	                     portfolio variant RunPortfolio, and the
-//	                     assumption-based incremental variant RunIncremental
-//	internal/portfolio   strategy-racing engine: cancellable solver race,
-//	                     worker pool, win/loss telemetry
+//	                     portfolio variant RunPortfolio, the assumption-based
+//	                     incremental variant RunIncremental, and the warm
+//	                     pool variant RunPortfolioIncremental
+//	internal/portfolio   strategy-racing engine: cancellable solver race
+//	                     (cold Race, live-solver RaceLive), worker pool,
+//	                     win/loss and clause-bus telemetry
+//	internal/racer       warm portfolio pool: persistent per-strategy
+//	                     solvers living across depths plus the depth-boundary
+//	                     clause exchange bus
+//	internal/induction   k-induction: sequential Prove and ProvePortfolio
+//	                     (base/step queries raced in parallel)
 //	internal/experiments paper tables/figures plus ablations (portfolio vs
-//	                     best single order, incremental vs scratch)
+//	                     best single order, incremental vs scratch, cold vs
+//	                     warm vs warm+sharing)
 //	internal/bench       the 37-model synthetic evaluation suite
 //	cmd/bmc              CLI front end (-order=vsids|static|dynamic|
-//	                     timeaxis|portfolio, -incremental)
+//	                     timeaxis|portfolio, -incremental, -share)
 //
 // The root package holds the paper-artifact benchmarks (bench_test.go).
 package repro

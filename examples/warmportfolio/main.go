@@ -1,0 +1,79 @@
+// Warmportfolio: run the same UNSAT-heavy BMC problem through the cold
+// portfolio (one throwaway solver per strategy per depth) and through the
+// warm racer pool with the clause-exchange bus (persistent per-strategy
+// solvers; short learned clauses redistributed between depths), then
+// print the per-depth winners and conflict totals side by side. The
+// cold run's LoserConflicts are pure waste; the warm run re-spends them —
+// visible as the all-racer conflict total collapsing.
+//
+//	go run ./examples/warmportfolio
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+const model = "add_w8"
+
+func main() {
+	m, ok := bench.ByName(model)
+	if !ok {
+		log.Fatalf("suite model %s missing", model)
+	}
+	opts := bmc.PortfolioOptions{
+		Options:    bmc.Options{MaxDepth: m.MaxDepth, Solver: sat.Defaults()},
+		Strategies: portfolio.DefaultSet(),
+	}
+
+	fmt.Printf("%s up to depth %d, racing %s\n\n", model, opts.MaxDepth, opts.Strategies)
+	cold, err := bmc.RunPortfolio(m.Build(), 0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts.Exchange = racer.ExchangeOptions{Enabled: true}
+	warm, err := bmc.RunPortfolioIncremental(m.Build(), 0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cold.Verdict != warm.Verdict || cold.Depth != warm.Depth {
+		log.Fatalf("engines disagree: cold %v@%d vs warm %v@%d",
+			cold.Verdict, cold.Depth, warm.Verdict, warm.Depth)
+	}
+
+	fmt.Printf("%-4s %-10s %-10s %12s %12s\n", "k", "win.cold", "win.warm", "conf.cold", "conf.warm")
+	coldD, warmD := cold.Telemetry.Depths, warm.Telemetry.Depths
+	for i := 0; i < len(coldD) && i < len(warmD); i++ {
+		fmt.Printf("%-4d %-10s %-10s %12d %12d\n",
+			coldD[i].K, coldD[i].Winner, warmD[i].Winner,
+			coldD[i].WinnerConflicts+coldD[i].LoserConflicts,
+			warmD[i].WinnerConflicts+warmD[i].LoserConflicts)
+	}
+
+	spent := func(r *bmc.PortfolioResult) int64 {
+		var n int64
+		for _, c := range r.Telemetry.ConflictsSpent {
+			n += c
+		}
+		return n
+	}
+	var imported int64
+	for _, n := range warm.Telemetry.ImportedClauses {
+		imported += n
+	}
+	fmt.Printf("\nverdict: %v (depth %d)\n", warm.Verdict, warm.Depth)
+	fmt.Printf("cold portfolio: %8d conflicts (all racers) in %v\n",
+		spent(cold), cold.TotalTime.Round(time.Millisecond))
+	fmt.Printf("warm + sharing: %8d conflicts (all racers) in %v — %d clauses imported, %d/%d wins warm\n",
+		spent(warm), warm.TotalTime.Round(time.Millisecond),
+		imported, warm.Telemetry.WarmWins, len(warmD))
+	warm.Telemetry.WriteSummary(os.Stdout)
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/lits"
+	"repro/internal/racer"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -90,7 +91,7 @@ func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, err
 		}
 		totalClauses += frame.NumClauses()
 
-		applyIncrementalStrategy(s, opts.Strategy, board, d, k, totalLits, divisor)
+		racer.ApplyStrategy(s, opts.Strategy, board, d, k, totalLits, divisor)
 
 		r := s.SolveAssuming([]lits.Lit{d.ActLit(k)})
 		ds := DepthStats{
@@ -118,7 +119,7 @@ func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, err
 		case sat.Unsat:
 			if rec != nil && rec.HasProof() {
 				coreIDs := rec.Core()
-				coreVars := incrementalCoreVars(d, coreIDs, clausesByID, frame.NumVars)
+				coreVars := racer.CoreVars(d, coreIDs, clausesByID, frame.NumVars)
 				ds.CoreClauses = len(coreIDs)
 				ds.CoreVars = len(coreVars)
 				ds.RecorderBytes = rec.ApproxBytes()
@@ -143,62 +144,4 @@ func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, err
 	}
 	res.TotalTime = time.Since(start)
 	return res, nil
-}
-
-// applyIncrementalStrategy re-applies one ordering strategy to the live
-// solver before the depth-k SolveAssuming — the incremental counterpart of
-// configureStrategy, using delta numbering throughout.
-func applyIncrementalStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, d *unroll.Delta, k, totalLits, divisor int) {
-	nVars := d.NumVars(k)
-	switch st {
-	case core.OrderStatic:
-		s.SetGuidance(board.Guidance(nVars), 0)
-	case core.OrderDynamic:
-		var switchAfter int64
-		if divisor > 0 {
-			switchAfter = int64(totalLits / divisor)
-			if switchAfter < 1 {
-				switchAfter = 1
-			}
-		}
-		s.SetGuidance(board.Guidance(nVars), switchAfter)
-	case TimeAxis:
-		g := make([]float64, nVars+1)
-		for v := 1; v <= nVars; v++ {
-			_, frame, _ := d.NodeOf(lits.Var(v))
-			g[v] = float64(k + 1 - frame)
-		}
-		s.SetGuidance(g, 0)
-	default: // OrderVSIDS: plain Chaff ordering
-		s.SetGuidance(nil, 0)
-	}
-}
-
-// incrementalCoreVars maps unsat-core clause IDs back to the distinct
-// circuit variables occurring in them, excluding activation variables
-// (guard plumbing, not circuit state — the paper's bmc_score ranks circuit
-// variables only). Sorted ascending like Recorder.CoreVars.
-func incrementalCoreVars(d *unroll.Delta, coreIDs []sat.ClauseID, clausesByID map[sat.ClauseID]cnf.Clause, nVars int) []lits.Var {
-	seen := make([]bool, nVars+1)
-	var out []lits.Var
-	for _, id := range coreIDs {
-		for _, l := range clausesByID[id] {
-			v := l.Var()
-			if int(v) > nVars || seen[v] {
-				continue
-			}
-			seen[v] = true
-			if _, _, isAct := d.NodeOf(v); isAct {
-				continue
-			}
-			out = append(out, v)
-		}
-	}
-	// insertion sort — core variable sets are small relative to formulas
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/portfolio"
+	"repro/internal/racer"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -23,6 +24,10 @@ type PortfolioOptions struct {
 	// one per strategy; deliberately not clamped to GOMAXPROCS — see
 	// portfolio.Race).
 	Jobs int
+	// Exchange configures the warm pool's clause bus. Only
+	// RunPortfolioIncremental consults it; RunPortfolio rebuilds its
+	// solvers per depth and has nothing to exchange.
+	Exchange racer.ExchangeOptions
 }
 
 // PortfolioResult extends the sequential Result with the race telemetry:
@@ -34,6 +39,9 @@ type PortfolioResult struct {
 	// Strategies and Jobs echo the effective configuration.
 	Strategies []string
 	Jobs       int
+	// Warm marks results produced by the persistent-solver pool
+	// (RunPortfolioIncremental); false for the per-depth rebuild engine.
+	Warm bool
 }
 
 // RunPortfolio model-checks property propIdx by racing one solver per

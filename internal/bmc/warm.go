@@ -1,0 +1,120 @@
+package bmc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// RunPortfolioIncremental model-checks property propIdx with the warm
+// racer pool: one persistent incremental solver per strategy lives across
+// the whole depth loop (internal/racer.Pool), so it combines RunPortfolio
+// (race every depth, first verdict wins, losers cancelled) with
+// RunIncremental (clause databases, VSIDS scores, and saved phases
+// compound across depths). With opts.Exchange.Enabled the pool
+// additionally runs the clause bus at every depth boundary, importing
+// short learned clauses from all racers — cancelled losers included —
+// into the others, which turns the cold portfolio's WastedConflicts into
+// warm-start capital.
+//
+// The verdict is always the same as RunPortfolio's and RunIncremental's:
+// every racer accumulates the identical delta clause set, each depth is
+// solved under the same activation-literal assumption, and imported
+// clauses are logical consequences of that set — so whichever racer
+// finishes first can only differ in which model or core it found, never
+// in satisfiability.
+//
+// Feedback survives as in RunPortfolio: on UNSAT depths the winner's
+// incremental unsat core is folded into the pool's shared score board,
+// which seeds the static/dynamic racers' guidance at the next depth.
+func RunPortfolioIncremental(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*PortfolioResult, error) {
+	u, err := unroll.New(c, propIdx)
+	if err != nil {
+		return nil, err
+	}
+	d := u.Delta()
+	start := time.Now()
+	pool := racer.NewPool(d, racer.Config{
+		Strategies:           opts.Strategies,
+		Jobs:                 opts.Jobs,
+		Solver:               opts.Solver,
+		ScoreMode:            opts.ScoreMode,
+		SwitchDivisor:        opts.SwitchDivisor,
+		PerInstanceConflicts: opts.PerInstanceConflicts,
+		Deadline:             opts.Deadline,
+		ForceRecording:       opts.ForceRecording,
+		Exchange:             opts.Exchange,
+	})
+	res := &PortfolioResult{
+		Result:     Result{Verdict: Holds, Depth: -1},
+		Telemetry:  portfolio.NewTelemetry(),
+		Strategies: pool.Strategies(),
+		Jobs:       opts.Jobs,
+		Warm:       true,
+	}
+
+	for k := 0; k <= opts.MaxDepth; k++ {
+		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			res.Verdict = BudgetExhausted
+			res.Depth = k
+			break
+		}
+		depthStart := time.Now()
+		out := pool.RaceDepth(k)
+		race := &out.Race
+		res.Telemetry.Observe(k, race)
+		res.Telemetry.ObserveExchange(out.Exported, out.Imported, out.WinnerWarm, out.WinnerShared)
+
+		ds := DepthStats{
+			K:              k,
+			Winner:         race.WinnerName(),
+			FormulaVars:    out.FrameVars,
+			FormulaClauses: out.TotalClauses,
+			FormulaLits:    out.TotalLits,
+			CoreClauses:    out.CoreClauses,
+			CoreVars:       out.CoreVars,
+			RecorderBytes:  out.RecorderBytes,
+		}
+		if race.Winner < 0 {
+			// Every racer exhausted its budget (or the deadline hit).
+			ds.Status = sat.Unknown
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Verdict = BudgetExhausted
+			res.Depth = k
+			res.TotalTime = time.Since(start)
+			return res, nil
+		}
+
+		r := race.Result
+		ds.Status = r.Status
+		ds.Stats = r.Stats
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Verdict = Falsified
+			res.Depth = k
+			res.Trace = d.ExtractTrace(r.Model, k)
+			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("bmc: depth-%d warm-portfolio counter-example (winner %s) failed replay on %s",
+					k, race.WinnerName(), c.Name())
+			}
+			res.TotalTime = time.Since(start)
+			return res, nil
+		case sat.Unsat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			res.Depth = k
+		}
+	}
+	res.TotalTime = time.Since(start)
+	return res, nil
+}

@@ -1,0 +1,130 @@
+package bmc
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+// warmModels are the equivalence workload: a failing row (counter-example
+// at a known depth), a passing row, and a conflict-heavy UNSAT row.
+func warmModels() []struct {
+	name  string
+	build func() *circuit.Circuit
+	depth int
+} {
+	return []struct {
+		name  string
+		build func() *circuit.Circuit
+		depth int
+	}{
+		{"cnt_w4_t9", func() *circuit.Circuit { return bench.Counter(4, 9, 2, 6) }, 12},
+		{"tlc", func() *circuit.Circuit { return bench.TrafficLight(false, 2, 6) }, 8},
+		{"add_w4", func() *circuit.Circuit { return bench.AdderTwin(4, 6, 16) }, 3},
+	}
+}
+
+// TestWarmPortfolioMatchesColdAndIncremental: the acceptance bar — the
+// warm pool (with and without the clause bus) must return the same
+// verdict and depth as both RunPortfolio and RunIncremental.
+func TestWarmPortfolioMatchesColdAndIncremental(t *testing.T) {
+	for _, m := range warmModels() {
+		opts := Options{MaxDepth: m.depth, Strategy: core.OrderDynamic, Solver: sat.Defaults()}
+		popts := PortfolioOptions{Options: opts}
+
+		cold, err := RunPortfolio(m.build(), 0, popts)
+		if err != nil {
+			t.Fatalf("%s cold: %v", m.name, err)
+		}
+		incr, err := RunIncremental(m.build(), 0, opts)
+		if err != nil {
+			t.Fatalf("%s incremental: %v", m.name, err)
+		}
+		for _, share := range []bool{false, true} {
+			popts.Exchange = racer.ExchangeOptions{Enabled: share}
+			warm, err := RunPortfolioIncremental(m.build(), 0, popts)
+			if err != nil {
+				t.Fatalf("%s warm share=%v: %v", m.name, share, err)
+			}
+			if !warm.Warm {
+				t.Fatalf("%s: Warm flag not set", m.name)
+			}
+			if warm.Verdict != cold.Verdict || warm.Depth != cold.Depth {
+				t.Fatalf("%s share=%v: warm %v@%d vs cold %v@%d",
+					m.name, share, warm.Verdict, warm.Depth, cold.Verdict, cold.Depth)
+			}
+			if warm.Verdict != incr.Verdict || warm.Depth != incr.Depth {
+				t.Fatalf("%s share=%v: warm %v@%d vs incremental %v@%d",
+					m.name, share, warm.Verdict, warm.Depth, incr.Verdict, incr.Depth)
+			}
+			if warm.Verdict == Falsified && warm.Trace == nil {
+				t.Fatalf("%s share=%v: falsified without trace", m.name, share)
+			}
+		}
+	}
+}
+
+// TestWarmPortfolioTelemetry: the telemetry must carry per-depth wins and
+// — with the bus on — exchange traffic and warm attribution.
+func TestWarmPortfolioTelemetry(t *testing.T) {
+	res, err := RunPortfolioIncremental(bench.AdderTwin(4, 6, 16), 0, PortfolioOptions{
+		Options:  Options{MaxDepth: 4, Strategy: core.OrderDynamic, Solver: sat.Defaults()},
+		Exchange: racer.ExchangeOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Holds {
+		t.Fatalf("verdict %v, want holds", res.Verdict)
+	}
+	if got := len(res.Telemetry.Depths); got != 5 {
+		t.Fatalf("observed %d depths, want 5", got)
+	}
+	var exported, imported int64
+	for _, n := range res.Telemetry.ExportedClauses {
+		exported += n
+	}
+	for _, n := range res.Telemetry.ImportedClauses {
+		imported += n
+	}
+	if exported == 0 || imported == 0 {
+		t.Fatalf("no bus traffic recorded: exported=%d imported=%d", exported, imported)
+	}
+	if res.Telemetry.WarmWins == 0 {
+		t.Fatalf("no warm wins recorded across 5 UNSAT depths")
+	}
+	// Core feedback must have produced per-depth core sizes on UNSAT rows.
+	sawCore := false
+	for _, d := range res.PerDepth {
+		if d.CoreVars > 0 {
+			sawCore = true
+		}
+	}
+	if !sawCore {
+		t.Fatalf("no unsat cores extracted")
+	}
+}
+
+// TestWarmPortfolioBudget: a tiny per-instance conflict budget must
+// surface as BudgetExhausted, exactly like the other engines.
+func TestWarmPortfolioBudget(t *testing.T) {
+	res, err := RunPortfolioIncremental(bench.AdderTwin(8, 0, 0), 0, PortfolioOptions{
+		Options: Options{
+			MaxDepth:             6,
+			Solver:               sat.Defaults(),
+			PerInstanceConflicts: 1,
+		},
+		Strategies: portfolio.StrategySet{core.OrderVSIDS, core.OrderDynamic},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != BudgetExhausted {
+		t.Fatalf("verdict %v under a 1-conflict budget, want budget-exhausted", res.Verdict)
+	}
+}

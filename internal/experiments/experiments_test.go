@@ -397,3 +397,35 @@ func TestRunIncrementalAblationSmall(t *testing.T) {
 		}
 	}
 }
+
+func TestRunWarmAblationSmall(t *testing.T) {
+	res, err := RunWarmAblation(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(res.Rows))
+	}
+	if res.Disagreements != 0 {
+		t.Fatalf("%d verdict disagreements between cold, warm, and shared", res.Disagreements)
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.TimeCold <= 0 || row.TimeWarm <= 0 || row.TimeShared <= 0 {
+			t.Errorf("%s: nonpositive wall time", row.Name)
+		}
+		if row.ConfCold < 0 || row.ConfWarm < 0 || row.ConfShared < 0 {
+			t.Errorf("%s: negative conflict counts", row.Name)
+		}
+	}
+	if res.UnsatRows == 0 {
+		t.Fatalf("tiny config must contain UNSAT-heavy rows")
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	for _, want := range []string{"Warm racer pool", "TOTAL", "total conflicts vs cold"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}

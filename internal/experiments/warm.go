@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+// --- warm pool ablation: cold portfolio vs warm pool vs warm+sharing ---
+
+// WarmRow compares, on one model, the per-depth-rebuild portfolio
+// (bmc.RunPortfolio) against the warm racer pool without and with the
+// clause-exchange bus (bmc.RunPortfolioIncremental). Conflicts count the
+// total search effort of ALL racers — winners and cancelled losers alike
+// (the sum of the telemetry's per-strategy ConflictsSpent) — because the
+// pool's whole point is turning loser conflicts into reusable work, which
+// winner-only counters cannot see.
+type WarmRow struct {
+	Name string
+	// Unsat marks a row dominated by UNSAT depths (a passing property) —
+	// the regime where warm clause databases and sharing should pay.
+	Unsat                            bool
+	TimeCold, TimeWarm, TimeShared   time.Duration
+	ConfCold, ConfWarm, ConfShared   int64
+	Exported, Imported               int64 // the shared run's bus volume
+	WarmWinsShared, SharedWinsShared int   // the shared run's attribution
+	// Agreed reports that verdict and depth matched across all three
+	// engines (budget-exhausted runs excluded, as in the other ablations).
+	Agreed bool
+}
+
+// WarmResult is the cold-vs-warm-vs-shared table.
+type WarmResult struct {
+	Strategies []string
+	Rows       []WarmRow
+	// Totals across rows.
+	TotalCold, TotalWarm, TotalShared time.Duration
+	ConfCold, ConfWarm, ConfShared    int64
+	UnsatRows                         int
+	// UnsatRowsSharedFewerConf counts UNSAT-heavy rows where warm+sharing
+	// spent fewer total conflicts than the cold portfolio — the
+	// wasted-conflicts-to-capital claim, row by row.
+	UnsatRowsSharedFewerConf int
+	Disagreements            int
+}
+
+// RunWarmAblation executes the comparison on the config's model set with
+// the full default strategy portfolio.
+func RunWarmAblation(cfg Config) (*WarmResult, error) {
+	set := portfolio.DefaultSet()
+	res := &WarmResult{Strategies: set.Names()}
+	for _, m := range cfg.models() {
+		row := WarmRow{Name: m.Name, Unsat: !m.ExpectFail, Agreed: true}
+
+		cold, err := cfg.runPortfolio(m, set)
+		if err != nil {
+			return nil, fmt.Errorf("warm ablation %s cold: %w", m.Name, err)
+		}
+		warm, err := cfg.runWarm(m, set, false)
+		if err != nil {
+			return nil, fmt.Errorf("warm ablation %s warm: %w", m.Name, err)
+		}
+		shared, err := cfg.runWarm(m, set, true)
+		if err != nil {
+			return nil, fmt.Errorf("warm ablation %s shared: %w", m.Name, err)
+		}
+
+		row.TimeCold, row.ConfCold = cold.TotalTime, spentConflicts(cold)
+		row.TimeWarm, row.ConfWarm = warm.TotalTime, spentConflicts(warm)
+		row.TimeShared, row.ConfShared = shared.TotalTime, spentConflicts(shared)
+		for _, n := range shared.Telemetry.ExportedClauses {
+			row.Exported += n
+		}
+		for _, n := range shared.Telemetry.ImportedClauses {
+			row.Imported += n
+		}
+		row.WarmWinsShared = shared.Telemetry.WarmWins
+		row.SharedWinsShared = shared.Telemetry.SharedWins
+
+		for _, other := range []*bmc.PortfolioResult{warm, shared} {
+			bothDecided := cold.Verdict != bmc.BudgetExhausted && other.Verdict != bmc.BudgetExhausted
+			if bothDecided && (cold.Verdict != other.Verdict || cold.Depth != other.Depth) {
+				row.Agreed = false
+			}
+		}
+		if !row.Agreed {
+			res.Disagreements++
+		}
+		res.TotalCold += row.TimeCold
+		res.TotalWarm += row.TimeWarm
+		res.TotalShared += row.TimeShared
+		res.ConfCold += row.ConfCold
+		res.ConfWarm += row.ConfWarm
+		res.ConfShared += row.ConfShared
+		if row.Unsat {
+			res.UnsatRows++
+			if row.ConfShared < row.ConfCold {
+				res.UnsatRowsSharedFewerConf++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// runWarm executes one model under the warm pool with the config's
+// budgets (the warm analogue of runPortfolio).
+func (cfg Config) runWarm(m bench.Model, set portfolio.StrategySet, share bool) (*bmc.PortfolioResult, error) {
+	opts := bmc.PortfolioOptions{
+		Options: bmc.Options{
+			MaxDepth:             cfg.depthFor(m),
+			Solver:               sat.Defaults(),
+			PerInstanceConflicts: cfg.PerInstanceConflicts,
+		},
+		Strategies: set,
+		Exchange:   racer.ExchangeOptions{Enabled: share},
+	}
+	if cfg.PerModelBudget > 0 {
+		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
+	}
+	return bmc.RunPortfolioIncremental(m.Build(), 0, opts)
+}
+
+// spentConflicts sums every racer's conflicts across all depths — winners
+// and losers.
+func spentConflicts(r *bmc.PortfolioResult) int64 {
+	var n int64
+	for _, c := range r.Telemetry.ConflictsSpent {
+		n += c
+	}
+	return n
+}
+
+// Write renders the comparison table.
+func (r *WarmResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Warm racer pool vs cold portfolio (persistent per-strategy solvers; conflicts count ALL racers)")
+	fmt.Fprintf(w, "%-16s %-4s %9s %9s %9s %11s %11s %11s %9s %6s\n",
+		"model", "T/F", "cold (s)", "warm (s)", "shared(s)", "conf.cold", "conf.warm", "conf.shared", "bus", "agree")
+	writeRule(w, 110)
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		tf := "F"
+		if row.Unsat {
+			tf = "T"
+		}
+		agree := "yes"
+		if !row.Agreed {
+			agree = "NO"
+		}
+		fmt.Fprintf(w, "%-16s %-4s %9s %9s %9s %11d %11d %11d %9d %6s\n",
+			row.Name, tf, fmtDuration(row.TimeCold), fmtDuration(row.TimeWarm), fmtDuration(row.TimeShared),
+			row.ConfCold, row.ConfWarm, row.ConfShared, row.Imported, agree)
+	}
+	writeRule(w, 110)
+	fmt.Fprintf(w, "%-16s %-4s %9s %9s %9s %11d %11d %11d\n", "TOTAL", "",
+		fmtDuration(r.TotalCold), fmtDuration(r.TotalWarm), fmtDuration(r.TotalShared),
+		r.ConfCold, r.ConfWarm, r.ConfShared)
+	if r.ConfCold > 0 {
+		fmt.Fprintf(w, "total conflicts vs cold: warm %.0f%%, warm+sharing %.0f%%\n",
+			100*float64(r.ConfWarm)/float64(r.ConfCold), 100*float64(r.ConfShared)/float64(r.ConfCold))
+	}
+	fmt.Fprintf(w, "UNSAT-heavy rows where warm+sharing spends fewer conflicts than cold: %d/%d\n",
+		r.UnsatRowsSharedFewerConf, r.UnsatRows)
+	if r.Disagreements > 0 {
+		fmt.Fprintf(w, "WARNING: %d verdict disagreements\n", r.Disagreements)
+	}
+}

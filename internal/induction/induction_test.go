@@ -7,6 +7,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/portfolio"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -179,5 +180,72 @@ func TestProveRejectsBadProperty(t *testing.T) {
 	c.AddProperty("p", circuit.False)
 	if _, err := Prove(c, 7, Options{MaxK: 2, Solver: sat.Defaults()}); err == nil {
 		t.Fatal("expected error for bad property index")
+	}
+}
+
+func provePortfolio(t *testing.T, c *circuit.Circuit, maxK int) *PortfolioResult {
+	t.Helper()
+	res, err := ProvePortfolio(c, 0, PortfolioOptions{
+		Options: Options{
+			MaxK:     maxK,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(30 * time.Second),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPortfolioAgreesWithSequentialInduction: racing the base and step
+// queries must reproduce Prove's status and depth on proved, falsified,
+// and deeper-k models.
+func TestPortfolioAgreesWithSequentialInduction(t *testing.T) {
+	models := []struct {
+		name  string
+		build func() *circuit.Circuit
+		maxK  int
+	}{
+		{"twin", func() *circuit.Circuit { return bench.Twin(8, 0, 0) }, 4},
+		{"gcnt", func() *circuit.Circuit { return bench.GatedCounter(4, 10, 0, 0) }, 6},
+		{"tlc_bug", func() *circuit.Circuit { return bench.TrafficLight(true, 0, 0) }, 4},
+		{"pipe_s5_bug", func() *circuit.Circuit { return bench.Pipeline(5, 8, true) }, 8},
+	}
+	for _, m := range models {
+		seq := prove(t, m.build(), core.OrderVSIDS, m.maxK)
+		par := provePortfolio(t, m.build(), m.maxK)
+		if par.Status != seq.Status || par.K != seq.K {
+			t.Fatalf("%s: portfolio %v@%d vs sequential %v@%d",
+				m.name, par.Status, par.K, seq.Status, seq.K)
+		}
+		if par.Status == Falsified && par.Trace == nil {
+			t.Fatalf("%s: falsified without trace", m.name)
+		}
+		// Every completed depth raced both queries.
+		if len(par.BaseTelemetry.Depths) == 0 || len(par.StepTelemetry.Depths) == 0 {
+			t.Fatalf("%s: telemetry empty (base %d, step %d depths)",
+				m.name, len(par.BaseTelemetry.Depths), len(par.StepTelemetry.Depths))
+		}
+	}
+}
+
+// TestPortfolioInductionTimeaxisOnly: a timeaxis-containing subset must
+// work on the step formula too (auxiliary variables unscored, no panic).
+func TestPortfolioInductionTimeaxisOnly(t *testing.T) {
+	res, err := ProvePortfolio(bench.GatedCounter(4, 10, 0, 0), 0, PortfolioOptions{
+		Options: Options{
+			MaxK:     6,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(30 * time.Second),
+		},
+		Strategies: portfolio.StrategySet{core.OrderTimeAxis, core.OrderVSIDS},
+		Jobs:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Proved {
+		t.Fatalf("status %v, want proved", res.Status)
 	}
 }

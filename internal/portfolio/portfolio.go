@@ -11,6 +11,20 @@
 // the shared core.ScoreBoard lives in internal/bmc (RunPortfolio); this
 // package is instance-level and strategy-agnostic — it races whatever
 // solver configurations it is handed.
+//
+// Races come in two flavours. Race builds one throwaway solver per
+// attempt from a formula — the cold portfolio, where every depth starts
+// from scratch and a cancelled loser's learned clauses die with it
+// (reported as WastedConflicts). RaceLive instead races caller-owned
+// persistent solvers on an assumption list: the warm pool
+// (internal/racer) keeps one incremental solver per strategy alive across
+// all BMC depths, races them through RaceLive at each depth, and after
+// the race exchanges short learned clauses between them — winners and
+// cancelled losers alike — so wasted conflicts become the next depth's
+// warm-start capital. Telemetry records both regimes: wins, cancelled and
+// skipped runs, and conflicts per strategy always; exported/imported
+// clause counts and warm-vs-cold win attribution when the pool's clause
+// bus is active.
 package portfolio
 
 import (
@@ -19,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/cnf"
+	"repro/internal/lits"
 	"repro/internal/sat"
 )
 
@@ -97,17 +112,66 @@ func (r *RaceResult) LoserConflicts() int64 {
 // landed first. The formula is shared read-only: sat.New copies clauses
 // into per-solver storage, so racers never touch f after construction.
 func Race(f *cnf.Formula, attempts []Attempt, jobs int, stop <-chan struct{}) RaceResult {
-	start := time.Now()
-	res := RaceResult{Winner: -1, Outcomes: make([]AttemptOutcome, len(attempts))}
+	names := make([]string, len(attempts))
 	for i := range attempts {
-		res.Outcomes[i] = AttemptOutcome{Name: attempts[i].Name, Skipped: true}
+		names[i] = attempts[i].Name
 	}
-	if len(attempts) == 0 {
+	return runRace(names, jobs, stop, func(idx int, cancel <-chan struct{}) sat.Result {
+		opts := attempts[idx].Opts
+		opts.Stop = cancel
+		return sat.New(f, opts).Solve()
+	})
+}
+
+// LiveAttempt is one racer in a live-solver race: a label plus a
+// persistent incremental solver whose clause database and heuristic state
+// survive the race. The warm pool (internal/racer) builds one per
+// strategy and races the same solvers at every BMC depth.
+type LiveAttempt struct {
+	Name   string
+	Solver *sat.Solver
+}
+
+// RaceLive is the live-solver counterpart of Race: it runs
+// SolveAssuming(assumps) on every attempt's solver concurrently, keeps
+// the first Sat/Unsat verdict, and cancels the rest cooperatively.
+// Nothing is constructed or torn down — each racing solver gets a fresh
+// cancellation channel installed (sat.Solver.SetStop) and keeps its
+// learned clauses, scores, and saved phases afterwards, so a cancelled
+// loser resumes from exactly this state at the next race instead of
+// burning its conflicts. Skipped attempts (race decided before a worker
+// slot reached them) simply sit the race out; their state is untouched.
+//
+// Every solver must be exclusive to the race while it runs (a solver is
+// single-threaded, and RaceLive touches each one from one worker only).
+// The jobs and stop semantics are those of Race.
+func RaceLive(attempts []LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) RaceResult {
+	names := make([]string, len(attempts))
+	for i := range attempts {
+		names[i] = attempts[i].Name
+	}
+	return runRace(names, jobs, stop, func(idx int, cancel <-chan struct{}) sat.Result {
+		s := attempts[idx].Solver
+		s.SetStop(cancel)
+		return s.SolveAssuming(assumps)
+	})
+}
+
+// runRace is the shared race harness behind Race and RaceLive: a worker
+// pool over attempt indices, first-verdict-wins cancellation, per-attempt
+// outcome bookkeeping. solveOne runs attempt idx to rest, polling cancel.
+func runRace(names []string, jobs int, stop <-chan struct{}, solveOne func(idx int, cancel <-chan struct{}) sat.Result) RaceResult {
+	start := time.Now()
+	res := RaceResult{Winner: -1, Outcomes: make([]AttemptOutcome, len(names))}
+	for i := range names {
+		res.Outcomes[i] = AttemptOutcome{Name: names[i], Skipped: true}
+	}
+	if len(names) == 0 {
 		res.Wall = time.Since(start)
 		return res
 	}
-	if jobs <= 0 || jobs > len(attempts) {
-		jobs = len(attempts)
+	if jobs <= 0 || jobs > len(names) {
+		jobs = len(names)
 	}
 
 	// cancel is closed exactly once — by the first verdict or by the
@@ -147,10 +211,8 @@ func Race(f *cnf.Formula, attempts []Attempt, jobs int, stop <-chan struct{}) Ra
 					continue
 				default:
 				}
-				opts := attempts[idx].Opts
-				opts.Stop = cancel
 				t0 := time.Now()
-				r := sat.New(f, opts).Solve()
+				r := solveOne(idx, cancel)
 				wall := time.Since(t0)
 
 				o := &res.Outcomes[idx]
@@ -167,7 +229,7 @@ func Race(f *cnf.Formula, attempts []Attempt, jobs int, stop <-chan struct{}) Ra
 			}
 		}()
 	}
-	for i := range attempts {
+	for i := range names {
 		work <- i
 	}
 	close(work)

@@ -1,6 +1,7 @@
 package portfolio
 
 import (
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -212,5 +213,118 @@ func TestTelemetryAggregation(t *testing.T) {
 	}
 	if totalWins != 3 {
 		t.Fatalf("wins = %d, want 3", totalWins)
+	}
+}
+
+// liveAttempts builds n persistent solvers over the same formula, one per
+// default-set name.
+func liveAttempts(n int, f *cnf.Formula, opts sat.Options) []LiveAttempt {
+	out := make([]LiveAttempt, n)
+	for i := range out {
+		out[i] = LiveAttempt{Name: DefaultSet()[i%4].String(), Solver: sat.New(f, opts)}
+	}
+	return out
+}
+
+func TestRaceLiveVerdictAndReuse(t *testing.T) {
+	f := php(6, 5)
+	live := liveAttempts(3, f, sat.Defaults())
+	res := RaceLive(live, nil, 3, nil)
+	if res.Winner < 0 || res.Result.Status != sat.Unsat {
+		t.Fatalf("want Unsat winner, got winner=%d status=%v", res.Winner, res.Result.Status)
+	}
+	for i, o := range res.Outcomes {
+		if i != res.Winner && !o.Skipped && !o.Canceled && !o.Status.Decided() {
+			t.Fatalf("loser %d neither cancelled nor decided: %v", i, o.Status)
+		}
+	}
+	// The same solvers race again — cancelled losers must have survived
+	// the interruption with a usable state, and everyone must agree.
+	res2 := RaceLive(live, nil, 3, nil)
+	if res2.Winner < 0 || res2.Result.Status != sat.Unsat {
+		t.Fatalf("re-race: want Unsat winner, got winner=%d status=%v", res2.Winner, res2.Result.Status)
+	}
+}
+
+func TestRaceLiveAssumptions(t *testing.T) {
+	// php(5,5) is sat; assuming pigeon 0 out of every hole makes it unsat
+	// under assumptions, and the solvers stay reusable afterwards.
+	f := php(5, 5)
+	live := liveAttempts(2, f, sat.Defaults())
+	var block []lits.Lit
+	for hi := 0; hi < 5; hi++ {
+		block = append(block, lits.NegLit(lits.Var(hi+1)))
+	}
+	res := RaceLive(live, block, 2, nil)
+	if res.Winner < 0 || res.Result.Status != sat.Unsat {
+		t.Fatalf("assumed race: want Unsat, got winner=%d status=%v", res.Winner, res.Result.Status)
+	}
+	res2 := RaceLive(live, nil, 2, nil)
+	if res2.Winner < 0 || res2.Result.Status != sat.Sat {
+		t.Fatalf("unassumed re-race: want Sat, got winner=%d status=%v", res2.Winner, res2.Result.Status)
+	}
+	if err := sat.VerifyModel(f, res2.Result.Model); err != nil {
+		t.Fatalf("model invalid: %v", err)
+	}
+}
+
+func TestRaceLiveExternalStop(t *testing.T) {
+	stop := make(chan struct{})
+	done := make(chan RaceResult, 1)
+	go func() {
+		done <- RaceLive(liveAttempts(4, php(11, 10), sat.Defaults()), nil, 4, stop)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	select {
+	case res := <-done:
+		if res.Winner != -1 {
+			t.Fatalf("externally stopped live race reported winner %d", res.Winner)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatalf("live race did not stop within 5s")
+	}
+}
+
+func TestParseSetReportsAllUnknowns(t *testing.T) {
+	_, err := ParseSet("vsids,foo,bar")
+	if err == nil {
+		t.Fatalf("unknown strategies accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{`"foo"`, `"bar"`, "vsids", "static", "dynamic", "timeaxis"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	// Unknowns and duplicates surface together in one pass.
+	_, err = ParseSet("nope,static,static")
+	if err == nil {
+		t.Fatalf("mixed bad set accepted")
+	}
+	msg = err.Error()
+	for _, want := range []string{`unknown "nope"`, `duplicate "static"`} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func TestTelemetryExchange(t *testing.T) {
+	tel := NewTelemetry()
+	tel.ObserveExchange(map[string]int64{"vsids": 5}, map[string]int64{"static": 7}, true, true)
+	tel.ObserveExchange(map[string]int64{"vsids": 2}, nil, true, false)
+	if tel.ExportedClauses["vsids"] != 7 || tel.ImportedClauses["static"] != 7 {
+		t.Fatalf("exchange totals: %v / %v", tel.ExportedClauses, tel.ImportedClauses)
+	}
+	if tel.WarmWins != 2 || tel.SharedWins != 1 {
+		t.Fatalf("attribution: warm=%d shared=%d", tel.WarmWins, tel.SharedWins)
+	}
+	var buf strings.Builder
+	tel.WriteSummary(&buf)
+	for _, want := range []string{"exported", "imported", "warm pool:"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, buf.String())
+		}
 	}
 }

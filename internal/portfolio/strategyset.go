@@ -24,15 +24,24 @@ func DefaultSet() StrategySet {
 	}
 }
 
+// ValidNames returns the canonical strategy names ParseSet accepts, in
+// default-set order — the list error messages and usage text show.
+func ValidNames() []string {
+	return DefaultSet().Names()
+}
+
 // ParseSet converts a comma-separated strategy list (e.g.
-// "vsids,static,dynamic,timeaxis") into a StrategySet. Duplicates are
-// rejected: racing two identical deterministic solvers can only waste a
-// core.
+// "vsids,static,dynamic,timeaxis") into a StrategySet. Every problem is
+// collected and reported in one error together with the valid set —
+// unknown names and duplicates alike — so a CLI can fail fast with the
+// full picture instead of one name per run. Duplicates are rejected:
+// racing two identical deterministic solvers can only waste a core.
 func ParseSet(s string) (StrategySet, error) {
 	if strings.TrimSpace(s) == "" {
 		return DefaultSet(), nil
 	}
 	var set StrategySet
+	var bad []string
 	seen := map[core.Strategy]bool{}
 	for _, part := range strings.Split(s, ",") {
 		name := strings.TrimSpace(part)
@@ -40,14 +49,19 @@ func ParseSet(s string) (StrategySet, error) {
 			continue
 		}
 		st, ok := core.ParseStrategy(name)
-		if !ok {
-			return nil, fmt.Errorf("portfolio: unknown strategy %q", name)
+		switch {
+		case !ok:
+			bad = append(bad, fmt.Sprintf("unknown %q", name))
+		case seen[st]:
+			bad = append(bad, fmt.Sprintf("duplicate %q", st))
+		default:
+			seen[st] = true
+			set = append(set, st)
 		}
-		if seen[st] {
-			return nil, fmt.Errorf("portfolio: duplicate strategy %q", st)
-		}
-		seen[st] = true
-		set = append(set, st)
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("portfolio: bad strategy set: %s (valid: %s)",
+			strings.Join(bad, ", "), strings.Join(ValidNames(), ", "))
 	}
 	if len(set) == 0 {
 		return nil, fmt.Errorf("portfolio: empty strategy set %q", s)

@@ -36,15 +36,30 @@ type Telemetry struct {
 	// not); WastedConflicts is the portion spent by losing racers only.
 	ConflictsSpent  map[string]int64
 	WastedConflicts int64
+
+	// Clause-bus telemetry, fed by the warm racer pool through
+	// ObserveExchange (all zero for cold portfolios): how many learned
+	// clauses each strategy's solver put on / took off the exchange bus.
+	ExportedClauses map[string]int64
+	ImportedClauses map[string]int64
+	// Warm-vs-cold win attribution. WarmWins counts depth wins by a racer
+	// whose solver carried learned clauses from earlier depths (any depth
+	// > 0 winner in a warm pool); SharedWins the subset whose solver had
+	// additionally imported foreign clauses before the winning solve —
+	// the races where the clause bus could have contributed.
+	WarmWins   int
+	SharedWins int
 }
 
 // NewTelemetry returns an empty telemetry accumulator.
 func NewTelemetry() *Telemetry {
 	return &Telemetry{
-		Wins:           map[string]int{},
-		CancelledRuns:  map[string]int{},
-		SkippedRuns:    map[string]int{},
-		ConflictsSpent: map[string]int64{},
+		Wins:            map[string]int{},
+		CancelledRuns:   map[string]int{},
+		SkippedRuns:     map[string]int{},
+		ConflictsSpent:  map[string]int64{},
+		ExportedClauses: map[string]int64{},
+		ImportedClauses: map[string]int64{},
 	}
 }
 
@@ -68,6 +83,40 @@ func (t *Telemetry) Observe(k int, r *RaceResult) {
 		t.ConflictsSpent[o.Name] += o.Stats.Conflicts
 	}
 	t.Depths = append(t.Depths, dw)
+}
+
+// ObserveExchange folds one depth's clause-bus traffic and win
+// attribution into the totals. exported/imported map strategy names to
+// the clauses that depth moved; winnerWarm/winnerShared describe the
+// depth's winning racer (both false when the race was undecided).
+func (t *Telemetry) ObserveExchange(exported, imported map[string]int64, winnerWarm, winnerShared bool) {
+	for name, n := range exported {
+		t.ExportedClauses[name] += n
+	}
+	for name, n := range imported {
+		t.ImportedClauses[name] += n
+	}
+	if winnerWarm {
+		t.WarmWins++
+	}
+	if winnerShared {
+		t.SharedWins++
+	}
+}
+
+// exchangeActive reports whether any clause-bus traffic was recorded.
+func (t *Telemetry) exchangeActive() bool {
+	for _, n := range t.ExportedClauses {
+		if n > 0 {
+			return true
+		}
+	}
+	for _, n := range t.ImportedClauses {
+		if n > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Strategies returns every strategy name seen, sorted by wins (descending)
@@ -97,14 +146,33 @@ func (t *Telemetry) Strategies() []string {
 }
 
 // WriteSummary renders the per-strategy scoreboard and the wasted-work
-// figure — the CLI's "which ordering won where" report.
+// figure — the CLI's "which ordering won where" report. When the warm
+// pool's clause bus was active the table gains exported/imported columns
+// and a warm-vs-cold attribution line.
 func (t *Telemetry) WriteSummary(w io.Writer) {
 	fmt.Fprintf(w, "portfolio: %d races, %d conflicts spent by losers\n",
 		len(t.Depths), t.WastedConflicts)
-	fmt.Fprintf(w, "%-12s %6s %9s %8s %12s\n", "strategy", "wins", "cancelled", "skipped", "conflicts")
+	exchange := t.exchangeActive()
+	fmt.Fprintf(w, "%-12s %6s %9s %8s %12s", "strategy", "wins", "cancelled", "skipped", "conflicts")
+	if exchange {
+		fmt.Fprintf(w, " %9s %9s", "exported", "imported")
+	}
+	fmt.Fprintln(w)
 	for _, name := range t.Strategies() {
-		fmt.Fprintf(w, "%-12s %6d %9d %8d %12d\n",
+		fmt.Fprintf(w, "%-12s %6d %9d %8d %12d",
 			name, t.Wins[name], t.CancelledRuns[name], t.SkippedRuns[name], t.ConflictsSpent[name])
+		if exchange {
+			fmt.Fprintf(w, " %9d %9d", t.ExportedClauses[name], t.ImportedClauses[name])
+		}
+		fmt.Fprintln(w)
+	}
+	if t.WarmWins > 0 || t.SharedWins > 0 {
+		wins := 0
+		for _, n := range t.Wins {
+			wins += n
+		}
+		fmt.Fprintf(w, "warm pool: %d/%d wins by warm racers, %d aided by imported clauses\n",
+			t.WarmWins, wins, t.SharedWins)
 	}
 }
 

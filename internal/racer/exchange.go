@@ -1,0 +1,94 @@
+package racer
+
+// The clause exchange bus: after each depth's race has fully joined, every
+// racer's fresh learned clauses that pass the quality filter are broadcast
+// into every other racer. Sharing is sound because all racers hold the
+// identical original clause set (the pool feeds every frame to everyone),
+// making each learned clause a logical consequence valid in any of them;
+// see sat.Solver.ImportClause for the contract.
+
+// ExchangeOptions configures the clause bus.
+type ExchangeOptions struct {
+	// Enabled turns the bus on; the zero value leaves the pool warm but
+	// silent (persistent solvers, no sharing).
+	Enabled bool
+	// MaxLen and MaxLBD are the export quality filter: a learned clause
+	// qualifies when its length is at most MaxLen or its LBD at most
+	// MaxLBD. Zero selects the defaults (8 and 4); a negative value
+	// disables that criterion.
+	MaxLen int
+	MaxLBD int
+	// PerRacerBudget caps how many clauses one racer exports per depth,
+	// keeping the lowest-LBD ones. Zero selects the default (256); a
+	// negative value removes the cap.
+	PerRacerBudget int
+}
+
+// Exchange defaults: glue-ish clauses only, bounded volume per depth.
+const (
+	defaultExchangeMaxLen = 8
+	defaultExchangeMaxLBD = 4
+	defaultExchangeBudget = 256
+)
+
+// withDefaults resolves the zero/negative conventions documented on the
+// fields.
+func (e ExchangeOptions) withDefaults() ExchangeOptions {
+	switch {
+	case e.MaxLen == 0:
+		e.MaxLen = defaultExchangeMaxLen
+	case e.MaxLen < 0:
+		e.MaxLen = 0
+	}
+	switch {
+	case e.MaxLBD == 0:
+		e.MaxLBD = defaultExchangeMaxLBD
+	case e.MaxLBD < 0:
+		e.MaxLBD = 0
+	}
+	switch {
+	case e.PerRacerBudget == 0:
+		e.PerRacerBudget = defaultExchangeBudget
+	case e.PerRacerBudget < 0:
+		e.PerRacerBudget = 0
+	}
+	return e
+}
+
+// exchange runs one depth-boundary round of the bus. Every solver is at
+// rest here — RaceDepth calls it only after portfolio.RaceLive has joined
+// all workers — so export and import touch each solver from this single
+// goroutine. Broadcast order is racer order, which keeps runs with the
+// same race outcomes deterministic; each recipient's ImportClause dedups
+// clauses that arrive from several senders.
+func (p *Pool) exchange(out *DepthOutcome) {
+	ex := p.cfg.Exchange
+	for i, from := range p.racers {
+		clauses := from.solver.ExportLearned(from.exportMark, ex.MaxLen, ex.MaxLBD, ex.PerRacerBudget)
+		from.exportMark = from.solver.NextClauseID()
+		if len(clauses) == 0 {
+			continue
+		}
+		from.exported += int64(len(clauses))
+		out.Exported[from.name] += int64(len(clauses))
+		for j, to := range p.racers {
+			if j == i {
+				continue
+			}
+			for _, cl := range clauses {
+				id, ok := to.solver.ImportClause(cl)
+				if !ok {
+					continue
+				}
+				to.imported++
+				out.Imported[to.name]++
+				if to.rec != nil {
+					// Imported IDs are core leaves for the incremental
+					// CDG; register the literals so core extraction can
+					// resolve them.
+					to.clausesByID[id] = cl
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,336 @@
+// Package racer implements the warm portfolio: a pool of persistent
+// per-strategy incremental SAT solvers that live across the whole BMC run,
+// raced against each other at every unrolling depth, plus the clause
+// exchange bus that redistributes their best learned clauses between
+// depths.
+//
+// The cold portfolio (portfolio.Race driven by bmc.RunPortfolio) builds
+// one solver per strategy per depth: when the race is decided, every
+// cancelled loser's learned clauses — reported as WastedConflicts — and
+// even the winner's warm VSIDS and phase state are thrown away. The pool
+// keeps each racer alive instead. Every depth it
+//
+//   - feeds the new frame's clauses (unroll.Delta.Frame) to every racer,
+//   - re-applies the strategy's per-depth guidance (sat.SetGuidance),
+//   - races SolveAssuming on the depth's activation literal through
+//     portfolio.RaceLive (first verdict cancels the rest cooperatively),
+//   - folds the winner's unsat core into the shared score board, and
+//   - runs the clause bus: short (length/LBD-filtered) learned clauses
+//     from all racers — the winner and the cancelled losers alike — are
+//     exported (sat.Solver.ExportLearned) and imported into every other
+//     racer (sat.Solver.ImportClause), so one racer's conflicts become
+//     every racer's warm-start capital at the next depth.
+//
+// Clause import into a live solver is only sound while the solver is at
+// rest, so the bus runs strictly at depth boundaries: RaceDepth exchanges
+// only after portfolio.RaceLive has joined every worker goroutine, which
+// keeps the pool race-detector-clean without any locking inside the
+// solver.
+package racer
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// Config configures a warm racer pool. The zero value is not usable on
+// its own — Strategies and the base Solver options come from the caller
+// (bmc.RunPortfolioIncremental translates its PortfolioOptions).
+type Config struct {
+	// Strategies is the raced set, one persistent solver each (default:
+	// the full four-way portfolio.DefaultSet).
+	Strategies portfolio.StrategySet
+	// Jobs caps how many solvers run concurrently per depth (<= 0 means
+	// one per strategy; see portfolio.Race on why it is not clamped to
+	// GOMAXPROCS).
+	Jobs int
+	// Solver carries the base solver options; the per-strategy fields
+	// (Guidance, SwitchAfterDecisions, Recorder, Stop) are managed by the
+	// pool.
+	Solver sat.Options
+	// ScoreMode selects the bmc_score accumulation rule for the shared
+	// board.
+	ScoreMode core.ScoreMode
+	// SwitchDivisor overrides the dynamic strategy's switch divisor
+	// (default core.SwitchDivisor).
+	SwitchDivisor int
+	// PerInstanceConflicts bounds each racer's per-depth SolveAssuming
+	// call (0 = unlimited; per-call counters reset between depths).
+	PerInstanceConflicts int64
+	// Deadline bounds every solve (zero = none).
+	Deadline time.Time
+	// ForceRecording attaches incremental CDG recorders even when no
+	// strategy consumes cores.
+	ForceRecording bool
+	// Exchange configures the clause bus; the zero value leaves it off.
+	Exchange ExchangeOptions
+}
+
+// racerState is one persistent racer: a named strategy, its live solver,
+// and the cross-depth bookkeeping the pool keeps per racer.
+type racerState struct {
+	name     string
+	strategy core.Strategy
+	solver   *sat.Solver
+	// rec is the racer's own cross-depth CDG (recorders are per-goroutine
+	// state and must never be shared between racers); clausesByID maps
+	// original and imported proof IDs back to literals for core
+	// extraction. Both nil when no strategy consumes cores.
+	rec         *core.IncrementalRecorder
+	clausesByID map[sat.ClauseID]cnf.Clause
+	// exportMark is the clause-ID high-water mark of the last export;
+	// only clauses learned after it leave through the bus.
+	exportMark sat.ClauseID
+	// exported/imported are lifetime bus counters (telemetry and the
+	// sharing half of win attribution).
+	exported, imported int64
+}
+
+// Pool owns the racers for one BMC run: it manages their lifecycle
+// (create once, feed every frame, race every depth), the shared score
+// board, and the clause bus. A Pool is not goroutine-safe — the depth
+// loop drives it sequentially, and concurrency happens only inside
+// RaceDepth's portfolio.RaceLive call.
+type Pool struct {
+	d        *unroll.Delta
+	cfg      Config
+	board    *core.ScoreBoard
+	racers   []*racerState
+	useCores bool
+	divisor  int
+
+	// Cumulative formula size across fed frames (every racer holds the
+	// same original clause set, so one set of counters serves all).
+	totalClauses int
+	totalLits    int
+}
+
+// NewPool builds one persistent solver per strategy over an empty clause
+// set; frames arrive depth by depth through RaceDepth. Mirroring
+// RunPortfolio, recorders are attached to every racer as soon as any
+// strategy in the set consumes cores, so whichever racer wins an UNSAT
+// depth has a core to contribute to the board.
+func NewPool(d *unroll.Delta, cfg Config) *Pool {
+	if len(cfg.Strategies) == 0 {
+		cfg.Strategies = portfolio.DefaultSet()
+	}
+	cfg.Exchange = cfg.Exchange.withDefaults()
+	p := &Pool{
+		d:       d,
+		cfg:     cfg,
+		board:   core.NewScoreBoard(cfg.ScoreMode),
+		divisor: cfg.SwitchDivisor,
+	}
+	if p.divisor == 0 {
+		p.divisor = core.SwitchDivisor
+	}
+	p.useCores = cfg.ForceRecording
+	for _, st := range cfg.Strategies {
+		if st == core.OrderStatic || st == core.OrderDynamic {
+			p.useCores = true
+		}
+	}
+	for _, st := range cfg.Strategies {
+		solverOpts := cfg.Solver
+		solverOpts.Guidance = nil
+		solverOpts.SwitchAfterDecisions = 0
+		solverOpts.Recorder = nil
+		solverOpts.Stop = nil
+		if cfg.PerInstanceConflicts > 0 {
+			solverOpts.MaxConflicts = cfg.PerInstanceConflicts
+		}
+		if !cfg.Deadline.IsZero() {
+			solverOpts.Deadline = cfg.Deadline
+		}
+		r := &racerState{name: st.String(), strategy: st}
+		if p.useCores {
+			r.rec = core.NewIncrementalRecorder()
+			solverOpts.Recorder = r.rec
+			r.clausesByID = make(map[sat.ClauseID]cnf.Clause)
+		}
+		r.solver = sat.New(cnf.New(0), solverOpts)
+		p.racers = append(p.racers, r)
+	}
+	return p
+}
+
+// Strategies returns the raced strategy names in set order.
+func (p *Pool) Strategies() []string { return p.cfg.Strategies.Names() }
+
+// Board returns the shared score board the pool feeds winner cores into.
+func (p *Pool) Board() *core.ScoreBoard { return p.board }
+
+// DepthOutcome is what one RaceDepth call reports back to the depth loop:
+// the race itself, the winner's core (UNSAT depths with recording), the
+// depth's clause-bus traffic, and the cumulative formula size.
+type DepthOutcome struct {
+	Race portfolio.RaceResult
+	// CoreClauses/CoreVars/RecorderBytes describe the winner's extracted
+	// unsat core (zero on SAT, undecided, or recording-off depths).
+	CoreClauses   int
+	CoreVars      int
+	RecorderBytes int64
+	// FrameVars is the variable count after this depth's frame;
+	// TotalClauses/TotalLits the cumulative original-clause footprint.
+	FrameVars    int
+	TotalClauses int
+	TotalLits    int
+	// Exported/Imported count this depth's clause-bus traffic per
+	// strategy (empty maps when the bus is off or idle).
+	Exported map[string]int64
+	Imported map[string]int64
+	// WinnerWarm reports that the winning racer had searched at earlier
+	// depths (its solver carried learned clauses in); WinnerShared that
+	// it had additionally imported foreign clauses before this solve.
+	WinnerWarm   bool
+	WinnerShared bool
+}
+
+// RaceDepth runs one full depth: feed the depth-k frame to every racer,
+// re-apply per-depth guidance, race SolveAssuming(actₖ), fold the
+// winner's core into the board, and — with the bus enabled — exchange
+// learned clauses between the racers. Depths must be raced in order
+// starting at 0.
+func (p *Pool) RaceDepth(k int) DepthOutcome {
+	frame := p.d.Frame(k)
+	for _, r := range p.racers {
+		r.solver.AddVars(frame.NumVars)
+		for _, cl := range frame.Clauses {
+			id := r.solver.AddClause(cl)
+			if r.rec != nil {
+				r.clausesByID[id] = cl
+			}
+		}
+	}
+	p.totalClauses += frame.NumClauses()
+	p.totalLits += frame.NumLiterals()
+
+	attempts := make([]portfolio.LiveAttempt, len(p.racers))
+	warm := make([]bool, len(p.racers))
+	sharedState := make([]bool, len(p.racers))
+	for i, r := range p.racers {
+		ApplyStrategy(r.solver, r.strategy, p.board, p.d, k, p.totalLits, p.divisor)
+		attempts[i] = portfolio.LiveAttempt{Name: r.name, Solver: r.solver}
+		warm[i] = r.solver.Stats().Conflicts > 0
+		sharedState[i] = r.imported > 0
+	}
+
+	out := DepthOutcome{
+		Race:         portfolio.RaceLive(attempts, []lits.Lit{p.d.ActLit(k)}, p.cfg.Jobs, nil),
+		FrameVars:    frame.NumVars,
+		TotalClauses: p.totalClauses,
+		TotalLits:    p.totalLits,
+		Exported:     map[string]int64{},
+		Imported:     map[string]int64{},
+	}
+
+	if w := out.Race.Winner; w >= 0 {
+		out.WinnerWarm = warm[w]
+		out.WinnerShared = sharedState[w]
+		if out.Race.Result.Status == sat.Unsat {
+			p.foldWinnerCore(&out, p.racers[w], frame.NumVars, k)
+		}
+	}
+	// Clear every racer's final-conflict marker: losers that decided
+	// Unsat after the winner (or the winner itself) must not leak this
+	// depth's proof into the next one.
+	for _, r := range p.racers {
+		if r.rec != nil && r.rec.HasProof() {
+			r.rec.ResetFinal()
+		}
+	}
+
+	if p.cfg.Exchange.Enabled {
+		p.exchange(&out)
+	}
+	return out
+}
+
+// foldWinnerCore extracts the winning racer's unsat core and folds its
+// variables into the shared score board, exactly as the sequential
+// incremental loop does (update_ranking weighted by the 1-based instance
+// number).
+func (p *Pool) foldWinnerCore(out *DepthOutcome, r *racerState, nVars, k int) {
+	if r.rec == nil || !r.rec.HasProof() {
+		return
+	}
+	coreIDs := r.rec.Core()
+	coreVars := CoreVars(p.d, coreIDs, r.clausesByID, nVars)
+	out.CoreClauses = len(coreIDs)
+	out.CoreVars = len(coreVars)
+	out.RecorderBytes = r.rec.ApproxBytes()
+	if p.useCores {
+		p.board.Update(coreVars, k+1)
+	}
+}
+
+// ApplyStrategy re-applies one ordering strategy to a live solver before
+// a depth-k SolveAssuming, using the delta numbering throughout:
+// board-fed guidance for static/dynamic (with the dynamic switch
+// threshold derived from totalLits/divisor), frame scores for timeaxis,
+// plain VSIDS otherwise. Shared by the warm pool and bmc.RunIncremental —
+// the single place the live-solver strategy semantics live.
+func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, d *unroll.Delta, k, totalLits, divisor int) {
+	nVars := d.NumVars(k)
+	switch st {
+	case core.OrderStatic:
+		s.SetGuidance(board.Guidance(nVars), 0)
+	case core.OrderDynamic:
+		var switchAfter int64
+		if divisor > 0 {
+			switchAfter = int64(totalLits / divisor)
+			if switchAfter < 1 {
+				switchAfter = 1
+			}
+		}
+		s.SetGuidance(board.Guidance(nVars), switchAfter)
+	case core.OrderTimeAxis:
+		g := make([]float64, nVars+1)
+		for v := 1; v <= nVars; v++ {
+			_, frame, _ := d.NodeOf(lits.Var(v))
+			g[v] = float64(k + 1 - frame)
+		}
+		s.SetGuidance(g, 0)
+	default: // OrderVSIDS: plain Chaff ordering
+		s.SetGuidance(nil, 0)
+	}
+}
+
+// CoreVars maps unsat-core clause IDs back to the distinct circuit
+// variables occurring in them, excluding activation variables (guard
+// plumbing, not circuit state — the paper's bmc_score ranks circuit
+// variables only). clausesByID is the caller's ID-to-literals registry
+// (originals plus imported clauses, which appear as core leaves like
+// originals — acceptable for the heuristic score board). Sorted
+// ascending, mirroring core.Recorder.CoreVars. Shared by the warm pool
+// and bmc.RunIncremental.
+func CoreVars(d *unroll.Delta, coreIDs []sat.ClauseID, clausesByID map[sat.ClauseID]cnf.Clause, nVars int) []lits.Var {
+	seen := make([]bool, nVars+1)
+	var out []lits.Var
+	for _, id := range coreIDs {
+		for _, l := range clausesByID[id] {
+			v := l.Var()
+			if int(v) > nVars || seen[v] {
+				continue
+			}
+			seen[v] = true
+			if _, _, isAct := d.NodeOf(v); isAct {
+				continue
+			}
+			out = append(out, v)
+		}
+	}
+	// insertion sort — core variable sets are small relative to formulas
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package racer
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// newTestPool builds a pool over a fresh unrolling of the circuit.
+func newTestPool(t *testing.T, c *circuit.Circuit, cfg Config) (*Pool, *unroll.Unroller) {
+	t.Helper()
+	u, err := unroll.New(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Solver.RescoreInterval == 0 {
+		cfg.Solver = sat.Defaults()
+	}
+	return NewPool(u.Delta(), cfg), u
+}
+
+// TestPoolVerdictsMatchScratch is the pool's defining property: racing
+// persistent solvers (with and without the clause bus) must reproduce the
+// scratch instance's satisfiability at every depth, on passing and
+// failing circuits.
+func TestPoolVerdictsMatchScratch(t *testing.T) {
+	models := []struct {
+		name  string
+		build func() *circuit.Circuit
+		depth int
+	}{
+		{"cnt_w4_t9", func() *circuit.Circuit { return bench.Counter(4, 9, 2, 6) }, 10},
+		{"tlc", func() *circuit.Circuit { return bench.TrafficLight(false, 2, 6) }, 6},
+		{"add_w4", func() *circuit.Circuit { return bench.AdderTwin(4, 6, 16) }, 3},
+	}
+	for _, m := range models {
+		for _, share := range []bool{false, true} {
+			pool, u := newTestPool(t, m.build(), Config{
+				Exchange: ExchangeOptions{Enabled: share},
+			})
+			for k := 0; k <= m.depth; k++ {
+				out := pool.RaceDepth(k)
+				if out.Race.Winner < 0 {
+					t.Fatalf("%s share=%v depth %d: no winner", m.name, share, k)
+				}
+				scratch := sat.New(u.Formula(k), sat.Defaults()).Solve()
+				if got := out.Race.Result.Status; got != scratch.Status {
+					t.Fatalf("%s share=%v depth %d: pool=%v scratch=%v", m.name, share, k, got, scratch.Status)
+				}
+				if out.Race.Result.Status == sat.Sat {
+					tr := u.Delta().ExtractTrace(out.Race.Result.Model, k)
+					if !u.Replay(tr) {
+						t.Fatalf("%s share=%v depth %d: pool trace failed replay", m.name, share, k)
+					}
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestPoolExchangeMovesClauses: on a conflict-heavy UNSAT sequence the bus
+// must actually carry traffic, and the winner attribution must mark racers
+// warm on later depths.
+func TestPoolExchangeMovesClauses(t *testing.T) {
+	pool, _ := newTestPool(t, bench.AdderTwin(4, 6, 16), Config{
+		Exchange: ExchangeOptions{Enabled: true},
+	})
+	var exported, imported int64
+	sawWarmWin := false
+	for k := 0; k <= 4; k++ {
+		out := pool.RaceDepth(k)
+		if out.Race.Winner < 0 || out.Race.Result.Status != sat.Unsat {
+			t.Fatalf("depth %d: want an Unsat winner, got %v", k, out.Race.Result.Status)
+		}
+		for _, n := range out.Exported {
+			exported += n
+		}
+		for _, n := range out.Imported {
+			imported += n
+		}
+		if k > 0 && out.WinnerWarm {
+			sawWarmWin = true
+		}
+	}
+	if exported == 0 || imported == 0 {
+		t.Fatalf("bus idle on a conflict-heavy run: exported=%d imported=%d", exported, imported)
+	}
+	if !sawWarmWin {
+		t.Fatalf("no warm winner across depths 1..4")
+	}
+}
+
+// TestPoolExchangeDisabledByDefault: the zero Exchange value keeps the bus
+// off.
+func TestPoolExchangeDisabledByDefault(t *testing.T) {
+	pool, _ := newTestPool(t, bench.AdderTwin(4, 6, 16), Config{})
+	for k := 0; k <= 2; k++ {
+		out := pool.RaceDepth(k)
+		if len(out.Exported) != 0 || len(out.Imported) != 0 {
+			t.Fatalf("depth %d: bus active without Enabled", k)
+		}
+	}
+}
+
+// TestPoolScoreBoardFeedback: UNSAT depths must fold the winner's core
+// into the shared board when a core-consuming strategy is racing.
+func TestPoolScoreBoardFeedback(t *testing.T) {
+	pool, _ := newTestPool(t, bench.AdderTwin(4, 6, 16), Config{
+		Strategies: portfolio.StrategySet{core.OrderVSIDS, core.OrderDynamic},
+	})
+	for k := 0; k <= 3; k++ {
+		pool.RaceDepth(k)
+	}
+	if pool.Board().NumCores() == 0 {
+		t.Fatalf("no cores folded into the board across 4 UNSAT depths")
+	}
+}
+
+// TestPoolSubsetStrategiesAndJobs: a two-strategy pool with one worker
+// slot must still decide every depth (skipped racers sit races out but
+// stay consistent).
+func TestPoolSubsetStrategiesAndJobs(t *testing.T) {
+	pool, u := newTestPool(t, bench.Counter(4, 9, 2, 6), Config{
+		Strategies: portfolio.StrategySet{core.OrderVSIDS, core.OrderTimeAxis},
+		Jobs:       1,
+		Exchange:   ExchangeOptions{Enabled: true},
+	})
+	for k := 0; k <= 9; k++ {
+		out := pool.RaceDepth(k)
+		if out.Race.Winner < 0 {
+			t.Fatalf("depth %d: no winner", k)
+		}
+		scratch := sat.New(u.Formula(k), sat.Defaults()).Solve()
+		if out.Race.Result.Status != scratch.Status {
+			t.Fatalf("depth %d: pool=%v scratch=%v", k, out.Race.Result.Status, scratch.Status)
+		}
+	}
+}
+
+// TestPoolRaceCleanUnderDetector hammers the full pool — concurrent
+// racers, cancellation, recorders, score-board feedback, and the clause
+// bus — across enough depths for every code path to interleave; the
+// assertion is the race detector staying quiet (CI runs -race). It also
+// doubles as the depth-boundary contract check: exchange runs after every
+// race joined, so any import racing a live Solve would trip the detector.
+func TestPoolRaceCleanUnderDetector(t *testing.T) {
+	pool, _ := newTestPool(t, bench.ParityMixer(5, 3, 10), Config{
+		Jobs:     4,
+		Exchange: ExchangeOptions{Enabled: true, PerRacerBudget: 64},
+	})
+	for k := 0; k <= 6; k++ {
+		out := pool.RaceDepth(k)
+		if out.Race.Winner < 0 {
+			t.Fatalf("depth %d: no winner", k)
+		}
+	}
+}
+
+// TestExchangeOptionDefaults pins the zero/negative conventions.
+func TestExchangeOptionDefaults(t *testing.T) {
+	e := ExchangeOptions{}.withDefaults()
+	if e.MaxLen != defaultExchangeMaxLen || e.MaxLBD != defaultExchangeMaxLBD || e.PerRacerBudget != defaultExchangeBudget {
+		t.Fatalf("zero value defaults wrong: %+v", e)
+	}
+	e = ExchangeOptions{MaxLen: -1, MaxLBD: -1, PerRacerBudget: -1}.withDefaults()
+	if e.MaxLen != 0 || e.MaxLBD != 0 || e.PerRacerBudget != 0 {
+		t.Fatalf("negative values must disable: %+v", e)
+	}
+	e = ExchangeOptions{MaxLen: 3, MaxLBD: 2, PerRacerBudget: 10}.withDefaults()
+	if e.MaxLen != 3 || e.MaxLBD != 2 || e.PerRacerBudget != 10 {
+		t.Fatalf("explicit values must survive: %+v", e)
+	}
+}

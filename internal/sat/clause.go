@@ -16,10 +16,19 @@ import (
 type clause struct {
 	id     ClauseID
 	learnt bool
+	// foreign marks a learned clause imported from another solver
+	// (Solver.ImportClause); foreign clauses are never re-exported, so the
+	// clause-sharing bus cannot echo.
+	foreign bool
 	// act is a recency stamp (the conflict count when the clause last
 	// participated in conflict analysis); clause-database reduction evicts
 	// the stalest learned clauses first.
-	act  int64
+	act int64
+	// lbd is the literal-block distance at learn time (distinct decision
+	// levels among the clause's literals) — the Glucose-style quality
+	// measure the clause-sharing export filter uses. Foreign clauses carry
+	// their length as a pessimistic stand-in.
+	lbd  int32
 	lits []lits.Lit
 }
 

@@ -1,0 +1,142 @@
+package sat
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+	"repro/internal/lits"
+)
+
+// This file is the solver half of learned-clause exchange between racing
+// solvers (internal/racer): ExportLearned hands out a solver's best recent
+// learned clauses, ImportClause installs a foreign clause into a live
+// solver. Both ends assume the solvers share the same original clause set,
+// which makes every learned clause a logical consequence that is sound to
+// inject anywhere — a CDCL solver's learned clauses never depend on its
+// assumptions (assumptions enter the search as plain decisions, so
+// conflict analysis resolves them into the learned clause rather than
+// relying on them).
+
+// NextClauseID returns the proof ID the next clause — original, learned,
+// or imported — will receive. Exporters use it as the high-water mark
+// between ExportLearned calls: clauses with IDs below the mark have been
+// offered before.
+func (s *Solver) NextClauseID() ClauseID { return s.nextID }
+
+// ExportLearned returns copies of the live learned clauses with proof IDs
+// at least since that qualify for sharing: length at most maxLen or
+// LBD at most maxLBD (a criterion with a non-positive bound is disabled).
+// When more than limit clauses qualify, the best — lowest LBD, then
+// shortest, then oldest — are kept (limit <= 0 means no cap); the result
+// is in ID order. Foreign clauses (installed by ImportClause) are skipped,
+// so re-broadcasting an export cannot echo clauses around the bus.
+//
+// Must not be called while a Solve is in progress: the search mutates the
+// literal order inside clauses (watch swaps). The racer pool exports only
+// at depth boundaries, after every racer has come to rest.
+func (s *Solver) ExportLearned(since ClauseID, maxLen, maxLBD, limit int) []cnf.Clause {
+	var cands []*clause
+	for _, c := range s.learnts {
+		if c.id < since || c.foreign {
+			continue
+		}
+		byLen := maxLen > 0 && len(c.lits) <= maxLen
+		byLBD := maxLBD > 0 && c.lbd <= int32(maxLBD)
+		if byLen || byLBD {
+			cands = append(cands, c)
+		}
+	}
+	if limit > 0 && len(cands) > limit {
+		sort.Slice(cands, func(i, j int) bool {
+			a, b := cands[i], cands[j]
+			if a.lbd != b.lbd {
+				return a.lbd < b.lbd
+			}
+			if len(a.lits) != len(b.lits) {
+				return len(a.lits) < len(b.lits)
+			}
+			return a.id < b.id
+		})
+		cands = cands[:limit]
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].id < cands[j].id })
+	out := make([]cnf.Clause, len(cands))
+	for i, c := range cands {
+		out[i] = cnf.Clause(append([]lits.Lit(nil), c.lits...))
+	}
+	return out
+}
+
+// ImportClause attaches a clause learned by another solver over the same
+// original clause set — the import half of cross-racer clause sharing.
+// The clause enters the learned database: it competes in clause-database
+// reduction like locally learned clauses (with a fresh recency stamp, so
+// one reduction cannot evict it unexamined) and is never re-exported.
+// Tautologies and clauses already imported once (canonical-form dedup
+// across all ImportClause calls) are dropped; the returned bool reports
+// whether the clause was installed, and the ClauseID is meaningful only
+// then. Like AddClause, importing backtracks to decision level 0, and a
+// unit or falsified-at-level-0 clause takes effect immediately.
+//
+// The proof recorder is NOT notified, so an incremental CDG treats the
+// imported ID exactly like an original-clause leaf; callers that extract
+// cores must register the literals under the returned ID (bmc does).
+// Cores may then name imported clauses — acceptable for the bmc_score
+// board, which is heuristic guidance, not a minimal proof.
+//
+// Must not be called while a Solve is in progress. The racer pool imports
+// only at depth boundaries, while no solver is mid-search.
+func (s *Solver) ImportClause(raw cnf.Clause) (ClauseID, bool) {
+	norm, taut := raw.Copy().Normalize()
+	if taut || len(norm) == 0 {
+		return 0, false
+	}
+	key := clauseKey(norm)
+	if _, dup := s.importSeen[key]; dup {
+		return 0, false
+	}
+	if s.importSeen == nil {
+		s.importSeen = make(map[uint64]struct{})
+	}
+	s.importSeen[key] = struct{}{}
+
+	s.cancelUntil(0)
+	if mv := int(norm.MaxVar()); mv > s.nVars {
+		s.AddVars(mv)
+	}
+	id := s.nextID
+	s.nextID++
+	c := &clause{
+		id:      id,
+		learnt:  true,
+		foreign: true,
+		act:     s.conflictStamp(),
+		// The sender's LBD is stale in this solver's search; the length is
+		// the pessimistic stand-in (LBD <= length always holds).
+		lbd:  int32(len(norm)),
+		lits: norm,
+	}
+	s.learnts = append(s.learnts, c)
+	s.install(c)
+	return id, true
+}
+
+// clauseKey hashes a normalized (sorted, deduplicated) clause with FNV-1a.
+// A collision makes the dedup drop a distinct clause — a lost heuristic
+// opportunity, never an unsoundness, so 64 bits are plenty.
+func clauseKey(c cnf.Clause) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, l := range c {
+		x := uint64(uint32(l))
+		for i := 0; i < 4; i++ {
+			h ^= x & 0xff
+			h *= prime64
+			x >>= 8
+		}
+	}
+	return h
+}

@@ -65,6 +65,18 @@ type Solver struct {
 	seen    []bool // per var scratch for analyze
 	toClear []lits.Var
 
+	// lbdMark/lbdGen are the per-level stamp scratch for LBD computation
+	// (Glucose's permDiff); lastLBD carries the value from analyze to
+	// addLearned within one conflict.
+	lbdMark []int64
+	lbdGen  int64
+	lastLBD int32
+
+	// importSeen holds canonical hashes of every clause accepted by
+	// ImportClause, so the clause-sharing bus can broadcast the same clause
+	// from several senders without installing duplicates.
+	importSeen map[uint64]struct{}
+
 	maxLearnts float64
 	// nextID is the shared clause-ID counter: original clauses added after
 	// construction and learned clauses draw from the same sequence, so IDs
@@ -117,6 +129,7 @@ func New(f *cnf.Formula, opts Options) *Solver {
 		newCount:    make([]int32, 2*n+2),
 		savedPhase:  make([]int8, n+1),
 		seen:        make([]bool, n+1),
+		lbdMark:     make([]int64, n+1),
 		guid:        opts.Guidance,
 		guidActive:  opts.Guidance != nil,
 		recording:   opts.Recorder != nil,
@@ -211,6 +224,7 @@ func (s *Solver) AddVars(n int) {
 		s.level = append(s.level, 0)
 		s.savedPhase = append(s.savedPhase, 0)
 		s.seen = append(s.seen, false)
+		s.lbdMark = append(s.lbdMark, 0)
 	}
 	if s.guid != nil {
 		for len(s.guid) < n+1 {
@@ -243,6 +257,23 @@ func (s *Solver) AddClause(raw cnf.Clause) ClauseID {
 	if taut {
 		return id
 	}
+	c := &clause{id: id, lits: norm}
+	s.clauses = append(s.clauses, c)
+	if m := float64(len(s.clauses)) * s.opts.MaxLearntFrac; m > s.maxLearnts {
+		s.maxLearnts = m
+	}
+	s.install(c)
+	return id
+}
+
+// install bumps occurrence scores and registers an already-normalized
+// clause in the watch lists, handling literals the level-0 trail has
+// decided: watches are chosen among non-false literals, units are
+// enqueued, and a fully falsified clause makes the solver unsatisfiable.
+// Shared by AddClause and ImportClause; the solver must be at decision
+// level 0.
+func (s *Solver) install(c *clause) {
+	norm := c.lits
 	// Occurrence-count scoring, exactly as New seeds cha_score; raising a
 	// key in the max-heap only needs an up-fix.
 	for _, l := range norm {
@@ -251,14 +282,7 @@ func (s *Solver) AddClause(raw cnf.Clause) ClauseID {
 			s.heap.up(int(pos))
 		}
 	}
-	c := &clause{id: id, lits: norm}
-	s.clauses = append(s.clauses, c)
-	if m := float64(len(s.clauses)) * s.opts.MaxLearntFrac; m > s.maxLearnts {
-		s.maxLearnts = m
-	}
 
-	// Level-0 assignments may already falsify or satisfy literals; pick
-	// watches among the non-false ones so propagation stays sound.
 	nonFalse, satisfied := 0, false
 	for i, l := range norm {
 		switch s.assigns.LitValue(l) {
@@ -276,7 +300,7 @@ func (s *Solver) AddClause(raw cnf.Clause) ClauseID {
 		if s.status != Unsat {
 			s.status = Unsat
 			if len(norm) == 0 {
-				s.finalAnts = []ClauseID{id}
+				s.finalAnts = []ClauseID{c.id}
 			} else {
 				s.finalAnts = s.collectFinal(c)
 			}
@@ -289,7 +313,6 @@ func (s *Solver) AddClause(raw cnf.Clause) ClauseID {
 	case len(norm) >= 2:
 		s.attach(c)
 	}
-	return id
 }
 
 // SetGuidance replaces the guidance scores and the dynamic-switch threshold
@@ -308,6 +331,15 @@ func (s *Solver) SetGuidance(g []float64, switchAfterDecisions int64) {
 	s.opts.SwitchAfterDecisions = switchAfterDecisions
 	s.guidActive = g != nil
 	s.heap.rebuild()
+}
+
+// SetStop replaces the cooperative-cancellation channel consulted by
+// subsequent solve calls. Closed channels cannot be reopened, so a
+// persistent racer gets a fresh channel installed before every race
+// (portfolio.RaceLive does this); nil disables cancellation.
+func (s *Solver) SetStop(stop <-chan struct{}) {
+	s.opts.Stop = stop
+	s.stopping = stop != nil
 }
 
 // attach registers the clause's first two literals in the watch lists.
@@ -531,6 +563,10 @@ func (s *Solver) analyze(confl *clause) (learnt []lits.Lit, btLevel int, ants []
 		learnt = s.minimize(learnt, &ants)
 	}
 
+	// LBD while every literal is still assigned at its level (backtracking
+	// happens after analyze returns); addLearned stamps it on the clause.
+	s.lastLBD = s.computeLBD(learnt)
+
 	// Compute the backtrack level: the second-highest level in the clause,
 	// and move a literal of that level to position 1 for watching.
 	if len(learnt) == 1 {
@@ -648,10 +684,27 @@ func (s *Solver) conflictStamp() int64 {
 	return s.total.Conflicts + s.stats.Conflicts
 }
 
+// computeLBD returns the literal-block distance of the clause: the number
+// of distinct decision levels among its literals. Valid only while every
+// literal is assigned (i.e. inside analyze, before backtracking). The
+// per-level stamp scratch makes it O(len) without allocation.
+func (s *Solver) computeLBD(cl []lits.Lit) int32 {
+	s.lbdGen++
+	var n int32
+	for _, l := range cl {
+		lv := s.level[l.Var()]
+		if s.lbdMark[lv] != s.lbdGen {
+			s.lbdMark[lv] = s.lbdGen
+			n++
+		}
+	}
+	return n
+}
+
 // addLearned installs the learned clause, notifies the recorder, and
 // enqueues the asserting literal.
 func (s *Solver) addLearned(learnt []lits.Lit, ants []ClauseID) {
-	c := &clause{id: s.nextID, learnt: true, act: s.conflictStamp(), lits: learnt}
+	c := &clause{id: s.nextID, learnt: true, act: s.conflictStamp(), lbd: s.lastLBD, lits: learnt}
 	s.nextID++
 	s.stats.Learned++
 	s.stats.LearnedLits += int64(len(learnt))
