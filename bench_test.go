@@ -15,6 +15,7 @@
 //	BenchmarkPortfolio       — concurrent portfolio vs single orderings
 //	BenchmarkIncremental     — incremental (one live solver) vs scratch loop
 //	BenchmarkWarmPortfolio   — cold portfolio vs warm racer pool vs warm+sharing
+//	BenchmarkWarmKInduction  — cold k-induction portfolio vs warm base/step pools
 //
 // Per-configuration solver micro-benchmarks live in internal/sat.
 package repro
@@ -223,6 +224,36 @@ func BenchmarkWarmPortfolio(b *testing.B) {
 		if i == b.N-1 {
 			report(b, "cold_s", res.TotalCold.Seconds())
 			report(b, "warm_s", res.TotalWarm.Seconds())
+			report(b, "shared_s", res.TotalShared.Seconds())
+			report(b, "conf_cold", float64(res.ConfCold))
+			report(b, "conf_shared", float64(res.ConfShared))
+			if res.ConfCold > 0 {
+				report(b, "conf_shared_vs_cold_%", 100*float64(res.ConfShared)/float64(res.ConfCold))
+			}
+		}
+	}
+}
+
+// BenchmarkWarmKInduction runs the k-induction warm-pool ablation (cold
+// per-depth base/step portfolios vs two persistent racer pools, without
+// and with each pool's clause bus) and reports the headline totals. As in
+// BenchmarkWarmPortfolio, conflicts count every racer of both query
+// sequences, so conf_shared < conf_cold is the direct measure of wasted
+// conflicts turned into warm-start capital; any verdict disagreement
+// between the engines fails the benchmark outright.
+func BenchmarkWarmKInduction(b *testing.B) {
+	cfg := quickCfg()
+	cfg.Models = experiments.KindAblationModels()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWarmKindAblation(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Disagreements > 0 {
+			b.Fatalf("%d verdict disagreements", res.Disagreements)
+		}
+		if i == b.N-1 {
+			report(b, "cold_s", res.TotalCold.Seconds())
 			report(b, "shared_s", res.TotalShared.Seconds())
 			report(b, "conf_cold", float64(res.ConfCold))
 			report(b, "conf_shared", float64(res.ConfShared))

@@ -4,9 +4,10 @@
 //	bmc -order=dynamic -depth=20 design.aag
 //	bmc -order=dynamic -incremental -depth=20 design.aag
 //	bmc -order=portfolio -jobs=4 -depth=20 design.aag
-//	bmc -order=portfolio -incremental -depth=20 design.aag   # warm racer pool
+//	bmc -order=portfolio -incremental -depth=20 design.aag            # warm racer pool
 //	bmc -engine=kind -depth=16 design.aag
 //	bmc -engine=kind -order=portfolio -depth=16 design.aag
+//	bmc -engine=kind -order=portfolio -incremental -depth=16 design.aag  # warm k-induction
 //
 // Orders: vsids (plain Chaff baseline), static, dynamic (the paper's two
 // refined configurations), timeaxis (Shtrichman-style comparator; BMC
@@ -26,7 +27,16 @@
 //
 // With -engine=kind, -order=portfolio races the independent base and step
 // queries of every induction depth in parallel, each across the strategy
-// set.
+// set. Adding -incremental upgrades both queries to warm racer pools: one
+// persistent solver per strategy per query sequence (the step sequence
+// uses an activation-guarded incremental encoding of the simple-path
+// constraint), with -share running each pool's clause bus at depth
+// boundaries. A single -order with -engine=kind -incremental runs the
+// same warm pools with a one-strategy set.
+//
+// Meaningless flag combinations (e.g. -share without the warm portfolio,
+// -strategies without -order=portfolio) are rejected up front rather than
+// silently ignored.
 //
 // The exit code is 0 when the property holds up to the bound (or is proved
 // by induction), 1 when a counter-example is found, and 2 on errors or
@@ -49,6 +59,51 @@ import (
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
+
+// flagConfig is the flag combination validateFlags vets; keeping it a
+// plain struct (rather than reading the flag set) makes the validation
+// rules unit-testable.
+type flagConfig struct {
+	engine, order, strategies string
+	incremental               bool
+	// shareSet records that -share was passed explicitly (its default is
+	// true, so the value alone cannot distinguish "asked for sharing"
+	// from "never mentioned it").
+	shareSet bool
+	jobs     int
+}
+
+// validateFlags rejects meaningless flag combinations up front — before
+// the circuit is even opened — so a bogus invocation reports what is
+// wrong instead of silently ignoring a flag or failing mid-run.
+func validateFlags(fc flagConfig) error {
+	if fc.engine != "bmc" && fc.engine != "kind" {
+		return fmt.Errorf("unknown engine %q (valid: bmc, kind)", fc.engine)
+	}
+	if fc.jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0 (0 = one solver per strategy), got %d", fc.jobs)
+	}
+	isPortfolio := fc.order == "portfolio"
+	if fc.jobs > 0 && !isPortfolio {
+		return fmt.Errorf("-jobs requires -order=portfolio (a single-order run has one solver per query)")
+	}
+	if !isPortfolio {
+		if _, ok := core.ParseStrategy(fc.order); !ok {
+			return fmt.Errorf("unknown order %q (valid: vsids, static, dynamic, timeaxis, portfolio)", fc.order)
+		}
+	}
+	if fc.strategies != "" && !isPortfolio {
+		return fmt.Errorf("-strategies requires -order=portfolio (valid strategies: %s)",
+			strings.Join(portfolio.ValidNames(), ", "))
+	}
+	if fc.shareSet && !(fc.incremental && isPortfolio) {
+		return fmt.Errorf("-share requires -incremental with -order=portfolio (the clause bus exchanges between multiple persistent racers)")
+	}
+	if fc.engine == "kind" && !fc.incremental && !isPortfolio && fc.order == "timeaxis" {
+		return fmt.Errorf("the non-incremental k-induction engine supports vsids|static|dynamic|portfolio orders (timeaxis needs -incremental's warm pools)")
+	}
+	return nil
+}
 
 // printWitness dumps the per-frame input vectors of a counter-example.
 func printWitness(tr *unroll.Trace) {
@@ -93,14 +148,24 @@ func run() int {
 		return 2
 	}
 
-	// Validate the portfolio configuration up front — before the circuit
-	// is even opened — so a typo in -strategies or a bogus -jobs reports
-	// everything wrong at once instead of failing mid-run.
-	isPortfolio := *order == "portfolio"
-	if *jobs < 0 {
-		fmt.Fprintf(os.Stderr, "bmc: -jobs must be >= 0 (0 = one solver per strategy), got %d\n", *jobs)
+	shareSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "share" {
+			shareSet = true
+		}
+	})
+	if err := validateFlags(flagConfig{
+		engine:      *engine,
+		order:       *order,
+		strategies:  *strats,
+		incremental: *increment,
+		shareSet:    shareSet,
+		jobs:        *jobs,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "bmc:", err)
 		return 2
 	}
+	isPortfolio := *order == "portfolio"
 	var set portfolio.StrategySet
 	if isPortfolio {
 		var err error
@@ -108,10 +173,6 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "bmc:", err)
 			return 2
 		}
-	} else if *strats != "" {
-		fmt.Fprintf(os.Stderr, "bmc: -strategies requires -order=portfolio (valid strategies: %s)\n",
-			strings.Join(portfolio.ValidNames(), ", "))
-		return 2
 	}
 
 	f, err := os.Open(flag.Arg(0))
@@ -159,10 +220,6 @@ func run() int {
 	}
 
 	if *engine == "kind" {
-		if *increment || (!isPortfolio && opts.Strategy == bmc.TimeAxis) {
-			fmt.Fprintln(os.Stderr, "bmc: the k-induction engine supports non-incremental vsids|static|dynamic|portfolio orders only")
-			return 2
-		}
 		iopts := induction.Options{
 			MaxK:                 *depth,
 			Strategy:             opts.Strategy,
@@ -170,8 +227,36 @@ func run() int {
 			PerInstanceConflicts: opts.PerInstanceConflicts,
 			Deadline:             opts.Deadline,
 		}
+		printRaces := func(pres *induction.PortfolioResult) {
+			if *verbose {
+				fmt.Println("base-case races:")
+				pres.BaseTelemetry.WriteSummary(os.Stdout)
+				fmt.Println("step-case races:")
+				pres.StepTelemetry.WriteSummary(os.Stdout)
+			}
+		}
 		var ires *induction.Result
-		if isPortfolio {
+		switch {
+		case *increment:
+			// The warm path: persistent base and step racer pools. A single
+			// -order runs the same machinery with a one-strategy set (no
+			// bus — there is nobody to share with).
+			kset := set
+			popts := induction.PortfolioOptions{Options: iopts, Jobs: *jobs}
+			if isPortfolio {
+				popts.Exchange = racer.ExchangeOptions{Enabled: *share}
+			} else {
+				kset = portfolio.StrategySet{opts.Strategy}
+			}
+			popts.Strategies = kset
+			pres, perr := induction.ProvePortfolioIncremental(circ, *prop, popts)
+			if perr != nil {
+				fmt.Fprintln(os.Stderr, "bmc:", perr)
+				return 2
+			}
+			printRaces(pres)
+			ires = &pres.Result
+		case isPortfolio:
 			pres, perr := induction.ProvePortfolio(circ, *prop, induction.PortfolioOptions{
 				Options:    iopts,
 				Strategies: set,
@@ -181,14 +266,9 @@ func run() int {
 				fmt.Fprintln(os.Stderr, "bmc:", perr)
 				return 2
 			}
-			if *verbose {
-				fmt.Println("base-case races:")
-				pres.BaseTelemetry.WriteSummary(os.Stdout)
-				fmt.Println("step-case races:")
-				pres.StepTelemetry.WriteSummary(os.Stdout)
-			}
+			printRaces(pres)
 			ires = &pres.Result
-		} else {
+		default:
 			ires, err = induction.Prove(circ, *prop, iopts)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "bmc:", err)

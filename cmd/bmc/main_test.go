@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateFlags pins the up-front flag-combination rules: meaningless
+// combinations error out instead of being silently ignored, and the
+// previously hard-rejected -engine=kind -incremental is now a valid warm
+// path.
+func TestValidateFlags(t *testing.T) {
+	valid := flagConfig{engine: "bmc", order: "dynamic"}
+	cases := []struct {
+		name    string
+		fc      flagConfig
+		wantErr string // substring of the error, "" = must pass
+	}{
+		{"default", valid, ""},
+		{"portfolio", flagConfig{engine: "bmc", order: "portfolio"}, ""},
+		{"warm portfolio with share", flagConfig{engine: "bmc", order: "portfolio", incremental: true, shareSet: true}, ""},
+		{"warm kind portfolio", flagConfig{engine: "kind", order: "portfolio", incremental: true}, ""},
+		{"warm kind portfolio with share", flagConfig{engine: "kind", order: "portfolio", incremental: true, shareSet: true}, ""},
+		{"warm kind single order", flagConfig{engine: "kind", order: "dynamic", incremental: true}, ""},
+		{"warm kind timeaxis", flagConfig{engine: "kind", order: "timeaxis", incremental: true}, ""},
+		{"kind portfolio with strategies", flagConfig{engine: "kind", order: "portfolio", strategies: "vsids,dynamic"}, ""},
+
+		{"unknown engine", flagConfig{engine: "pdr", order: "dynamic"}, "unknown engine"},
+		{"unknown order", flagConfig{engine: "bmc", order: "chrono"}, "unknown order"},
+		{"portfolio with jobs", flagConfig{engine: "bmc", order: "portfolio", jobs: 4}, ""},
+		{"negative jobs", flagConfig{engine: "bmc", order: "portfolio", jobs: -1}, "-jobs"},
+		{"jobs without portfolio", flagConfig{engine: "bmc", order: "dynamic", jobs: 4}, "-jobs requires"},
+		{"strategies without portfolio", flagConfig{engine: "bmc", order: "dynamic", strategies: "vsids"}, "-strategies requires"},
+		{"share without incremental", flagConfig{engine: "bmc", order: "portfolio", shareSet: true}, "-share requires"},
+		{"share without portfolio", flagConfig{engine: "bmc", order: "dynamic", incremental: true, shareSet: true}, "-share requires"},
+		{"share on single-order kind", flagConfig{engine: "kind", order: "dynamic", incremental: true, shareSet: true}, "-share requires"},
+		{"cold kind timeaxis", flagConfig{engine: "kind", order: "timeaxis"}, "timeaxis"},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.fc)
+		switch {
+		case tc.wantErr == "" && err != nil:
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		case tc.wantErr != "" && err == nil:
+			t.Errorf("%s: expected an error mentioning %q, got none", tc.name, tc.wantErr)
+		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

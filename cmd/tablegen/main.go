@@ -10,6 +10,7 @@
 //	tablegen -experiment=timeaxis    # related-work time-axis comparison
 //	tablegen -experiment=incremental # incremental vs scratch depth loop
 //	tablegen -experiment=warm        # cold portfolio vs warm pool vs warm+sharing
+//	                                 # (BMC depth loop AND k-induction base/step pools)
 //	tablegen -experiment=all         # everything
 //
 // -csv switches the output to machine-readable CSV where available, -quick
@@ -158,6 +159,23 @@ func run() int {
 			return err
 		}
 		res.Write(os.Stdout)
+		// The k-induction half of the warm story: the same persistent
+		// pools over the base and step query sequences. The per-instance
+		// conflict cap never binds a race winner (hundreds of conflicts on
+		// these models) — it only cuts the tail of doomed losers hunting
+		// models after the verdict is already in reach, which would
+		// otherwise drown the comparison in SAT-search lottery noise.
+		kindCfg := cfg
+		kindCfg.Models = experiments.KindAblationModels()
+		if kindCfg.PerInstanceConflicts == 0 {
+			kindCfg.PerInstanceConflicts = 3000
+		}
+		kres, err := experiments.RunWarmKindAblation(kindCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		kres.Write(os.Stdout)
 		return nil
 	}
 

@@ -12,8 +12,10 @@
 //	internal/core        simplified CDG (per-instance and cross-depth
 //	                     incremental recorders), unsat cores, bmc_score
 //	                     board, ordering strategies (§3.1-§3.3)
-//	internal/unroll      time-frame expansion: whole-instance Formula and
-//	                     per-frame Delta (activation-guarded properties)
+//	internal/unroll      time-frame expansion: whole-instance Formula,
+//	                     per-frame Delta (activation-guarded properties),
+//	                     and StepDelta (incremental induction-step encoding
+//	                     with monotone simple-path constraints)
 //	internal/bmc         the refine_order_bmc loop (Fig. 5), the concurrent
 //	                     portfolio variant RunPortfolio, the assumption-based
 //	                     incremental variant RunIncremental, and the warm
@@ -22,16 +24,20 @@
 //	                     (cold Race, live-solver RaceLive), worker pool,
 //	                     win/loss and clause-bus telemetry
 //	internal/racer       warm portfolio pool: persistent per-strategy
-//	                     solvers living across depths plus the depth-boundary
-//	                     clause exchange bus
-//	internal/induction   k-induction: sequential Prove and ProvePortfolio
-//	                     (base/step queries raced in parallel)
+//	                     solvers living across the depths of one query
+//	                     sequence (Source: BMC/base or induction-step
+//	                     frames) plus the depth-boundary clause exchange bus
+//	internal/induction   k-induction: sequential Prove, ProvePortfolio
+//	                     (base/step queries raced in parallel), and
+//	                     warm-pool ProvePortfolioIncremental (persistent
+//	                     base and step racer pools)
 //	internal/experiments paper tables/figures plus ablations (portfolio vs
 //	                     best single order, incremental vs scratch, cold vs
 //	                     warm vs warm+sharing)
 //	internal/bench       the 37-model synthetic evaluation suite
-//	cmd/bmc              CLI front end (-order=vsids|static|dynamic|
-//	                     timeaxis|portfolio, -incremental, -share)
+//	cmd/bmc              CLI front end (-engine=bmc|kind, -order=vsids|
+//	                     static|dynamic|timeaxis|portfolio, -incremental,
+//	                     -share; meaningless combinations rejected up front)
 //
 // The root package holds the paper-artifact benchmarks (bench_test.go).
 package repro

@@ -1,0 +1,84 @@
+// Warmkind: prove (or falsify) the same property with the cold
+// k-induction portfolio (one throwaway solver per strategy per query per
+// depth) and with the warm-pool engine (two persistent racer pools — one
+// over the base-query sequence, one over the incremental step encoding —
+// with clause sharing inside each pool), then print the race telemetry
+// side by side. The base instances of a k-induction run are exactly as
+// correlated as BMC's and the step instances form a second such family,
+// so the all-racer conflict total collapses just as it does for the BMC
+// warm pool.
+//
+//	go run ./examples/warmkind
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/induction"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+const model = "pipe_s5_bug"
+
+func main() {
+	m, ok := bench.ByName(model)
+	if !ok {
+		log.Fatalf("suite model %s missing", model)
+	}
+	opts := induction.PortfolioOptions{
+		Options: induction.Options{
+			MaxK:     m.MaxDepth,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(60 * time.Second),
+		},
+		Strategies: portfolio.DefaultSet(),
+	}
+
+	fmt.Printf("%s up to k=%d, racing %s on base and step queries\n\n",
+		model, opts.MaxK, opts.Strategies)
+	coldStart := time.Now()
+	cold, err := induction.ProvePortfolio(m.Build(), 0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coldTime := time.Since(coldStart)
+
+	opts.Exchange = racer.ExchangeOptions{Enabled: true}
+	warmStart := time.Now()
+	warm, err := induction.ProvePortfolioIncremental(m.Build(), 0, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	warmTime := time.Since(warmStart)
+	if cold.Status != warm.Status || cold.K != warm.K {
+		log.Fatalf("engines disagree: cold %v@%d vs warm %v@%d",
+			cold.Status, cold.K, warm.Status, warm.K)
+	}
+
+	conflicts := func(r *induction.PortfolioResult) int64 {
+		var n int64
+		for _, t := range []*portfolio.Telemetry{r.BaseTelemetry, r.StepTelemetry} {
+			for _, c := range t.ConflictsSpent {
+				n += c
+			}
+			n += t.AbortedConflicts
+		}
+		return n
+	}
+	fmt.Printf("verdict: %v at k=%d\n", warm.Status, warm.K)
+	fmt.Printf("cold portfolio:  %8d conflicts (all racers, base+step) in %v\n",
+		conflicts(cold), coldTime.Round(time.Millisecond))
+	fmt.Printf("warm + sharing:  %8d conflicts (all racers, base+step) in %v\n\n",
+		conflicts(warm), warmTime.Round(time.Millisecond))
+
+	fmt.Println("warm base-case races:")
+	warm.BaseTelemetry.WriteSummary(os.Stdout)
+	fmt.Println("\nwarm step-case races:")
+	warm.StepTelemetry.WriteSummary(os.Stdout)
+}

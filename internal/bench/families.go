@@ -182,6 +182,25 @@ func GatedCounter(width int, m uint64, distractorBanks, distractorWidth int) *ci
 	return c
 }
 
+// OffsetCounter is the gated counter with the property claiming a value
+// above the wrap point (target > m-1) is hit: true — the band m..target is
+// unreachable — but not 0-inductive, because an induction step may start
+// inside the unreachable band and count up to the target. The simple-path
+// constraint closes the proof at k = target-m+1 ish, making this the
+// deeper-k regime for k-induction harnesses. Not part of the 37-model BMC
+// suite (as a BMC row it is just another passing counter).
+func OffsetCounter(width int, m, target uint64) *circuit.Circuit {
+	c := circuit.New(fmt.Sprintf("gcnt_w%d_off%d", width, target-m+1))
+	en := c.Input("en")
+	w := c.LatchWord("cnt", width, 0)
+	inc, _ := c.IncWord(w)
+	wrap := c.EqConst(w, m-1)
+	bump := c.MuxWord(wrap, c.ConstWord(width, 0), inc)
+	c.SetNextWord(w, c.MuxWord(en, bump, w))
+	c.AddProperty("unreachable", c.EqConst(w, target))
+	return c
+}
+
 // --- family: arb — token-ring arbiters (mutual exclusion) ---
 
 // Arbiter builds an n-client token-ring arbiter whose token advances only

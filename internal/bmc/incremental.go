@@ -68,6 +68,7 @@ func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, err
 	}
 
 	s := sat.New(cnf.New(0), solverOpts)
+	src := racer.DeltaSource(d)
 	// clausesByID maps original-clause proof IDs back to literals for core
 	// extraction (the incremental analogue of indexing f.Clauses).
 	clausesByID := make(map[sat.ClauseID]cnf.Clause)
@@ -91,7 +92,7 @@ func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, err
 		}
 		totalClauses += frame.NumClauses()
 
-		racer.ApplyStrategy(s, opts.Strategy, board, d, k, totalLits, divisor)
+		racer.ApplyStrategy(s, opts.Strategy, board, src, k, totalLits, divisor)
 
 		r := s.SolveAssuming([]lits.Lit{d.ActLit(k)})
 		ds := DepthStats{
@@ -119,7 +120,7 @@ func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, err
 		case sat.Unsat:
 			if rec != nil && rec.HasProof() {
 				coreIDs := rec.Core()
-				coreVars := racer.CoreVars(d, coreIDs, clausesByID, frame.NumVars)
+				coreVars := racer.CoreVars(src, coreIDs, clausesByID, frame.NumVars)
 				ds.CoreClauses = len(coreIDs)
 				ds.CoreVars = len(coreVars)
 				ds.RecorderBytes = rec.ApproxBytes()

@@ -39,7 +39,7 @@ func RunPortfolioIncremental(c *circuit.Circuit, propIdx int, opts PortfolioOpti
 	}
 	d := u.Delta()
 	start := time.Now()
-	pool := racer.NewPool(d, racer.Config{
+	pool := racer.NewPool(racer.DeltaSource(d), racer.Config{
 		Strategies:           opts.Strategies,
 		Jobs:                 opts.Jobs,
 		Solver:               opts.Solver,

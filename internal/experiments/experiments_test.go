@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/bmc"
 	"repro/internal/core"
+	"repro/internal/induction"
 	"repro/internal/sat"
 )
 
@@ -426,6 +427,57 @@ func TestRunWarmAblationSmall(t *testing.T) {
 	for _, want := range []string{"Warm racer pool", "TOTAL", "total conflicts vs cold"} {
 		if !strings.Contains(sb.String(), want) {
 			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestRunWarmKindAblationSmall(t *testing.T) {
+	cfg := tinyCfg()
+	cfg.Models = subset([]string{"twin_w8", "gcnt_m10", "tlc_bug"})
+	res, err := RunWarmKindAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(res.Rows))
+	}
+	if res.Disagreements != 0 {
+		t.Fatalf("%d verdict disagreements between cold, warm, and shared", res.Disagreements)
+	}
+	for i := range res.Rows {
+		row := &res.Rows[i]
+		if row.TimeCold <= 0 || row.TimeWarm <= 0 || row.TimeShared <= 0 {
+			t.Errorf("%s: nonpositive wall time", row.Name)
+		}
+		if row.ConfCold < 0 || row.ConfWarm < 0 || row.ConfShared < 0 {
+			t.Errorf("%s: negative conflict counts", row.Name)
+		}
+		if row.Status == induction.Unknown {
+			t.Errorf("%s: undecided within the tiny budget", row.Name)
+		}
+	}
+	var sb strings.Builder
+	res.Write(&sb)
+	for _, want := range []string{"Warm k-induction", "TOTAL", "rows where warm+sharing"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("rendered table missing %q", want)
+		}
+	}
+}
+
+func TestKindAblationModelsResolve(t *testing.T) {
+	models := KindAblationModels()
+	if len(models) < 6 {
+		t.Fatalf("kind ablation set too small: %d models", len(models))
+	}
+	seen := map[string]bool{}
+	for _, m := range models {
+		if seen[m.Name] {
+			t.Errorf("duplicate model %s", m.Name)
+		}
+		seen[m.Name] = true
+		if m.Build == nil || m.Build() == nil {
+			t.Errorf("%s: nil build", m.Name)
 		}
 	}
 }

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/induction"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+// --- warm k-induction ablation: cold ProvePortfolio vs warm pools ---
+
+// KindAblationModels returns the k-induction ablation subset: immediately
+// inductive rows (the warm step pool's one-shot UNSAT regime), a deeper-k
+// inductive row where the simple-path constraint has to accumulate, a
+// conflict-heavy inductive adder, and falsified rows at several depths
+// (the base pool's BMC-like regime — every depth before the failure is an
+// UNSAT base instance, with the step race aborted at the failing depth).
+func KindAblationModels() []bench.Model {
+	models := subset([]string{
+		"twin_w10", "gcnt_m12", "add_w4",
+		"tlc_bug", "arb_5_bug", "fifo_c6_bug", "lock_s8", "pipe_s5_bug",
+	})
+	// Two models beyond the 37-row BMC suite. The deeper buggy pipeline is
+	// the conflict-heavy multi-depth regime (seven UNSAT base depths
+	// before the failure) where the warm base pool's clause database has
+	// room to compound; the offset-counter invariant (true, but only
+	// k=2-inductive under the simple-path constraint) exercises the regime
+	// where the step pool stays warm across depths.
+	models = append(models,
+		bench.Model{
+			Name: "pipe_s7_bug", MaxDepth: 12,
+			Build: func() *circuit.Circuit { return bench.Pipeline(7, 10, true) },
+		},
+		bench.Model{
+			Name: "gcnt_offset", MaxDepth: 8,
+			Build: func() *circuit.Circuit { return bench.OffsetCounter(4, 10, 12) },
+		})
+	return models
+}
+
+// WarmKindRow compares, on one model, cold ProvePortfolio (throwaway
+// solvers per query per depth) against the warm-pool engine without and
+// with each pool's clause bus. Conflicts count the total search effort of
+// ALL racers of BOTH queries — winners, cancelled losers, and
+// deliberately-aborted step races alike — because the pools' whole point
+// is turning that work into reusable state.
+type WarmKindRow struct {
+	Name string
+	// Status/K are the cold engine's verdict (all engines must agree).
+	Status                         induction.Status
+	K                              int
+	TimeCold, TimeWarm, TimeShared time.Duration
+	ConfCold, ConfWarm, ConfShared int64
+	// Agreed reports that status and depth matched across all three
+	// engines (undecided runs excluded, as in the other ablations).
+	Agreed bool
+}
+
+// WarmKindResult is the cold-vs-warm-vs-shared k-induction table.
+type WarmKindResult struct {
+	Strategies []string
+	Rows       []WarmKindRow
+	// Totals across rows.
+	TotalCold, TotalWarm, TotalShared time.Duration
+	ConfCold, ConfWarm, ConfShared    int64
+	// RowsSharedFewerConf counts rows where warm+sharing spent fewer
+	// total conflicts than the cold engine.
+	RowsSharedFewerConf int
+	Disagreements       int
+}
+
+// RunWarmKindAblation executes the k-induction comparison on the config's
+// model set with the full default strategy portfolio.
+func RunWarmKindAblation(cfg Config) (*WarmKindResult, error) {
+	set := portfolio.DefaultSet()
+	res := &WarmKindResult{Strategies: set.Names()}
+	for _, m := range cfg.models() {
+		cold, err := cfg.runKindPortfolio(m, set)
+		if err != nil {
+			return nil, fmt.Errorf("warm kind ablation %s cold: %w", m.Name, err)
+		}
+		warm, err := cfg.runKindWarm(m, set, false)
+		if err != nil {
+			return nil, fmt.Errorf("warm kind ablation %s warm: %w", m.Name, err)
+		}
+		shared, err := cfg.runKindWarm(m, set, true)
+		if err != nil {
+			return nil, fmt.Errorf("warm kind ablation %s shared: %w", m.Name, err)
+		}
+
+		row := WarmKindRow{
+			Name:       m.Name,
+			Status:     cold.Status,
+			K:          cold.K,
+			TimeCold:   cold.TimeTotal,
+			TimeWarm:   warm.TimeTotal,
+			TimeShared: shared.TimeTotal,
+			ConfCold:   kindConflicts(cold.PortfolioResult),
+			ConfWarm:   kindConflicts(warm.PortfolioResult),
+			ConfShared: kindConflicts(shared.PortfolioResult),
+			Agreed:     true,
+		}
+		for _, other := range []*induction.PortfolioResult{warm.PortfolioResult, shared.PortfolioResult} {
+			bothDecided := cold.Status != induction.Unknown && other.Status != induction.Unknown
+			if bothDecided && (cold.Status != other.Status || cold.K != other.K) {
+				row.Agreed = false
+			}
+		}
+		if !row.Agreed {
+			res.Disagreements++
+		}
+		res.TotalCold += row.TimeCold
+		res.TotalWarm += row.TimeWarm
+		res.TotalShared += row.TimeShared
+		res.ConfCold += row.ConfCold
+		res.ConfWarm += row.ConfWarm
+		res.ConfShared += row.ConfShared
+		if row.ConfShared < row.ConfCold {
+			res.RowsSharedFewerConf++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// timedKindResult carries a proof result plus its wall time (the
+// induction results do not record one themselves).
+type timedKindResult struct {
+	*induction.PortfolioResult
+	TimeTotal time.Duration
+}
+
+func (cfg Config) kindOptions(m bench.Model, set portfolio.StrategySet) induction.PortfolioOptions {
+	opts := induction.PortfolioOptions{
+		Options: induction.Options{
+			MaxK:                 cfg.depthFor(m),
+			Solver:               sat.Defaults(),
+			PerInstanceConflicts: cfg.PerInstanceConflicts,
+		},
+		Strategies: set,
+	}
+	if cfg.PerModelBudget > 0 {
+		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
+	}
+	return opts
+}
+
+// runKindPortfolio executes one model under the cold per-depth racing
+// engine.
+func (cfg Config) runKindPortfolio(m bench.Model, set portfolio.StrategySet) (timedKindResult, error) {
+	start := time.Now()
+	r, err := induction.ProvePortfolio(m.Build(), 0, cfg.kindOptions(m, set))
+	return timedKindResult{r, time.Since(start)}, err
+}
+
+// runKindWarm executes one model under the warm-pool engine.
+func (cfg Config) runKindWarm(m bench.Model, set portfolio.StrategySet, share bool) (timedKindResult, error) {
+	opts := cfg.kindOptions(m, set)
+	opts.Exchange = racer.ExchangeOptions{Enabled: share}
+	start := time.Now()
+	r, err := induction.ProvePortfolioIncremental(m.Build(), 0, opts)
+	return timedKindResult{r, time.Since(start)}, err
+}
+
+// kindConflicts sums every racer's conflicts across both query sequences
+// — winners, losers, and aborted step races.
+func kindConflicts(r *induction.PortfolioResult) int64 {
+	var n int64
+	for _, t := range []*portfolio.Telemetry{r.BaseTelemetry, r.StepTelemetry} {
+		for _, c := range t.ConflictsSpent {
+			n += c
+		}
+		n += t.AbortedConflicts
+	}
+	return n
+}
+
+// Write renders the comparison table.
+func (r *WarmKindResult) Write(w io.Writer) {
+	fmt.Fprintln(w, "Warm k-induction pools vs cold ProvePortfolio (persistent base+step racers; conflicts count ALL racers of BOTH queries)")
+	fmt.Fprintf(w, "%-16s %-12s %9s %9s %9s %11s %11s %11s %6s\n",
+		"model", "verdict", "cold (s)", "warm (s)", "shared(s)", "conf.cold", "conf.warm", "conf.shared", "agree")
+	writeRule(w, 102)
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		verdict := fmt.Sprintf("%s@%d", row.Status, row.K)
+		if row.Status == induction.Unknown {
+			verdict = "unknown"
+		}
+		agree := "yes"
+		if !row.Agreed {
+			agree = "NO"
+		}
+		fmt.Fprintf(w, "%-16s %-12s %9s %9s %9s %11d %11d %11d %6s\n",
+			row.Name, verdict, fmtDuration(row.TimeCold), fmtDuration(row.TimeWarm), fmtDuration(row.TimeShared),
+			row.ConfCold, row.ConfWarm, row.ConfShared, agree)
+	}
+	writeRule(w, 102)
+	fmt.Fprintf(w, "%-16s %-12s %9s %9s %9s %11d %11d %11d\n", "TOTAL", "",
+		fmtDuration(r.TotalCold), fmtDuration(r.TotalWarm), fmtDuration(r.TotalShared),
+		r.ConfCold, r.ConfWarm, r.ConfShared)
+	if r.ConfCold > 0 {
+		fmt.Fprintf(w, "total conflicts vs cold: warm %.0f%%, warm+sharing %.0f%%\n",
+			100*float64(r.ConfWarm)/float64(r.ConfCold), 100*float64(r.ConfShared)/float64(r.ConfCold))
+	}
+	fmt.Fprintf(w, "rows where warm+sharing spends fewer conflicts than cold: %d/%d\n",
+		r.RowsSharedFewerConf, len(r.Rows))
+	if r.Disagreements > 0 {
+		fmt.Fprintf(w, "WARNING: %d verdict disagreements\n", r.Disagreements)
+	}
+}

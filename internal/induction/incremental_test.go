@@ -1,0 +1,369 @@
+package induction
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// offsetCounter is the non-0-inductive invariant used across the
+// induction tests: true, but the step case only closes at deeper k under
+// the simple-path constraint.
+func offsetCounter() *circuit.Circuit { return bench.OffsetCounter(4, 10, 12) }
+
+// TestStepDeltaEquisatisfiableWithStepFormula is the step encoding's
+// defining property: a live solver accumulating unroll.StepDelta frames
+// and solving under the depth's activation literal must reproduce the
+// scratch StepFormula's satisfiability at every depth — across inductive
+// (step UNSAT early), deeper-k (step SAT then UNSAT), and falsified
+// models, and across several consecutive depths of one solver.
+func TestStepDeltaEquisatisfiableWithStepFormula(t *testing.T) {
+	models := []struct {
+		name  string
+		build func() *circuit.Circuit
+		maxK  int
+	}{
+		{"twin", func() *circuit.Circuit { return bench.Twin(6, 0, 0) }, 4},
+		{"gcnt", func() *circuit.Circuit { return bench.GatedCounter(4, 10, 0, 0) }, 4},
+		{"gcnt_offset", func() *circuit.Circuit { return offsetCounter() }, 8},
+		{"tlc_bug", func() *circuit.Circuit { return bench.TrafficLight(true, 0, 0) }, 4},
+	}
+	for _, m := range models {
+		u, err := unroll.New(m.build(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sd := u.StepDelta()
+		live := sat.New(cnf.New(0), sat.Defaults())
+		for k := 0; k <= m.maxK; k++ {
+			frame := sd.Frame(k)
+			live.AddVars(frame.NumVars)
+			for _, cl := range frame.Clauses {
+				live.AddClause(cl)
+			}
+			got := live.SolveAssuming([]lits.Lit{sd.ActLit(k)})
+			want := sat.New(StepFormula(u, k), sat.Defaults()).Solve()
+			if got.Status != want.Status {
+				t.Fatalf("%s depth %d: delta=%v scratch=%v", m.name, k, got.Status, want.Status)
+			}
+		}
+	}
+}
+
+// kindModels is the cross-engine equivalence workload: immediately
+// inductive, deeper-k inductive, and falsified properties.
+func kindModels() []struct {
+	name  string
+	build func() *circuit.Circuit
+	maxK  int
+} {
+	return []struct {
+		name  string
+		build func() *circuit.Circuit
+		maxK  int
+	}{
+		{"twin", func() *circuit.Circuit { return bench.Twin(8, 0, 0) }, 4},
+		{"gcnt", func() *circuit.Circuit { return bench.GatedCounter(4, 10, 0, 0) }, 6},
+		{"gcnt_offset", func() *circuit.Circuit { return offsetCounter() }, 16},
+		{"tlc_bug", func() *circuit.Circuit { return bench.TrafficLight(true, 0, 0) }, 4},
+		{"pipe_s5_bug", func() *circuit.Circuit { return bench.Pipeline(5, 8, true) }, 8},
+	}
+}
+
+// TestWarmInductionMatchesSequentialAndPortfolio is the acceptance bar for
+// the warm k-induction engine: ProvePortfolioIncremental (with and
+// without the clause bus) must report the same status and depth as Prove
+// and ProvePortfolio on every suite regime.
+func TestWarmInductionMatchesSequentialAndPortfolio(t *testing.T) {
+	for _, m := range kindModels() {
+		opts := Options{
+			MaxK:     m.maxK,
+			Strategy: core.OrderVSIDS,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(60 * time.Second),
+		}
+		seq, err := Prove(m.build(), 0, opts)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", m.name, err)
+		}
+		cold, err := ProvePortfolio(m.build(), 0, PortfolioOptions{Options: opts})
+		if err != nil {
+			t.Fatalf("%s cold portfolio: %v", m.name, err)
+		}
+		if cold.Status != seq.Status || cold.K != seq.K {
+			t.Fatalf("%s: cold portfolio %v@%d vs sequential %v@%d",
+				m.name, cold.Status, cold.K, seq.Status, seq.K)
+		}
+		for _, share := range []bool{false, true} {
+			warm, err := ProvePortfolioIncremental(m.build(), 0, PortfolioOptions{
+				Options:  opts,
+				Exchange: racer.ExchangeOptions{Enabled: share},
+				// Exercise the step pool's own (default-off) bus too.
+				StepExchange: racer.ExchangeOptions{Enabled: share},
+			})
+			if err != nil {
+				t.Fatalf("%s warm share=%v: %v", m.name, share, err)
+			}
+			if !warm.Warm {
+				t.Fatalf("%s: Warm flag not set", m.name)
+			}
+			if warm.Status != seq.Status || warm.K != seq.K {
+				t.Fatalf("%s share=%v: warm %v@%d vs sequential %v@%d",
+					m.name, share, warm.Status, warm.K, seq.Status, seq.K)
+			}
+			if warm.Status == Falsified && warm.Trace == nil {
+				t.Fatalf("%s share=%v: falsified without trace", m.name, share)
+			}
+			// Every completed depth raced the base query; the step races
+			// split between observed and aborted ones.
+			baseDepths := len(warm.BaseTelemetry.Depths)
+			if baseDepths == 0 {
+				t.Fatalf("%s share=%v: no base races observed", m.name, share)
+			}
+			if got := len(warm.StepTelemetry.Depths) + warm.StepTelemetry.AbortedRaces; got != baseDepths {
+				t.Fatalf("%s share=%v: %d step races (observed+aborted), want %d",
+					m.name, share, got, baseDepths)
+			}
+		}
+	}
+}
+
+// TestWarmInductionTightBudgetMatches: under a 1-conflict budget every
+// engine hits the wall at the first depth whose queries need real search
+// — where all solvers are still equally cold, so the Unknown status and
+// the reported K must agree exactly. (Looser budgets can legitimately
+// diverge: a warm solver may decide within a budget that stops a cold
+// one, which is the engine's whole point.)
+func TestWarmInductionTightBudgetMatches(t *testing.T) {
+	build := func() *circuit.Circuit { return bench.AdderTwin(4, 6, 16) }
+	opts := Options{
+		MaxK:                 4,
+		Strategy:             core.OrderVSIDS,
+		Solver:               sat.Defaults(),
+		PerInstanceConflicts: 1,
+	}
+	seq, err := Prove(build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ProvePortfolio(build(), 0, PortfolioOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ProvePortfolioIncremental(build(), 0, PortfolioOptions{
+		Options:  opts,
+		Exchange: racer.ExchangeOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Status != Unknown {
+		t.Fatalf("sequential status %v under a 1-conflict budget, want unknown", seq.Status)
+	}
+	if cold.Status != seq.Status || cold.K != seq.K {
+		t.Fatalf("cold portfolio %v@%d vs sequential %v@%d", cold.Status, cold.K, seq.Status, seq.K)
+	}
+	if warm.Status != seq.Status || warm.K != seq.K {
+		t.Fatalf("warm %v@%d vs sequential %v@%d", warm.Status, warm.K, seq.Status, seq.K)
+	}
+}
+
+// TestPortfolioDeadlineReportsLastAttemptedDepth is the regression test
+// for the off-by-one: a deadline that expires before any depth is
+// attempted must report K = -1 (no depth ran), not K = 0.
+func TestPortfolioDeadlineReportsLastAttemptedDepth(t *testing.T) {
+	expired := time.Now().Add(-time.Second)
+	opts := Options{MaxK: 8, Solver: sat.Defaults(), Deadline: expired}
+
+	seq, err := Prove(bench.Twin(8, 0, 0), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := ProvePortfolio(bench.Twin(8, 0, 0), 0, PortfolioOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ProvePortfolioIncremental(bench.Twin(8, 0, 0), 0, PortfolioOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"sequential": seq, "cold": &cold.Result, "warm": &warm.Result} {
+		if res.Status != Unknown {
+			t.Fatalf("%s: status %v with an expired deadline, want unknown", name, res.Status)
+		}
+		if res.K != -1 {
+			t.Fatalf("%s: K = %d with an expired deadline, want -1 (no depth ran)", name, res.K)
+		}
+	}
+	if got := len(cold.BaseTelemetry.Depths); got != 0 {
+		t.Fatalf("cold: %d base races observed under an expired deadline", got)
+	}
+}
+
+// TestPortfolioAbortedStepRacesNotCountedAsLosses is the regression test
+// for the cancellation skew: the step race of a depth whose base case is
+// SAT (or undecided) is cancelled deliberately, and must land in
+// AbortedRaces — not in the per-strategy loss columns or the depth log.
+func TestPortfolioAbortedStepRacesNotCountedAsLosses(t *testing.T) {
+	check := func(name string, res *PortfolioResult) {
+		t.Helper()
+		if res.Status != Falsified {
+			t.Fatalf("%s: status %v, want falsified", name, res.Status)
+		}
+		if res.StepTelemetry.AbortedRaces == 0 {
+			t.Fatalf("%s: the falsifying depth's step race was not recorded as aborted", name)
+		}
+		// The aborted race must not appear in the depth log...
+		base, step := len(res.BaseTelemetry.Depths), len(res.StepTelemetry.Depths)
+		if step+res.StepTelemetry.AbortedRaces != base {
+			t.Fatalf("%s: %d observed + %d aborted step races, want %d (base depths)",
+				name, step, res.StepTelemetry.AbortedRaces, base)
+		}
+		// ...and must not have charged conflicts to any strategy's account.
+		var observed int64
+		for _, dw := range res.StepTelemetry.Depths {
+			observed += dw.WinnerConflicts + dw.LoserConflicts
+		}
+		var spent int64
+		for _, n := range res.StepTelemetry.ConflictsSpent {
+			spent += n
+		}
+		if spent != observed {
+			t.Fatalf("%s: ConflictsSpent %d != observed-race conflicts %d (aborted races leaked in)",
+				name, spent, observed)
+		}
+	}
+
+	cold, err := ProvePortfolio(bench.TrafficLight(true, 0, 0), 0, PortfolioOptions{
+		Options: Options{MaxK: 4, Solver: sat.Defaults(), Deadline: time.Now().Add(30 * time.Second)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("cold", cold)
+
+	warm, err := ProvePortfolioIncremental(bench.TrafficLight(true, 0, 0), 0, PortfolioOptions{
+		Options:  Options{MaxK: 4, Solver: sat.Defaults(), Deadline: time.Now().Add(30 * time.Second)},
+		Exchange: racer.ExchangeOptions{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("warm", warm)
+}
+
+// TestFrameGuidanceLeavesStepAuxUnscored: the cold portfolio's time-axis
+// guidance must score circuit variables by frame and leave the step
+// encoding's disequality auxiliaries (allocated past the frame-stable
+// range) at zero — branching on helper variables first would defeat the
+// Shtrichman ordering.
+func TestFrameGuidanceLeavesStepAuxUnscored(t *testing.T) {
+	u, err := unroll.New(bench.Twin(4, 0, 0), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 2
+	f := StepFormula(u, k)
+	if f.NumVars <= u.NumVars(k+1) {
+		t.Fatalf("step formula has no aux variables: %d <= %d", f.NumVars, u.NumVars(k+1))
+	}
+	g := frameGuidance(u, k+2, f.NumVars)
+	if len(g) != f.NumVars+1 {
+		t.Fatalf("guidance length %d, want %d", len(g), f.NumVars+1)
+	}
+	for v := u.NumVars(k+1) + 1; v <= f.NumVars; v++ {
+		if g[v] != 0 {
+			t.Fatalf("aux var %d scored %v, want 0", v, g[v])
+		}
+	}
+	// Circuit variables score by frame, earlier frames strictly higher.
+	v0 := int(u.VarFor(u.Circuit().Latches()[0], 0))
+	v3 := int(u.VarFor(u.Circuit().Latches()[0], k+1))
+	if g[v0] <= g[v3] || g[v3] <= 0 {
+		t.Fatalf("frame scores not decreasing: frame0=%v frame%d=%v", g[v0], k+1, g[v3])
+	}
+}
+
+// TestWarmInductionTimeaxisOnly: the step pool's time-axis guidance must
+// classify every step-delta variable (auxiliaries unscored) without
+// panicking, and still prove the deeper-k model.
+func TestWarmInductionTimeaxisOnly(t *testing.T) {
+	res, err := ProvePortfolioIncremental(bench.GatedCounter(4, 10, 0, 0), 0, PortfolioOptions{
+		Options: Options{
+			MaxK:     6,
+			Solver:   sat.Defaults(),
+			Deadline: time.Now().Add(30 * time.Second),
+		},
+		Strategies: portfolio.StrategySet{core.OrderTimeAxis, core.OrderVSIDS},
+		Jobs:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Proved {
+		t.Fatalf("status %v, want proved", res.Status)
+	}
+}
+
+// TestStepFormulaHonorsPropertyIndex is the regression test for the
+// hardcoded property 0: with a 0-inductive property 0 and a genuinely
+// reachable property 1, an engine that builds step instances for the
+// wrong property would return an unsound Proved@0 for property 1 (base
+// UNSAT at k=0, wrong-step UNSAT at k=0). Every engine must falsify
+// property 1 at its real counter-example depth instead.
+func TestStepFormulaHonorsPropertyIndex(t *testing.T) {
+	build := func() *circuit.Circuit {
+		c := circuit.New("two_props")
+		en := c.Input("en")
+		w := c.LatchWord("cnt", 4, 0)
+		inc, _ := c.IncWord(w)
+		wrap := c.EqConst(w, 9)
+		bump := c.MuxWord(wrap, c.ConstWord(4, 0), inc)
+		c.SetNextWord(w, c.MuxWord(en, bump, w))
+		// Property 0: the wrap gap value 10 is unreachable AND 0-inductive
+		// (10 has no predecessor: 9 wraps to 0, 10 keeps itself only if
+		// already there). Property 1: value 5 is plainly reachable.
+		c.AddProperty("unreachable", c.EqConst(w, 10))
+		c.AddProperty("reachable", c.EqConst(w, 5))
+		return c
+	}
+	opts := Options{MaxK: 8, Solver: sat.Defaults(), Deadline: time.Now().Add(30 * time.Second)}
+
+	seq, err := Prove(build(), 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Status != Falsified || seq.K != 5 {
+		t.Fatalf("sequential: %v@%d for the reachable property, want falsified@5", seq.Status, seq.K)
+	}
+	cold, err := ProvePortfolio(build(), 1, PortfolioOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := ProvePortfolioIncremental(build(), 1, PortfolioOptions{Options: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, res := range map[string]*Result{"cold": &cold.Result, "warm": &warm.Result} {
+		if res.Status != Falsified || res.K != 5 {
+			t.Fatalf("%s: %v@%d for the reachable property, want falsified@5", name, res.Status, res.K)
+		}
+	}
+	// Property 0 must still prove immediately.
+	p0, err := Prove(build(), 0, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Status != Proved {
+		t.Fatalf("property 0: %v, want proved", p0.Status)
+	}
+}

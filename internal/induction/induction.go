@@ -68,7 +68,9 @@ type Options struct {
 type Result struct {
 	Status Status
 	// K: the counter-example length (Falsified), the induction depth that
-	// closed the proof (Proved), or the first incomplete depth (Unknown).
+	// closed the proof (Proved), or — for Unknown — the last depth whose
+	// queries actually ran (-1 when the deadline expired before depth 0;
+	// a depth whose own solve hit a budget still counts as attempted).
 	K int
 	// Trace is the counter-example for Falsified.
 	Trace *unroll.Trace
@@ -82,16 +84,18 @@ func Prove(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Status: Unknown}
+	res := &Result{Status: Unknown, K: -1}
 	baseBoard := core.NewScoreBoard(core.WeightedSum)
 	stepBoard := core.NewScoreBoard(core.WeightedSum)
 	useCores := opts.Strategy == core.OrderStatic || opts.Strategy == core.OrderDynamic
 
 	for k := 0; k <= opts.MaxK; k++ {
-		res.K = k
 		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			// The deadline expired before depth k was attempted: K stays at
+			// the last depth whose queries ran, not the one that never did.
 			return res, nil
 		}
+		res.K = k
 
 		// Base case: a counter-example of length exactly k.
 		base := u.Formula(k)
@@ -207,7 +211,7 @@ func StepFormula(u *unroll.Unroller, k int) *cnf.Formula {
 	}
 
 	// Property: good in frames 0..k, bad in frame k+1.
-	bad := c.Properties()[0].Bad
+	bad := c.Properties()[u.PropIdx()].Bad
 	switch bad {
 	case circuit.True, circuit.False:
 		// Constant properties need no step reasoning; emit the trivial

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lits"
 	"repro/internal/portfolio"
+	"repro/internal/racer"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -26,16 +27,36 @@ type PortfolioOptions struct {
 	// queries of one depth additionally run in parallel with each other,
 	// so up to 2*Jobs solvers are live at once.
 	Jobs int
+	// Exchange configures the base pool's clause bus
+	// (ProvePortfolioIncremental only; ProvePortfolio builds throwaway
+	// solvers, which have nothing to share across depths). Each pool runs
+	// its own bus — base and step instances are different formulas, so
+	// clauses never cross between them — and the step pool's bus is
+	// configured separately by StepExchange.
+	Exchange racer.ExchangeOptions
+	// StepExchange configures the step pool's own bus. Left zero it stays
+	// off even when Exchange is enabled, deliberately: every step
+	// instance below the closing depth is SAT, and a model hunt lives on
+	// the warm racers' phase-saving momentum, which a shared clause diet
+	// measurably perturbs (the base sequence is UNSAT-heavy, where
+	// sharing is the proven win). Callers can still enable it explicitly
+	// for UNSAT-dominated step workloads.
+	StepExchange racer.ExchangeOptions
 }
 
 // PortfolioResult extends Result with per-query race telemetry.
 type PortfolioResult struct {
 	Result
 	// BaseTelemetry/StepTelemetry record which ordering won each depth's
-	// base and step race.
+	// base and step race. Step races that were cancelled because their
+	// base case already decided the verdict are counted as aborted, not as
+	// losses (Telemetry.AbortedRaces).
 	BaseTelemetry, StepTelemetry *portfolio.Telemetry
 	// Strategies echoes the effective set.
 	Strategies []string
+	// Warm marks results produced by the persistent-pool engine
+	// (ProvePortfolioIncremental).
+	Warm bool
 }
 
 // ProvePortfolio is the concurrent counterpart of Prove. At every depth k
@@ -62,7 +83,7 @@ func ProvePortfolio(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*Po
 		strategies = portfolio.DefaultSet()
 	}
 	res := &PortfolioResult{
-		Result:        Result{Status: Unknown},
+		Result:        Result{Status: Unknown, K: -1},
 		BaseTelemetry: portfolio.NewTelemetry(),
 		StepTelemetry: portfolio.NewTelemetry(),
 		Strategies:    strategies.Names(),
@@ -77,10 +98,12 @@ func ProvePortfolio(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*Po
 	}
 
 	for k := 0; k <= opts.MaxK; k++ {
-		res.K = k
 		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
+			// The deadline expired before depth k's races started: K stays
+			// at the last depth whose races ran, not the one that never did.
 			return res, nil
 		}
+		res.K = k
 
 		base := u.Formula(k)
 		step := StepFormula(u, k)
@@ -101,13 +124,21 @@ func ProvePortfolio(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*Po
 		// falsifies outright, and an undecided base ends the attempt as
 		// Unknown — either way the step race is moot, so stop it instead
 		// of letting it burn its full budget.
-		if baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat {
+		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
+		if stepMoot {
 			close(stopStep)
 		}
 		<-stepDone
 
 		res.BaseTelemetry.Observe(k, &baseRace)
-		res.StepTelemetry.Observe(k, &stepRace)
+		if stepMoot {
+			// A deliberately-cancelled race is no evidence about any
+			// strategy; folding it into Observe would count every racer as
+			// a loser and skew the win rates.
+			res.StepTelemetry.ObserveAborted(k, &stepRace)
+		} else {
+			res.StepTelemetry.Observe(k, &stepRace)
+		}
 		if baseRace.Winner >= 0 {
 			res.BaseStats.Add(baseRace.Result.Stats)
 		}

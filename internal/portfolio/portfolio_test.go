@@ -328,3 +328,29 @@ func TestTelemetryExchange(t *testing.T) {
 		}
 	}
 }
+
+func TestTelemetryObserveAborted(t *testing.T) {
+	tel := NewTelemetry()
+	race := &RaceResult{
+		Winner: -1,
+		Outcomes: []AttemptOutcome{
+			{Name: "vsids", Status: sat.Interrupted, Stats: sat.Stats{Conflicts: 40}},
+			{Name: "static", Status: sat.Interrupted, Stats: sat.Stats{Conflicts: 2}},
+			{Name: "dynamic", Skipped: true},
+		},
+	}
+	tel.ObserveAborted(3, race)
+	if tel.AbortedRaces != 1 || tel.AbortedConflicts != 42 {
+		t.Fatalf("aborted accounting: races=%d conflicts=%d", tel.AbortedRaces, tel.AbortedConflicts)
+	}
+	// Nothing may leak into the win/loss columns or the depth log.
+	if len(tel.Depths) != 0 || len(tel.Wins) != 0 || len(tel.CancelledRuns) != 0 ||
+		len(tel.SkippedRuns) != 0 || len(tel.ConflictsSpent) != 0 || tel.WastedConflicts != 0 {
+		t.Fatalf("aborted race leaked into win/loss telemetry: %+v", tel)
+	}
+	var buf strings.Builder
+	tel.WriteSummary(&buf)
+	if !strings.Contains(buf.String(), "aborted: 1 races") {
+		t.Fatalf("summary missing aborted line:\n%s", buf.String())
+	}
+}

@@ -49,6 +49,16 @@ type Telemetry struct {
 	// the races where the clause bus could have contributed.
 	WarmWins   int
 	SharedWins int
+
+	// AbortedRaces counts races the caller cancelled deliberately before
+	// their verdict could matter (the k-induction step race of a depth
+	// whose base case already decided the outcome). Their outcomes carry
+	// no win/loss signal — ObserveAborted keeps them out of Wins,
+	// CancelledRuns, SkippedRuns, and ConflictsSpent, recording only the
+	// count and the conflicts burned, so deliberate cancellations cannot
+	// skew the per-strategy win rates.
+	AbortedRaces     int
+	AbortedConflicts int64
 }
 
 // NewTelemetry returns an empty telemetry accumulator.
@@ -83,6 +93,18 @@ func (t *Telemetry) Observe(k int, r *RaceResult) {
 		t.ConflictsSpent[o.Name] += o.Stats.Conflicts
 	}
 	t.Depths = append(t.Depths, dw)
+}
+
+// ObserveAborted records a race the caller cancelled deliberately
+// (verdict moot, not lost): only the aborted-race count and the conflicts
+// its racers burned are accumulated. Nothing enters the win/loss columns
+// or the per-depth winner log — a race nobody was allowed to finish is
+// not evidence about any strategy.
+func (t *Telemetry) ObserveAborted(k int, r *RaceResult) {
+	t.AbortedRaces++
+	for _, o := range r.Outcomes {
+		t.AbortedConflicts += o.Stats.Conflicts
+	}
 }
 
 // ObserveExchange folds one depth's clause-bus traffic and win
@@ -173,6 +195,10 @@ func (t *Telemetry) WriteSummary(w io.Writer) {
 		}
 		fmt.Fprintf(w, "warm pool: %d/%d wins by warm racers, %d aided by imported clauses\n",
 			t.WarmWins, wins, t.SharedWins)
+	}
+	if t.AbortedRaces > 0 {
+		fmt.Fprintf(w, "aborted: %d races cancelled before their verdict mattered (%d conflicts, excluded above)\n",
+			t.AbortedRaces, t.AbortedConflicts)
 	}
 }
 

@@ -22,6 +22,17 @@ type ExchangeOptions struct {
 	// keeping the lowest-LBD ones. Zero selects the default (256); a
 	// negative value removes the cap.
 	PerRacerBudget int
+	// ReserveFirst keeps the first racer import-free (it still exports).
+	// Feeding every racer the identical clause diet converges their search
+	// trajectories, which costs the portfolio exactly the diversity its
+	// min-of-strategies latency comes from — a real hazard on SAT
+	// (model-hunting) sequences, where a shared wrong turn slows the whole
+	// race. An import-free reserve bounds that risk: one racer always
+	// searches the way it would have alone. UNSAT-heavy sequences lose
+	// little (the reserve's own learned clauses still reach everyone
+	// else). The k-induction warm pools set this; the BMC pool keeps the
+	// full-mesh bus.
+	ReserveFirst bool
 }
 
 // Exchange defaults: glue-ish clauses only, bounded volume per depth.
@@ -72,7 +83,7 @@ func (p *Pool) exchange(out *DepthOutcome) {
 		from.exported += int64(len(clauses))
 		out.Exported[from.name] += int64(len(clauses))
 		for j, to := range p.racers {
-			if j == i {
+			if j == i || (ex.ReserveFirst && j == 0) {
 				continue
 			}
 			for _, cl := range clauses {

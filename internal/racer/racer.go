@@ -36,12 +36,12 @@ import (
 	"repro/internal/lits"
 	"repro/internal/portfolio"
 	"repro/internal/sat"
-	"repro/internal/unroll"
 )
 
 // Config configures a warm racer pool. The zero value is not usable on
 // its own — Strategies and the base Solver options come from the caller
-// (bmc.RunPortfolioIncremental translates its PortfolioOptions).
+// (bmc.RunPortfolioIncremental and induction.ProvePortfolioIncremental
+// translate their PortfolioOptions).
 type Config struct {
 	// Strategies is the raced set, one persistent solver each (default:
 	// the full four-way portfolio.DefaultSet).
@@ -98,7 +98,7 @@ type racerState struct {
 // loop drives it sequentially, and concurrency happens only inside
 // RaceDepth's portfolio.RaceLive call.
 type Pool struct {
-	d        *unroll.Delta
+	src      Source
 	cfg      Config
 	board    *core.ScoreBoard
 	racers   []*racerState
@@ -112,17 +112,19 @@ type Pool struct {
 }
 
 // NewPool builds one persistent solver per strategy over an empty clause
-// set; frames arrive depth by depth through RaceDepth. Mirroring
-// RunPortfolio, recorders are attached to every racer as soon as any
-// strategy in the set consumes cores, so whichever racer wins an UNSAT
-// depth has a core to contribute to the board.
-func NewPool(d *unroll.Delta, cfg Config) *Pool {
+// set; frames arrive depth by depth through RaceDepth, pulled from the
+// given query sequence (DeltaSource for BMC / induction base cases,
+// StepSource for induction step cases). Mirroring RunPortfolio, recorders
+// are attached to every racer as soon as any strategy in the set consumes
+// cores, so whichever racer wins an UNSAT depth has a core to contribute
+// to the board.
+func NewPool(src Source, cfg Config) *Pool {
 	if len(cfg.Strategies) == 0 {
 		cfg.Strategies = portfolio.DefaultSet()
 	}
 	cfg.Exchange = cfg.Exchange.withDefaults()
 	p := &Pool{
-		d:       d,
+		src:     src,
 		cfg:     cfg,
 		board:   core.NewScoreBoard(cfg.ScoreMode),
 		divisor: cfg.SwitchDivisor,
@@ -197,8 +199,17 @@ type DepthOutcome struct {
 // winner's core into the board, and — with the bus enabled — exchange
 // learned clauses between the racers. Depths must be raced in order
 // starting at 0.
-func (p *Pool) RaceDepth(k int) DepthOutcome {
-	frame := p.d.Frame(k)
+func (p *Pool) RaceDepth(k int) DepthOutcome { return p.RaceDepthStop(k, nil) }
+
+// RaceDepthStop is RaceDepth with an external cancellation channel: when
+// stop closes, the depth's race is abandoned cooperatively (Winner == -1
+// unless a verdict landed first) and every racer's solver stays valid for
+// the next depth. The k-induction engine uses it to kill a step race whose
+// base case has already decided the verdict. The depth-boundary work —
+// core folding and the clause bus — still runs after the race joins, so a
+// cancelled depth's conflicts are not thrown away.
+func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
+	frame := p.src.Frame(k)
 	for _, r := range p.racers {
 		r.solver.AddVars(frame.NumVars)
 		for _, cl := range frame.Clauses {
@@ -215,14 +226,14 @@ func (p *Pool) RaceDepth(k int) DepthOutcome {
 	warm := make([]bool, len(p.racers))
 	sharedState := make([]bool, len(p.racers))
 	for i, r := range p.racers {
-		ApplyStrategy(r.solver, r.strategy, p.board, p.d, k, p.totalLits, p.divisor)
+		ApplyStrategy(r.solver, r.strategy, p.board, p.src, k, p.totalLits, p.divisor)
 		attempts[i] = portfolio.LiveAttempt{Name: r.name, Solver: r.solver}
 		warm[i] = r.solver.Stats().Conflicts > 0
 		sharedState[i] = r.imported > 0
 	}
 
 	out := DepthOutcome{
-		Race:         portfolio.RaceLive(attempts, []lits.Lit{p.d.ActLit(k)}, p.cfg.Jobs, nil),
+		Race:         portfolio.RaceLive(attempts, []lits.Lit{p.src.Assumption(k)}, p.cfg.Jobs, stop),
 		FrameVars:    frame.NumVars,
 		TotalClauses: p.totalClauses,
 		TotalLits:    p.totalLits,
@@ -261,7 +272,7 @@ func (p *Pool) foldWinnerCore(out *DepthOutcome, r *racerState, nVars, k int) {
 		return
 	}
 	coreIDs := r.rec.Core()
-	coreVars := CoreVars(p.d, coreIDs, r.clausesByID, nVars)
+	coreVars := CoreVars(p.src, coreIDs, r.clausesByID, nVars)
 	out.CoreClauses = len(coreIDs)
 	out.CoreVars = len(coreVars)
 	out.RecorderBytes = r.rec.ApproxBytes()
@@ -271,13 +282,15 @@ func (p *Pool) foldWinnerCore(out *DepthOutcome, r *racerState, nVars, k int) {
 }
 
 // ApplyStrategy re-applies one ordering strategy to a live solver before
-// a depth-k SolveAssuming, using the delta numbering throughout:
+// a depth-k SolveAssuming, using the source's numbering throughout:
 // board-fed guidance for static/dynamic (with the dynamic switch
-// threshold derived from totalLits/divisor), frame scores for timeaxis,
-// plain VSIDS otherwise. Shared by the warm pool and bmc.RunIncremental —
-// the single place the live-solver strategy semantics live.
-func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, d *unroll.Delta, k, totalLits, divisor int) {
-	nVars := d.NumVars(k)
+// threshold derived from totalLits/divisor), frame scores for timeaxis
+// (earlier frames higher; the encoding's auxiliary variables — activation
+// guards, disequality helpers — are left unscored), plain VSIDS
+// otherwise. Shared by the warm pools and bmc.RunIncremental — the single
+// place the live-solver strategy semantics live.
+func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, src Source, k, totalLits, divisor int) {
+	nVars := src.NumVars(k)
 	switch st {
 	case core.OrderStatic:
 		s.SetGuidance(board.Guidance(nVars), 0)
@@ -291,10 +304,14 @@ func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, d *u
 		}
 		s.SetGuidance(board.Guidance(nVars), switchAfter)
 	case core.OrderTimeAxis:
+		frames := src.Frames(k)
 		g := make([]float64, nVars+1)
 		for v := 1; v <= nVars; v++ {
-			_, frame, _ := d.NodeOf(lits.Var(v))
-			g[v] = float64(k + 1 - frame)
+			frame, aux := src.VarInfo(lits.Var(v))
+			if aux {
+				continue
+			}
+			g[v] = float64(frames - frame)
 		}
 		s.SetGuidance(g, 0)
 	default: // OrderVSIDS: plain Chaff ordering
@@ -303,14 +320,14 @@ func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, d *u
 }
 
 // CoreVars maps unsat-core clause IDs back to the distinct circuit
-// variables occurring in them, excluding activation variables (guard
-// plumbing, not circuit state — the paper's bmc_score ranks circuit
-// variables only). clausesByID is the caller's ID-to-literals registry
-// (originals plus imported clauses, which appear as core leaves like
-// originals — acceptable for the heuristic score board). Sorted
-// ascending, mirroring core.Recorder.CoreVars. Shared by the warm pool
-// and bmc.RunIncremental.
-func CoreVars(d *unroll.Delta, coreIDs []sat.ClauseID, clausesByID map[sat.ClauseID]cnf.Clause, nVars int) []lits.Var {
+// variables occurring in them, excluding the encoding's auxiliary
+// variables (guard and disequality plumbing, not circuit state — the
+// paper's bmc_score ranks circuit variables only). clausesByID is the
+// caller's ID-to-literals registry (originals plus imported clauses,
+// which appear as core leaves like originals — acceptable for the
+// heuristic score board). Sorted ascending, mirroring
+// core.Recorder.CoreVars. Shared by the warm pools and bmc.RunIncremental.
+func CoreVars(src Source, coreIDs []sat.ClauseID, clausesByID map[sat.ClauseID]cnf.Clause, nVars int) []lits.Var {
 	seen := make([]bool, nVars+1)
 	var out []lits.Var
 	for _, id := range coreIDs {
@@ -320,7 +337,7 @@ func CoreVars(d *unroll.Delta, coreIDs []sat.ClauseID, clausesByID map[sat.Claus
 				continue
 			}
 			seen[v] = true
-			if _, _, isAct := d.NodeOf(v); isAct {
+			if _, aux := src.VarInfo(v); aux {
 				continue
 			}
 			out = append(out, v)

@@ -21,7 +21,7 @@ func newTestPool(t *testing.T, c *circuit.Circuit, cfg Config) (*Pool, *unroll.U
 	if cfg.Solver.RescoreInterval == 0 {
 		cfg.Solver = sat.Defaults()
 	}
-	return NewPool(u.Delta(), cfg), u
+	return NewPool(DeltaSource(u.Delta()), cfg), u
 }
 
 // TestPoolVerdictsMatchScratch is the pool's defining property: racing

@@ -45,6 +45,9 @@ func New(c *circuit.Circuit, propIdx int) (*Unroller, error) {
 // Circuit returns the underlying circuit.
 func (u *Unroller) Circuit() *circuit.Circuit { return u.c }
 
+// PropIdx returns the index of the property this unroller checks.
+func (u *Unroller) PropIdx() int { return u.propIdx }
+
 // Stride returns the number of CNF variables per time frame.
 func (u *Unroller) Stride() int { return u.stride }
 
