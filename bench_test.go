@@ -21,15 +21,15 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
-	"repro/internal/sat"
 )
 
 // quickCfg caps the suite so one experiment pass stays in benchmark
@@ -278,17 +278,18 @@ func BenchmarkBMCPerOrdering(b *testing.B) {
 		{"vsids", core.OrderVSIDS},
 		{"static", core.OrderStatic},
 		{"dynamic", core.OrderDynamic},
-		{"timeaxis", bmc.TimeAxis},
+		{"timeaxis", core.OrderTimeAxis},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			var dec int64
 			for i := 0; i < b.N; i++ {
-				res, err := bmc.Run(m.Build(), 0, bmc.Options{
-					MaxDepth:             6,
-					Strategy:             cfg.st,
-					Solver:               sat.Defaults(),
-					PerInstanceConflicts: 50000,
-				})
+				sess, err := engine.New(m.Build(), 0,
+					engine.WithOrdering(cfg.st),
+					engine.WithBudgets(6, 50000))
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := sess.Check(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}

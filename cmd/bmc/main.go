@@ -1,369 +1,342 @@
 // Command bmc runs bounded model checking — or a full k-induction proof —
-// on an AIGER (.aag) circuit with a selectable decision ordering:
+// on an AIGER (.aag) circuit through the unified engine session API:
 //
 //	bmc -order=dynamic -depth=20 design.aag
 //	bmc -order=dynamic -incremental -depth=20 design.aag
 //	bmc -order=portfolio -jobs=4 -depth=20 design.aag
 //	bmc -order=portfolio -incremental -depth=20 design.aag            # warm racer pool
 //	bmc -engine=kind -depth=16 design.aag
-//	bmc -engine=kind -order=portfolio -depth=16 design.aag
 //	bmc -engine=kind -order=portfolio -incremental -depth=16 design.aag  # warm k-induction
+//	bmc -json -order=portfolio -incremental design.aag                # machine-readable result
 //
 // Orders: vsids (plain Chaff baseline), static, dynamic (the paper's two
-// refined configurations), timeaxis (Shtrichman-style comparator; BMC
-// engine only), and portfolio — race several orderings concurrently per
-// depth, keep the first verdict, and cancel the losers (-jobs bounds the
-// concurrent solvers, -strategies picks the raced set).
+// refined configurations), timeaxis (Shtrichman-style comparator), and
+// portfolio — race several orderings concurrently per depth, keep the
+// first verdict, and cancel the losers (-jobs bounds the concurrent
+// solvers, -strategies picks the raced set).
 //
-// -incremental switches the depth loop to live solvers: each depth adds
-// only the new frame's clauses and solves under an activation-literal
-// assumption, so learned clauses and scores carry over between depths
-// instead of being rebuilt. With a single order that is one persistent
-// solver; combined with -order=portfolio it is the warm racer pool — one
-// persistent solver per strategy racing at every depth, with -share
-// (default on) exchanging short learned clauses between all racers at
-// depth boundaries, so even cancelled losers' conflicts warm-start the
-// next depth.
+// -incremental keeps live solvers across depths (with -order=portfolio:
+// the warm racer pool, whose -share clause bus defaults on). The flag
+// matrix is validated by engine.Config.Validate before the circuit is
+// even opened, so meaningless combinations (e.g. -share without the warm
+// portfolio) are rejected with an error naming the offending knob.
 //
-// With -engine=kind, -order=portfolio races the independent base and step
-// queries of every induction depth in parallel, each across the strategy
-// set. Adding -incremental upgrades both queries to warm racer pools: one
-// persistent solver per strategy per query sequence (the step sequence
-// uses an activation-guarded incremental encoding of the simple-path
-// constraint), with -share running each pool's clause bus at depth
-// boundaries. A single -order with -engine=kind -incremental runs the
-// same warm pools with a one-strategy set.
+// -json emits the unified engine.Result as JSON on stdout (verdict, K,
+// per-depth stats, portfolio telemetry, trace) for scripting; -v streams
+// per-depth progress lines as the check runs, through the session's
+// event stream.
 //
-// Meaningless flag combinations (e.g. -share without the warm portfolio,
-// -strategies without -order=portfolio) are rejected up front rather than
-// silently ignored.
+// The wall-clock budget (-timeout) and Ctrl-C both cancel the check
+// through its context: the run stops promptly and reports what it
+// completed.
 //
-// The exit code is 0 when the property holds up to the bound (or is proved
-// by induction), 1 when a counter-example is found, and 2 on errors or
-// exhausted budgets.
+// The exit code is 0 when the property holds up to the bound (or is
+// proved by induction), 1 when a counter-example is found, and 2 on
+// errors or exhausted budgets.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"strings"
+	"os/signal"
 	"time"
 
 	"repro/internal/aiger"
-	"repro/internal/bmc"
 	"repro/internal/core"
-	"repro/internal/induction"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
 
-// flagConfig is the flag combination validateFlags vets; keeping it a
-// plain struct (rather than reading the flag set) makes the validation
-// rules unit-testable.
+// flagConfig is the parsed flag set buildOptions translates; keeping it
+// a plain struct makes the translation (and through it the validation
+// rules) unit-testable without a flag.FlagSet.
 type flagConfig struct {
-	engine, order, strategies string
-	incremental               bool
+	engine, order, strategies, score string
+	incremental                      bool
 	// shareSet records that -share was passed explicitly (its default is
 	// true, so the value alone cannot distinguish "asked for sharing"
 	// from "never mentioned it").
-	shareSet bool
-	jobs     int
+	share, shareSet bool
+	jobs            int
+	depth           int
+	conflicts       int64
+	divisor         int
 }
 
-// validateFlags rejects meaningless flag combinations up front — before
-// the circuit is even opened — so a bogus invocation reports what is
-// wrong instead of silently ignoring a flag or failing mid-run.
-func validateFlags(fc flagConfig) error {
-	if fc.engine != "bmc" && fc.engine != "kind" {
-		return fmt.Errorf("unknown engine %q (valid: bmc, kind)", fc.engine)
+// buildOptions translates the flags into engine options. String-level
+// parse failures (unknown -engine/-order/-score names, bad -strategies
+// entries) error out here; every combination rule lives in
+// engine.Config.Validate, which the caller runs on the resulting
+// configuration.
+func buildOptions(fc flagConfig) ([]engine.Option, error) {
+	var eo []engine.Option
+	switch fc.engine {
+	case "bmc":
+		eo = append(eo, engine.WithEngine(engine.BMC))
+	case "kind":
+		eo = append(eo, engine.WithEngine(engine.KInduction))
+	default:
+		return nil, fmt.Errorf("unknown engine %q (valid: bmc, kind)", fc.engine)
 	}
-	if fc.jobs < 0 {
-		return fmt.Errorf("-jobs must be >= 0 (0 = one solver per strategy), got %d", fc.jobs)
+	eo = append(eo,
+		engine.WithBudgets(fc.depth, fc.conflicts),
+		engine.WithSolver(sat.Defaults()),
+		engine.WithSwitchDivisor(fc.divisor))
+
+	switch fc.score {
+	case "weighted-sum":
+		eo = append(eo, engine.WithScoreMode(core.WeightedSum))
+	case "unweighted-sum":
+		eo = append(eo, engine.WithScoreMode(core.UnweightedSum))
+	case "last-core-only":
+		eo = append(eo, engine.WithScoreMode(core.LastCoreOnly))
+	case "exp-decay":
+		eo = append(eo, engine.WithScoreMode(core.ExpDecay))
+	default:
+		return nil, fmt.Errorf("unknown score mode %q (valid: weighted-sum, unweighted-sum, last-core-only, exp-decay)", fc.score)
 	}
-	isPortfolio := fc.order == "portfolio"
-	if fc.jobs > 0 && !isPortfolio {
-		return fmt.Errorf("-jobs requires -order=portfolio (a single-order run has one solver per query)")
-	}
-	if !isPortfolio {
-		if _, ok := core.ParseStrategy(fc.order); !ok {
-			return fmt.Errorf("unknown order %q (valid: vsids, static, dynamic, timeaxis, portfolio)", fc.order)
+
+	if fc.order == "portfolio" {
+		set, err := portfolio.ParseSet(fc.strategies)
+		if err != nil {
+			return nil, err
+		}
+		eo = append(eo, engine.WithPortfolio(set, fc.jobs))
+	} else {
+		st, ok := core.ParseStrategy(fc.order)
+		if !ok {
+			return nil, fmt.Errorf("unknown order %q (valid: vsids, static, dynamic, timeaxis, portfolio)", fc.order)
+		}
+		eo = append(eo, engine.WithOrdering(st))
+		// Surface portfolio-only flags on the config so Validate rejects
+		// them with its canonical message instead of them being silently
+		// dropped here.
+		if fc.jobs != 0 {
+			eo = append(eo, func(c *engine.Config) { c.Jobs = fc.jobs })
+		}
+		if fc.strategies != "" {
+			set, err := portfolio.ParseSet(fc.strategies)
+			if err != nil {
+				return nil, err
+			}
+			eo = append(eo, func(c *engine.Config) { c.Strategies = set })
 		}
 	}
-	if fc.strategies != "" && !isPortfolio {
-		return fmt.Errorf("-strategies requires -order=portfolio (valid strategies: %s)",
-			strings.Join(portfolio.ValidNames(), ", "))
+	if fc.incremental {
+		eo = append(eo, engine.WithIncremental())
 	}
-	if fc.shareSet && !(fc.incremental && isPortfolio) {
-		return fmt.Errorf("-share requires -incremental with -order=portfolio (the clause bus exchanges between multiple persistent racers)")
+	// The warm portfolio's clause bus defaults on; an explicit -share on
+	// any other configuration is surfaced so Validate rejects it.
+	if fc.order == "portfolio" && fc.incremental {
+		eo = append(eo, engine.WithExchange(racer.ExchangeOptions{Enabled: fc.share}))
+	} else if fc.shareSet {
+		eo = append(eo, engine.WithExchange(racer.ExchangeOptions{Enabled: fc.share}))
 	}
-	if fc.engine == "kind" && !fc.incremental && !isPortfolio && fc.order == "timeaxis" {
-		return fmt.Errorf("the non-incremental k-induction engine supports vsids|static|dynamic|portfolio orders (timeaxis needs -incremental's warm pools)")
-	}
-	return nil
+	return eo, nil
 }
 
 // printWitness dumps the per-frame input vectors of a counter-example.
-func printWitness(tr *unroll.Trace) {
+func printWitness(w io.Writer, tr *unroll.Trace) {
 	for f, in := range tr.Inputs {
-		fmt.Printf("  frame %2d inputs:", f)
+		fmt.Fprintf(w, "  frame %2d inputs:", f)
 		for _, b := range in {
 			if b {
-				fmt.Print(" 1")
+				fmt.Fprint(w, " 1")
 			} else {
-				fmt.Print(" 0")
+				fmt.Fprint(w, " 0")
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(w)
+	}
+}
+
+// progressPrinter renders the session's event stream as per-depth rows —
+// the -v view, printed live as depths finish.
+func progressPrinter(w io.Writer) func(engine.Event) {
+	headerDone := false
+	return func(e engine.Event) {
+		if e.Kind != engine.DepthFinished {
+			return
+		}
+		if !headerDone {
+			fmt.Fprintf(w, "%-4s %-5s %-8s %-10s %10s %12s %12s %10s %10s\n",
+				"k", "query", "status", "winner", "decisions", "implications", "conflicts", "coreCls", "coreVars")
+			headerDone = true
+		}
+		d := e.Depth
+		winner := d.Winner
+		if winner == "" {
+			winner = "-"
+		}
+		fmt.Fprintf(w, "%-4d %-5s %-8s %-10s %10d %12d %12d %10d %10d\n",
+			e.K, e.Query, d.Status, winner, d.Stats.Decisions, d.Stats.Implications,
+			d.Stats.Conflicts, d.CoreClauses, d.CoreVars)
 	}
 }
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bmc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		engine    = flag.String("engine", "bmc", "verification engine: bmc|kind (k-induction)")
-		order     = flag.String("order", "dynamic", "decision ordering: vsids|static|dynamic|timeaxis|portfolio")
-		increment = flag.Bool("incremental", false, "keep live solvers across depths (assumption-based incremental BMC; with -order=portfolio: the warm racer pool)")
-		jobs      = flag.Int("jobs", 0, "portfolio: max concurrent solvers per depth (0 = one per strategy)")
-		strats    = flag.String("strategies", "", "portfolio: comma-separated strategy set (default vsids,static,dynamic,timeaxis)")
-		share     = flag.Bool("share", true, "warm pool: exchange short learned clauses between racers at depth boundaries")
-		depth     = flag.Int("depth", 20, "maximum unrolling depth (inclusive)")
-		prop      = flag.Int("prop", 0, "property (output) index to check")
-		conflicts = flag.Int64("conflicts", 0, "per-instance conflict budget (0 = unlimited)")
-		timeout   = flag.Duration("timeout", 0, "total wall-clock budget (0 = none)")
-		scoreMode = flag.String("score", "weighted-sum", "bmc_score rule: weighted-sum|unweighted-sum|last-core-only|exp-decay")
-		divisor   = flag.Int("switch-divisor", core.SwitchDivisor, "dynamic switch divisor (decisions > lits/divisor)")
-		verbose   = flag.Bool("v", false, "print per-depth statistics")
-		witness   = flag.Bool("witness", false, "print the counter-example trace")
+		engineName = fs.String("engine", "bmc", "verification engine: bmc|kind (k-induction)")
+		order      = fs.String("order", "dynamic", "decision ordering: vsids|static|dynamic|timeaxis|portfolio")
+		increment  = fs.Bool("incremental", false, "keep live solvers across depths (with -order=portfolio: the warm racer pool)")
+		jobs       = fs.Int("jobs", 0, "portfolio: max concurrent solvers per depth (0 = one per strategy)")
+		strats     = fs.String("strategies", "", "portfolio: comma-separated strategy set (default vsids,static,dynamic,timeaxis)")
+		share      = fs.Bool("share", true, "warm pool: exchange short learned clauses between racers at depth boundaries")
+		depth      = fs.Int("depth", 20, "maximum unrolling depth (inclusive)")
+		prop       = fs.Int("prop", 0, "property (output) index to check")
+		conflicts  = fs.Int64("conflicts", 0, "per-instance conflict budget (0 = unlimited)")
+		timeout    = fs.Duration("timeout", 0, "total wall-clock budget (0 = none)")
+		scoreMode  = fs.String("score", "weighted-sum", "bmc_score rule: weighted-sum|unweighted-sum|last-core-only|exp-decay")
+		divisor    = fs.Int("switch-divisor", core.SwitchDivisor, "dynamic switch divisor (decisions > lits/divisor)")
+		jsonOut    = fs.Bool("json", false, "emit the unified engine.Result as JSON on stdout")
+		verbose    = fs.Bool("v", false, "stream per-depth statistics as the check runs")
+		witness    = fs.Bool("witness", false, "print the counter-example trace")
 	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: bmc [flags] design.aag")
-		flag.PrintDefaults()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: bmc [flags] design.aag")
+		fs.PrintDefaults()
 		return 2
 	}
 
 	shareSet := false
-	flag.Visit(func(f *flag.Flag) {
+	fs.Visit(func(f *flag.Flag) {
 		if f.Name == "share" {
 			shareSet = true
 		}
 	})
-	if err := validateFlags(flagConfig{
-		engine:      *engine,
+	eo, err := buildOptions(flagConfig{
+		engine:      *engineName,
 		order:       *order,
 		strategies:  *strats,
+		score:       *scoreMode,
 		incremental: *increment,
+		share:       *share,
 		shareSet:    shareSet,
 		jobs:        *jobs,
-	}); err != nil {
-		fmt.Fprintln(os.Stderr, "bmc:", err)
+		depth:       *depth,
+		conflicts:   *conflicts,
+		divisor:     *divisor,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "bmc:", err)
 		return 2
 	}
-	isPortfolio := *order == "portfolio"
-	var set portfolio.StrategySet
-	if isPortfolio {
-		var err error
-		if set, err = portfolio.ParseSet(*strats); err != nil {
-			fmt.Fprintln(os.Stderr, "bmc:", err)
-			return 2
-		}
+	// Validate the full combination before the circuit is even opened, so
+	// a bogus invocation reports what is wrong instead of silently
+	// ignoring a flag or failing mid-run.
+	cfg := engine.NewConfig(eo...)
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(stderr, "bmc:", err)
+		return 2
 	}
 
-	f, err := os.Open(flag.Arg(0))
+	f, err := os.Open(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bmc:", err)
+		fmt.Fprintln(stderr, "bmc:", err)
 		return 2
 	}
 	circ, err := aiger.Read(f)
 	f.Close()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bmc:", err)
+		fmt.Fprintln(stderr, "bmc:", err)
 		return 2
 	}
-	fmt.Println(circ.Stats())
-
-	opts := bmc.Options{
-		MaxDepth:             *depth,
-		Solver:               sat.Defaults(),
-		PerInstanceConflicts: *conflicts,
-		SwitchDivisor:        *divisor,
-	}
-	if *timeout > 0 {
-		opts.Deadline = time.Now().Add(*timeout)
-	}
-	if !isPortfolio {
-		st, ok := core.ParseStrategy(*order)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "bmc: unknown order %q\n", *order)
-			return 2
-		}
-		opts.Strategy = st
-	}
-	switch *scoreMode {
-	case "weighted-sum":
-		opts.ScoreMode = core.WeightedSum
-	case "unweighted-sum":
-		opts.ScoreMode = core.UnweightedSum
-	case "last-core-only":
-		opts.ScoreMode = core.LastCoreOnly
-	case "exp-decay":
-		opts.ScoreMode = core.ExpDecay
-	default:
-		fmt.Fprintf(os.Stderr, "bmc: unknown score mode %q\n", *scoreMode)
-		return 2
+	if !*jsonOut {
+		fmt.Fprintln(stdout, circ.Stats())
 	}
 
-	if *engine == "kind" {
-		iopts := induction.Options{
-			MaxK:                 *depth,
-			Strategy:             opts.Strategy,
-			Solver:               opts.Solver,
-			PerInstanceConflicts: opts.PerInstanceConflicts,
-			Deadline:             opts.Deadline,
-		}
-		printRaces := func(pres *induction.PortfolioResult) {
-			if *verbose {
-				fmt.Println("base-case races:")
-				pres.BaseTelemetry.WriteSummary(os.Stdout)
-				fmt.Println("step-case races:")
-				pres.StepTelemetry.WriteSummary(os.Stdout)
-			}
-		}
-		var ires *induction.Result
-		switch {
-		case *increment:
-			// The warm path: persistent base and step racer pools. A single
-			// -order runs the same machinery with a one-strategy set (no
-			// bus — there is nobody to share with).
-			kset := set
-			popts := induction.PortfolioOptions{Options: iopts, Jobs: *jobs}
-			if isPortfolio {
-				popts.Exchange = racer.ExchangeOptions{Enabled: *share}
-			} else {
-				kset = portfolio.StrategySet{opts.Strategy}
-			}
-			popts.Strategies = kset
-			pres, perr := induction.ProvePortfolioIncremental(circ, *prop, popts)
-			if perr != nil {
-				fmt.Fprintln(os.Stderr, "bmc:", perr)
-				return 2
-			}
-			printRaces(pres)
-			ires = &pres.Result
-		case isPortfolio:
-			pres, perr := induction.ProvePortfolio(circ, *prop, induction.PortfolioOptions{
-				Options:    iopts,
-				Strategies: set,
-				Jobs:       *jobs,
-			})
-			if perr != nil {
-				fmt.Fprintln(os.Stderr, "bmc:", perr)
-				return 2
-			}
-			printRaces(pres)
-			ires = &pres.Result
-		default:
-			ires, err = induction.Prove(circ, *prop, iopts)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "bmc:", err)
-				return 2
-			}
-		}
-		fmt.Printf("k-induction: %s at k=%d — base %d decisions, step %d decisions\n",
-			ires.Status, ires.K, ires.BaseStats.Decisions, ires.StepStats.Decisions)
-		switch ires.Status {
-		case induction.Proved:
-			return 0
-		case induction.Falsified:
-			fmt.Printf("counter-example of length %d found\n", ires.K)
-			return 1
-		default:
-			return 2
-		}
+	if *verbose && !*jsonOut {
+		eo = append(eo, engine.WithProgress(progressPrinter(stdout)))
 	}
-
-	if isPortfolio {
-		popts := bmc.PortfolioOptions{
-			Options:    opts,
-			Strategies: set,
-			Jobs:       *jobs,
-		}
-		var pres *bmc.PortfolioResult
-		if *increment {
-			popts.Exchange = racer.ExchangeOptions{Enabled: *share}
-			pres, err = bmc.RunPortfolioIncremental(circ, *prop, popts)
-		} else {
-			pres, err = bmc.RunPortfolio(circ, *prop, popts)
-		}
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "bmc:", err)
-			return 2
-		}
-		if *verbose {
-			pres.Telemetry.WriteDepths(os.Stdout)
-		}
-		pres.Telemetry.WriteSummary(os.Stdout)
-		fmt.Printf("verdict: %s (depth %d) in %s — %d decisions, %d implications, %d conflicts (winners only)\n",
-			pres.Verdict, pres.Depth, pres.TotalTime.Round(time.Millisecond),
-			pres.Total.Decisions, pres.Total.Implications, pres.Total.Conflicts)
-		switch pres.Verdict {
-		case bmc.Falsified:
-			fmt.Printf("counter-example of length %d found\n", pres.Depth)
-			if *witness && pres.Trace != nil {
-				printWitness(pres.Trace)
-			}
-			return 1
-		case bmc.Holds:
-			fmt.Printf("no counter-example up to depth %d\n", pres.Depth)
-			return 0
-		default:
-			fmt.Println("budget exhausted before a verdict")
-			return 2
-		}
-	}
-
-	var res *bmc.Result
-	if *increment {
-		res, err = bmc.RunIncremental(circ, *prop, opts)
-	} else {
-		res, err = bmc.Run(circ, *prop, opts)
-	}
+	sess, err := engine.New(circ, *prop, eo...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bmc:", err)
+		fmt.Fprintln(stderr, "bmc:", err)
 		return 2
 	}
 
-	if *verbose {
-		fmt.Printf("%-4s %-8s %10s %12s %12s %10s %10s\n",
-			"k", "status", "decisions", "implications", "conflicts", "coreCls", "coreVars")
-		for _, d := range res.PerDepth {
-			fmt.Printf("%-4d %-8s %10d %12d %12d %10d %10d\n",
-				d.K, d.Status, d.Stats.Decisions, d.Stats.Implications, d.Stats.Conflicts,
-				d.CoreClauses, d.CoreVars)
-		}
+	ctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if *timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
 	}
-	fmt.Printf("verdict: %s (depth %d) in %s — %d decisions, %d implications, %d conflicts\n",
-		res.Verdict, res.Depth, res.TotalTime.Round(time.Millisecond),
-		res.Total.Decisions, res.Total.Implications, res.Total.Conflicts)
+	defer cancel()
+	ctx, stop := signal.NotifyContext(ctx, os.Interrupt)
+	defer stop()
+
+	res, err := sess.Check(ctx)
+	if err != nil {
+		fmt.Fprintln(stderr, "bmc:", err)
+		return 2
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(stderr, "bmc:", err)
+			return 2
+		}
+		return exitCode(res.Verdict)
+	}
+
+	if res.Telemetry != nil {
+		res.Telemetry.WriteSummary(stdout)
+	}
+	if res.BaseTelemetry != nil {
+		fmt.Fprintln(stdout, "base-case races:")
+		res.BaseTelemetry.WriteSummary(stdout)
+		fmt.Fprintln(stdout, "step-case races:")
+		res.StepTelemetry.WriteSummary(stdout)
+	}
+	if res.Engine == engine.KInduction {
+		fmt.Fprintf(stdout, "k-induction: %s at k=%d — base %d decisions, step %d decisions\n",
+			res.Verdict, res.K, res.BaseStats.Decisions, res.StepStats.Decisions)
+	} else {
+		fmt.Fprintf(stdout, "verdict: %s (depth %d) in %s — %d decisions, %d implications, %d conflicts\n",
+			res.Verdict, res.K, res.TotalTime.Round(time.Millisecond),
+			res.Total.Decisions, res.Total.Implications, res.Total.Conflicts)
+	}
 
 	switch res.Verdict {
-	case bmc.Falsified:
-		fmt.Printf("counter-example of length %d found\n", res.Depth)
+	case engine.Falsified:
+		fmt.Fprintf(stdout, "counter-example of length %d found\n", res.K)
 		if *witness && res.Trace != nil {
-			printWitness(res.Trace)
+			printWitness(stdout, res.Trace)
 		}
+	case engine.Holds:
+		fmt.Fprintf(stdout, "no counter-example up to depth %d\n", res.K)
+	case engine.Proved:
+		// The k-induction line above already says it all.
+	default:
+		fmt.Fprintln(stdout, "budget exhausted before a verdict")
+	}
+	return exitCode(res.Verdict)
+}
+
+// exitCode maps the verdict onto the documented process exit code.
+func exitCode(v engine.Verdict) int {
+	switch v {
+	case engine.Falsified:
 		return 1
-	case bmc.Holds:
-		fmt.Printf("no counter-example up to depth %d\n", res.Depth)
+	case engine.Holds, engine.Proved:
 		return 0
 	default:
-		fmt.Println("budget exhausted before a verdict")
 		return 2
 	}
 }

@@ -1,14 +1,46 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/aiger"
+	"repro/internal/bench"
+	"repro/internal/engine"
 )
 
+// validate runs the CLI's two-stage validation — flag translation, then
+// engine.Config.Validate — exactly as run() does.
+func validate(fc flagConfig) error {
+	eo, err := buildOptions(fc)
+	if err != nil {
+		return err
+	}
+	cfg := engine.NewConfig(eo...)
+	return cfg.Validate()
+}
+
+// defaults fills the flag fields whose zero value differs from the
+// flag's default.
+func defaults(fc flagConfig) flagConfig {
+	if fc.score == "" {
+		fc.score = "weighted-sum"
+	}
+	if fc.depth == 0 {
+		fc.depth = 20
+	}
+	fc.share = fc.share || fc.shareSet // -share defaults true; explicit tests set shareSet
+	return fc
+}
+
 // TestValidateFlags pins the up-front flag-combination rules: meaningless
-// combinations error out instead of being silently ignored, and the
-// previously hard-rejected -engine=kind -incremental is now a valid warm
-// path.
+// combinations error out instead of being silently ignored. The matrix
+// itself lives in engine.Config.Validate — this test asserts the CLI
+// translation surfaces every case, with its message.
 func TestValidateFlags(t *testing.T) {
 	valid := flagConfig{engine: "bmc", order: "dynamic"}
 	cases := []struct {
@@ -24,20 +56,25 @@ func TestValidateFlags(t *testing.T) {
 		{"warm kind single order", flagConfig{engine: "kind", order: "dynamic", incremental: true}, ""},
 		{"warm kind timeaxis", flagConfig{engine: "kind", order: "timeaxis", incremental: true}, ""},
 		{"kind portfolio with strategies", flagConfig{engine: "kind", order: "portfolio", strategies: "vsids,dynamic"}, ""},
+		{"portfolio with jobs", flagConfig{engine: "bmc", order: "portfolio", jobs: 4}, ""},
+		{"every score mode", flagConfig{engine: "bmc", order: "static", score: "exp-decay"}, ""},
 
 		{"unknown engine", flagConfig{engine: "pdr", order: "dynamic"}, "unknown engine"},
 		{"unknown order", flagConfig{engine: "bmc", order: "chrono"}, "unknown order"},
-		{"portfolio with jobs", flagConfig{engine: "bmc", order: "portfolio", jobs: 4}, ""},
-		{"negative jobs", flagConfig{engine: "bmc", order: "portfolio", jobs: -1}, "-jobs"},
-		{"jobs without portfolio", flagConfig{engine: "bmc", order: "dynamic", jobs: 4}, "-jobs requires"},
-		{"strategies without portfolio", flagConfig{engine: "bmc", order: "dynamic", strategies: "vsids"}, "-strategies requires"},
-		{"share without incremental", flagConfig{engine: "bmc", order: "portfolio", shareSet: true}, "-share requires"},
-		{"share without portfolio", flagConfig{engine: "bmc", order: "dynamic", incremental: true, shareSet: true}, "-share requires"},
-		{"share on single-order kind", flagConfig{engine: "kind", order: "dynamic", incremental: true, shareSet: true}, "-share requires"},
+		{"unknown score", flagConfig{engine: "bmc", order: "dynamic", score: "harmonic"}, "unknown score mode"},
+		{"bad strategy name", flagConfig{engine: "bmc", order: "portfolio", strategies: "vsids,chrono"}, "bad strategy set"},
+		{"negative jobs", flagConfig{engine: "bmc", order: "portfolio", jobs: -1}, "jobs"},
+		{"negative depth", flagConfig{engine: "bmc", order: "dynamic", depth: -2}, "max depth"},
+		{"negative conflicts", flagConfig{engine: "bmc", order: "dynamic", conflicts: -1}, "conflict budget"},
+		{"jobs without portfolio", flagConfig{engine: "bmc", order: "dynamic", jobs: 4}, "jobs require"},
+		{"strategies without portfolio", flagConfig{engine: "bmc", order: "dynamic", strategies: "vsids"}, "strategy set requires"},
+		{"share without incremental", flagConfig{engine: "bmc", order: "portfolio", shareSet: true}, "exchange requires"},
+		{"share without portfolio", flagConfig{engine: "bmc", order: "dynamic", incremental: true, shareSet: true}, "exchange requires"},
+		{"share on single-order kind", flagConfig{engine: "kind", order: "dynamic", incremental: true, shareSet: true}, "exchange requires"},
 		{"cold kind timeaxis", flagConfig{engine: "kind", order: "timeaxis"}, "timeaxis"},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.fc)
+		err := validate(defaults(tc.fc))
 		switch {
 		case tc.wantErr == "" && err != nil:
 			t.Errorf("%s: unexpected error: %v", tc.name, err)
@@ -46,5 +83,88 @@ func TestValidateFlags(t *testing.T) {
 		case tc.wantErr != "" && !strings.Contains(err.Error(), tc.wantErr):
 			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
 		}
+	}
+}
+
+// writeModel materializes one suite model as a .aag file for the e2e
+// tests.
+func writeModel(t *testing.T, name string) string {
+	t.Helper()
+	m, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("model %s missing", name)
+	}
+	path := filepath.Join(t.TempDir(), name+".aag")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := aiger.Write(f, m.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCLIEndToEnd drives run() — the real CLI entry, minus the process
+// boundary — across the engine matrix on real .aag files and checks exit
+// codes and human-readable output.
+func TestCLIEndToEnd(t *testing.T) {
+	failing := writeModel(t, "cnt_w4_t9")
+	holding := writeModel(t, "twin_w8")
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string
+	}{
+		{"falsified", []string{"-depth=12", failing}, 1, "counter-example of length 9"},
+		{"holds", []string{"-depth=5", holding}, 0, "no counter-example up to depth 5"},
+		{"verbose portfolio", []string{"-order=portfolio", "-incremental", "-depth=5", "-v", holding}, 0, "portfolio:"},
+		{"kind proved", []string{"-engine=kind", "-order=portfolio", "-incremental", "-depth=8", holding}, 0, "proved"},
+		{"witness", []string{"-depth=12", "-witness", failing}, 1, "frame  0 inputs:"},
+		{"budget", []string{"-conflicts=1", "-depth=6", holding}, 2, "budget exhausted"},
+		{"bad flags", []string{"-jobs=3", holding}, 2, ""},
+		{"missing file", []string{"/nonexistent/x.aag"}, 2, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Fatalf("exit code %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(stdout.String(), tc.wantOut) {
+				t.Errorf("stdout does not contain %q:\n%s", tc.wantOut, stdout.String())
+			}
+		})
+	}
+}
+
+// TestCLIJSON: -json emits exactly one JSON document on stdout that
+// round-trips into engine.Result with the verdict, depth, per-depth
+// stats, and portfolio telemetry filled in.
+func TestCLIJSON(t *testing.T) {
+	failing := writeModel(t, "cnt_w4_t9")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-json", "-order=portfolio", "-incremental", "-depth=12", failing}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr.String())
+	}
+	var res engine.Result
+	if err := json.Unmarshal(stdout.Bytes(), &res); err != nil {
+		t.Fatalf("stdout is not a single JSON result: %v\n%s", err, stdout.String())
+	}
+	if res.Verdict != engine.Falsified || res.K != 9 {
+		t.Errorf("JSON result (%v@%d), want falsified@9", res.Verdict, res.K)
+	}
+	if len(res.PerDepth) != 10 {
+		t.Errorf("JSON result has %d per-depth rows, want 10", len(res.PerDepth))
+	}
+	if res.Telemetry == nil || len(res.Strategies) == 0 || !res.Warm {
+		t.Error("JSON result is missing portfolio telemetry/strategies/warm attribution")
+	}
+	if res.Trace == nil || res.Trace.Depth != 9 {
+		t.Error("JSON result is missing the counter-example trace")
 	}
 }

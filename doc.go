@@ -1,9 +1,24 @@
 // Package repro reproduces "Refining the SAT decision ordering for bounded
 // model checking" (DAC 2004) and grows it into a concurrent verification
-// engine.
+// engine behind one unified session API:
+//
+//	sess, err := engine.New(circ, propIdx,
+//	        engine.WithEngine(engine.KInduction),
+//	        engine.WithPortfolio(nil, 4),
+//	        engine.WithIncremental(),
+//	        engine.WithExchange(racer.ExchangeOptions{Enabled: true}))
+//	res, err := sess.Check(ctx)
 //
 // Layout:
 //
+//	internal/engine      THE session API: engine.New + Session.Check(ctx),
+//	                     functional options validated in one place
+//	                     (Config.Validate), the Executor seam for
+//	                     local/remote race execution (LocalExecutor wraps
+//	                     the in-process goroutine pool), a per-depth
+//	                     progress event stream, and all seven depth loops
+//	                     (BMC scratch/incremental/portfolio/warm;
+//	                     k-induction sequential/portfolio/warm)
 //	internal/sat         incremental CDCL solver (Chaff lineage): clause
 //	                     addition and assumption solving on a live solver,
 //	                     proof recording, guidance scores, cancellation,
@@ -14,12 +29,12 @@
 //	                     board, ordering strategies (§3.1-§3.3)
 //	internal/unroll      time-frame expansion: whole-instance Formula,
 //	                     per-frame Delta (activation-guarded properties),
-//	                     and StepDelta (incremental induction-step encoding
-//	                     with monotone simple-path constraints)
-//	internal/bmc         the refine_order_bmc loop (Fig. 5), the concurrent
-//	                     portfolio variant RunPortfolio, the assumption-based
-//	                     incremental variant RunIncremental, and the warm
-//	                     pool variant RunPortfolioIncremental
+//	                     StepDelta (incremental induction-step encoding
+//	                     with monotone simple-path constraints), and the
+//	                     scratch step instance StepFormula
+//	internal/bmc         deprecated thin wrappers over engine for the four
+//	                     legacy BMC entrypoints (Run, RunIncremental,
+//	                     RunPortfolio, RunPortfolioIncremental)
 //	internal/portfolio   strategy-racing engine: cancellable solver race
 //	                     (cold Race, live-solver RaceLive), worker pool,
 //	                     win/loss and clause-bus telemetry
@@ -27,17 +42,20 @@
 //	                     solvers living across the depths of one query
 //	                     sequence (Source: BMC/base or induction-step
 //	                     frames) plus the depth-boundary clause exchange bus
-//	internal/induction   k-induction: sequential Prove, ProvePortfolio
-//	                     (base/step queries raced in parallel), and
-//	                     warm-pool ProvePortfolioIncremental (persistent
-//	                     base and step racer pools)
+//	internal/induction   deprecated thin wrappers over engine for the three
+//	                     legacy k-induction entrypoints (Prove,
+//	                     ProvePortfolio, ProvePortfolioIncremental)
 //	internal/experiments paper tables/figures plus ablations (portfolio vs
 //	                     best single order, incremental vs scratch, cold vs
-//	                     warm vs warm+sharing)
+//	                     warm vs warm+sharing), driven through engine
+//	                     sessions
 //	internal/bench       the 37-model synthetic evaluation suite
 //	cmd/bmc              CLI front end (-engine=bmc|kind, -order=vsids|
 //	                     static|dynamic|timeaxis|portfolio, -incremental,
-//	                     -share; meaningless combinations rejected up front)
+//	                     -share, -json; the flag matrix is validated by
+//	                     engine.Config.Validate before the circuit is
+//	                     opened, and -v streams the session's progress
+//	                     events)
 //
 // The root package holds the paper-artifact benchmarks (bench_test.go).
 package repro

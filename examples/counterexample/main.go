@@ -6,14 +6,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/circuit"
 	"repro/internal/core"
-	"repro/internal/sat"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -21,22 +21,24 @@ func main() {
 	// the token — two clients can then be granted at once.
 	c := bench.Arbiter(5, true, 0, 0)
 
-	res, err := bmc.Run(c, 0, bmc.Options{
-		MaxDepth: 10,
-		Strategy: core.OrderDynamic,
-		Solver:   sat.Defaults(),
-	})
+	sess, err := engine.New(c, 0,
+		engine.WithOrdering(core.OrderDynamic),
+		engine.WithBudgets(10, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if res.Verdict != bmc.Falsified || res.Trace == nil {
+	res, err := sess.Check(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Verdict != engine.Falsified || res.Trace == nil {
 		log.Fatalf("expected a counter-example, got %v", res.Verdict)
 	}
 	fmt.Printf("property %q falsified: counter-example of length %d\n\n",
-		c.Properties()[0].Name, res.Depth)
+		c.Properties()[0].Name, res.K)
 
-	// bmc.Run already replays the trace internally; do it again explicitly
-	// to show the simulator-facing API and print the witness.
+	// The engine already replays the trace internally; do it again
+	// explicitly to show the simulator-facing API and print the witness.
 	inputs := c.Inputs()
 	latches := c.Latches()
 
@@ -50,7 +52,7 @@ func main() {
 	fmt.Println()
 
 	st := c.InitialState()
-	for f := 0; f <= res.Depth; f++ {
+	for f := 0; f <= res.K; f++ {
 		fmt.Printf("%4d  ", f)
 		var frameIn []bool
 		if f < len(res.Trace.Inputs) {
@@ -66,7 +68,7 @@ func main() {
 			fmt.Printf("%9v", b01(circuit.SignalValue(vals, circuit.MkSignal(l, false))))
 		}
 		fmt.Println()
-		if f < res.Depth {
+		if f < res.K {
 			st, _ = c.Step(st, frameIn)
 		} else {
 			bad := c.Properties()[0].Bad

@@ -1,23 +1,24 @@
-// Incremental: run the same BMC problem twice — once with the scratch
-// depth loop (every unrolling rebuilt and solved from nothing) and once
-// with the incremental loop (one live solver, each depth adding only the
-// new frame's clauses and solving under an activation-literal assumption)
-// — and print the per-depth conflict counts side by side. The incremental
-// run's learned clauses and scores compound across depths, which is
-// visible as the conflict column collapsing on the deeper instances.
+// Incremental: run the same BMC problem twice through the engine session
+// API — once with the scratch depth loop (every unrolling rebuilt and
+// solved from nothing) and once with the incremental loop (one live
+// solver, each depth adding only the new frame's clauses and solving
+// under an activation-literal assumption) — and print the per-depth
+// conflict counts side by side. The incremental run's learned clauses
+// and scores compound across depths, which is visible as the conflict
+// column collapsing on the deeper instances.
 //
 //	go run ./examples/incremental
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/core"
-	"repro/internal/sat"
+	"repro/internal/engine"
 )
 
 const model = "add_w8"
@@ -27,24 +28,27 @@ func main() {
 	if !ok {
 		log.Fatalf("suite model %s missing", model)
 	}
-	opts := bmc.Options{
-		MaxDepth: m.MaxDepth,
-		Strategy: core.OrderDynamic,
-		Solver:   sat.Defaults(),
+	check := func(opts ...engine.Option) *engine.Result {
+		opts = append(opts,
+			engine.WithOrdering(core.OrderDynamic),
+			engine.WithBudgets(m.MaxDepth, 0))
+		sess, err := engine.New(m.Build(), 0, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Check(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
 
-	fmt.Printf("%s up to depth %d, dynamic ordering\n\n", model, opts.MaxDepth)
-	scratch, err := bmc.Run(m.Build(), 0, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	incr, err := bmc.RunIncremental(m.Build(), 0, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if scratch.Verdict != incr.Verdict || scratch.Depth != incr.Depth {
+	fmt.Printf("%s up to depth %d, dynamic ordering\n\n", model, m.MaxDepth)
+	scratch := check()
+	incr := check(engine.WithIncremental())
+	if scratch.Verdict != incr.Verdict || scratch.K != incr.K {
 		log.Fatalf("engines disagree: scratch %v@%d vs incremental %v@%d",
-			scratch.Verdict, scratch.Depth, incr.Verdict, incr.Depth)
+			scratch.Verdict, scratch.K, incr.Verdict, incr.K)
 	}
 
 	fmt.Printf("%-4s %12s %12s %14s %14s\n", "k", "conf.scr", "conf.incr", "dec.scr", "dec.incr")
@@ -56,7 +60,7 @@ func main() {
 		fmt.Printf("%-4d %12d %12d %14d %14d\n",
 			sd.K, sd.Stats.Conflicts, id.Stats.Conflicts, sd.Stats.Decisions, id.Stats.Decisions)
 	}
-	fmt.Printf("\nverdict: %v (depth %d)\n", incr.Verdict, incr.Depth)
+	fmt.Printf("\nverdict: %v (depth %d)\n", incr.Verdict, incr.K)
 	fmt.Printf("scratch:     %8d conflicts in %v\n",
 		scratch.Total.Conflicts, scratch.TotalTime.Round(time.Millisecond))
 	fmt.Printf("incremental: %8d conflicts in %v (%.1fx faster)\n",

@@ -7,14 +7,14 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/core"
-	"repro/internal/sat"
+	"repro/internal/engine"
 )
 
 type series struct {
@@ -22,7 +22,7 @@ type series struct {
 	dec     []int64
 	imp     []int64
 	total   time.Duration
-	verdict bmc.Verdict
+	verdict engine.Verdict
 }
 
 func main() {
@@ -38,18 +38,23 @@ func main() {
 		{"vsids", core.OrderVSIDS},
 		{"static", core.OrderStatic},
 		{"dynamic", core.OrderDynamic},
-		{"timeaxis", bmc.TimeAxis},
+		{"timeaxis", core.OrderTimeAxis},
 	}
 
 	depth := m.MaxDepth
 	results := make([]series, 0, len(configs))
 	for _, cfg := range configs {
-		res, err := bmc.Run(m.Build(), 0, bmc.Options{
-			MaxDepth: depth,
-			Strategy: cfg.st,
-			Solver:   sat.Defaults(),
-			Deadline: time.Now().Add(30 * time.Second),
-		})
+		sess, err := engine.New(m.Build(), 0,
+			engine.WithOrdering(cfg.st),
+			engine.WithBudgets(depth, 0))
+		if err != nil {
+			log.Fatalf("%s: %v", cfg.name, err)
+		}
+		// A fresh 30s budget per configuration: a slow ordering must not
+		// starve the ones measured after it.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := sess.Check(ctx)
+		cancel()
 		if err != nil {
 			log.Fatalf("%s: %v", cfg.name, err)
 		}

@@ -1,21 +1,22 @@
 // Portfolio: race all four decision orderings concurrently on a hard
-// model, then run each ordering alone, and print the comparison — the
-// min-of-strategies latency the portfolio buys, which ordering won each
-// depth, and how much work the cancelled racers burned.
+// model through the engine session API, then run each ordering alone,
+// and print the comparison — the min-of-strategies latency the portfolio
+// buys, which ordering won each depth, and how much work the cancelled
+// racers burned.
 //
 //	go run ./examples/portfolio
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
-	"repro/internal/sat"
 )
 
 const model = "mix_w5"
@@ -26,20 +27,27 @@ func main() {
 		log.Fatalf("suite model %s missing", model)
 	}
 	depth := 7
-	deadline := 60 * time.Second
+	// Each comparison run gets its own fresh wall-clock budget, so a slow
+	// earlier run cannot eat a later run's time.
+	check := func(sess *engine.Session) *engine.Result {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		res, err := sess.Check(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
 
 	fmt.Printf("racing %s on %s up to depth %d\n\n",
 		portfolio.DefaultSet(), model, depth)
-	pres, err := bmc.RunPortfolio(m.Build(), 0, bmc.PortfolioOptions{
-		Options: bmc.Options{
-			MaxDepth: depth,
-			Solver:   sat.Defaults(),
-			Deadline: time.Now().Add(deadline),
-		},
-	})
+	sess, err := engine.New(m.Build(), 0,
+		engine.WithPortfolio(nil, 0),
+		engine.WithBudgets(depth, 0))
 	if err != nil {
 		log.Fatal(err)
 	}
+	pres := check(sess)
 	pres.Telemetry.WriteDepths(os.Stdout)
 	fmt.Println()
 	pres.Telemetry.WriteSummary(os.Stdout)
@@ -48,15 +56,13 @@ func main() {
 	fmt.Println("\nsingle-ordering runs for comparison:")
 	slowest := time.Duration(0)
 	for _, st := range portfolio.DefaultSet() {
-		res, err := bmc.Run(m.Build(), 0, bmc.Options{
-			MaxDepth: depth,
-			Strategy: st,
-			Solver:   sat.Defaults(),
-			Deadline: time.Now().Add(deadline),
-		})
+		single, err := engine.New(m.Build(), 0,
+			engine.WithOrdering(st),
+			engine.WithBudgets(depth, 0))
 		if err != nil {
 			log.Fatal(err)
 		}
+		res := check(single)
 		if res.Verdict != pres.Verdict {
 			log.Fatalf("%s verdict %v disagrees with portfolio %v", st, res.Verdict, pres.Verdict)
 		}

@@ -1,18 +1,19 @@
-// Quickstart: build a small sequential circuit programmatically, model-check
-// an invariant with the refined decision ordering, and print the verdict
-// together with the per-depth statistics the refinement is based on.
+// Quickstart: build a small sequential circuit programmatically,
+// model-check an invariant through the unified engine session API with
+// the refined decision ordering, and print the verdict together with the
+// per-depth statistics the refinement is based on.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/bmc"
 	"repro/internal/circuit"
 	"repro/internal/core"
-	"repro/internal/sat"
+	"repro/internal/engine"
 )
 
 func main() {
@@ -29,17 +30,19 @@ func main() {
 	c.SetNextWord(cnt, c.MuxWord(en, next, cnt))
 	c.AddProperty("never_45", c.EqConst(cnt, 45))
 
-	res, err := bmc.Run(c, 0, bmc.Options{
-		MaxDepth: 20,
-		Strategy: core.OrderDynamic, // the paper's best configuration
-		Solver:   sat.Defaults(),
-	})
+	sess, err := engine.New(c, 0,
+		engine.WithOrdering(core.OrderDynamic), // the paper's best configuration
+		engine.WithBudgets(20, 0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sess.Check(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("model %s: property %q %s up to depth %d\n",
-		c.Name(), "never_45", res.Verdict, res.Depth)
+		c.Name(), "never_45", res.Verdict, res.K)
 	fmt.Printf("total: %d decisions, %d implications, %d conflicts in %s\n\n",
 		res.Total.Decisions, res.Total.Implications, res.Total.Conflicts, res.TotalTime)
 

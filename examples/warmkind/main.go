@@ -2,26 +2,26 @@
 // k-induction portfolio (one throwaway solver per strategy per query per
 // depth) and with the warm-pool engine (two persistent racer pools — one
 // over the base-query sequence, one over the incremental step encoding —
-// with clause sharing inside each pool), then print the race telemetry
-// side by side. The base instances of a k-induction run are exactly as
-// correlated as BMC's and the step instances form a second such family,
-// so the all-racer conflict total collapses just as it does for the BMC
-// warm pool.
+// with clause sharing inside each pool) — both via the engine session
+// API — then print the race telemetry side by side. The base instances
+// of a k-induction run are exactly as correlated as BMC's and the step
+// instances form a second such family, so the all-racer conflict total
+// collapses just as it does for the BMC warm pool.
 //
 //	go run ./examples/warmkind
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/induction"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
-	"repro/internal/sat"
 )
 
 const model = "pipe_s5_bug"
@@ -31,37 +31,37 @@ func main() {
 	if !ok {
 		log.Fatalf("suite model %s missing", model)
 	}
-	opts := induction.PortfolioOptions{
-		Options: induction.Options{
-			MaxK:     m.MaxDepth,
-			Solver:   sat.Defaults(),
-			Deadline: time.Now().Add(60 * time.Second),
-		},
-		Strategies: portfolio.DefaultSet(),
+	check := func(opts ...engine.Option) *engine.Result {
+		opts = append(opts,
+			engine.WithEngine(engine.KInduction),
+			engine.WithPortfolio(portfolio.DefaultSet(), 0),
+			engine.WithBudgets(m.MaxDepth, 0))
+		sess, err := engine.New(m.Build(), 0, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// A fresh 60s budget per engine, as the cold/warm comparison
+		// assumes equal time allowances.
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		res, err := sess.Check(ctx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
 
 	fmt.Printf("%s up to k=%d, racing %s on base and step queries\n\n",
-		model, opts.MaxK, opts.Strategies)
-	coldStart := time.Now()
-	cold, err := induction.ProvePortfolio(m.Build(), 0, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	coldTime := time.Since(coldStart)
-
-	opts.Exchange = racer.ExchangeOptions{Enabled: true}
-	warmStart := time.Now()
-	warm, err := induction.ProvePortfolioIncremental(m.Build(), 0, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	warmTime := time.Since(warmStart)
-	if cold.Status != warm.Status || cold.K != warm.K {
+		model, m.MaxDepth, portfolio.DefaultSet())
+	cold := check()
+	warm := check(engine.WithIncremental(),
+		engine.WithExchange(racer.ExchangeOptions{Enabled: true}))
+	if cold.Verdict != warm.Verdict || cold.K != warm.K {
 		log.Fatalf("engines disagree: cold %v@%d vs warm %v@%d",
-			cold.Status, cold.K, warm.Status, warm.K)
+			cold.Verdict, cold.K, warm.Verdict, warm.K)
 	}
 
-	conflicts := func(r *induction.PortfolioResult) int64 {
+	conflicts := func(r *engine.Result) int64 {
 		var n int64
 		for _, t := range []*portfolio.Telemetry{r.BaseTelemetry, r.StepTelemetry} {
 			for _, c := range t.ConflictsSpent {
@@ -71,11 +71,11 @@ func main() {
 		}
 		return n
 	}
-	fmt.Printf("verdict: %v at k=%d\n", warm.Status, warm.K)
+	fmt.Printf("verdict: %v at k=%d\n", warm.Verdict, warm.K)
 	fmt.Printf("cold portfolio:  %8d conflicts (all racers, base+step) in %v\n",
-		conflicts(cold), coldTime.Round(time.Millisecond))
+		conflicts(cold), cold.TotalTime.Round(time.Millisecond))
 	fmt.Printf("warm + sharing:  %8d conflicts (all racers, base+step) in %v\n\n",
-		conflicts(warm), warmTime.Round(time.Millisecond))
+		conflicts(warm), warm.TotalTime.Round(time.Millisecond))
 
 	fmt.Println("warm base-case races:")
 	warm.BaseTelemetry.WriteSummary(os.Stdout)

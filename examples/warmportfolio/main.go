@@ -1,25 +1,26 @@
 // Warmportfolio: run the same UNSAT-heavy BMC problem through the cold
 // portfolio (one throwaway solver per strategy per depth) and through the
 // warm racer pool with the clause-exchange bus (persistent per-strategy
-// solvers; short learned clauses redistributed between depths), then
-// print the per-depth winners and conflict totals side by side. The
-// cold run's LoserConflicts are pure waste; the warm run re-spends them —
-// visible as the all-racer conflict total collapsing.
+// solvers; short learned clauses redistributed between depths) — both via
+// the engine session API — then print the per-depth winners and conflict
+// totals side by side. The cold run's LoserConflicts are pure waste; the
+// warm run re-spends them — visible as the all-racer conflict total
+// collapsing.
 //
 //	go run ./examples/warmportfolio
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
-	"repro/internal/sat"
 )
 
 const model = "add_w8"
@@ -29,24 +30,28 @@ func main() {
 	if !ok {
 		log.Fatalf("suite model %s missing", model)
 	}
-	opts := bmc.PortfolioOptions{
-		Options:    bmc.Options{MaxDepth: m.MaxDepth, Solver: sat.Defaults()},
-		Strategies: portfolio.DefaultSet(),
+	check := func(opts ...engine.Option) *engine.Result {
+		opts = append(opts,
+			engine.WithPortfolio(portfolio.DefaultSet(), 0),
+			engine.WithBudgets(m.MaxDepth, 0))
+		sess, err := engine.New(m.Build(), 0, opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sess.Check(context.Background())
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
 	}
 
-	fmt.Printf("%s up to depth %d, racing %s\n\n", model, opts.MaxDepth, opts.Strategies)
-	cold, err := bmc.RunPortfolio(m.Build(), 0, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	opts.Exchange = racer.ExchangeOptions{Enabled: true}
-	warm, err := bmc.RunPortfolioIncremental(m.Build(), 0, opts)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if cold.Verdict != warm.Verdict || cold.Depth != warm.Depth {
+	fmt.Printf("%s up to depth %d, racing %s\n\n", model, m.MaxDepth, portfolio.DefaultSet())
+	cold := check()
+	warm := check(engine.WithIncremental(),
+		engine.WithExchange(racer.ExchangeOptions{Enabled: true}))
+	if cold.Verdict != warm.Verdict || cold.K != warm.K {
 		log.Fatalf("engines disagree: cold %v@%d vs warm %v@%d",
-			cold.Verdict, cold.Depth, warm.Verdict, warm.Depth)
+			cold.Verdict, cold.K, warm.Verdict, warm.K)
 	}
 
 	fmt.Printf("%-4s %-10s %-10s %12s %12s\n", "k", "win.cold", "win.warm", "conf.cold", "conf.warm")
@@ -58,7 +63,7 @@ func main() {
 			warmD[i].WinnerConflicts+warmD[i].LoserConflicts)
 	}
 
-	spent := func(r *bmc.PortfolioResult) int64 {
+	spent := func(r *engine.Result) int64 {
 		var n int64
 		for _, c := range r.Telemetry.ConflictsSpent {
 			n += c
@@ -69,7 +74,7 @@ func main() {
 	for _, n := range warm.Telemetry.ImportedClauses {
 		imported += n
 	}
-	fmt.Printf("\nverdict: %v (depth %d)\n", warm.Verdict, warm.Depth)
+	fmt.Printf("\nverdict: %v (depth %d)\n", warm.Verdict, warm.K)
 	fmt.Printf("cold portfolio: %8d conflicts (all racers) in %v\n",
 		spent(cold), cold.TotalTime.Round(time.Millisecond))
 	fmt.Printf("warm + sharing: %8d conflicts (all racers) in %v — %d clauses imported, %d/%d wins warm\n",

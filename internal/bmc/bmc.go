@@ -1,8 +1,11 @@
-// Package bmc implements the bounded model checking loop of the paper's
-// Fig. 5 (refine_order_bmc): for increasing unrolling depth k, generate the
-// CNF instance, solve it with the configured decision-ordering strategy,
-// and — when the instance is unsatisfiable — fold the unsat core's
-// variables into the bmc_score board that will guide the next instance.
+// Package bmc holds the legacy bounded-model-checking entrypoints of the
+// paper's Fig. 5 loop (refine_order_bmc). All four run functions — Run,
+// RunIncremental, RunPortfolio, RunPortfolioIncremental — are thin
+// deprecated wrappers over the unified session API in internal/engine
+// (engine.New + Session.Check): they translate their Options into engine
+// options, carry the deadline through a context, and map the unified
+// engine.Result back onto the historical result types. New code should
+// use engine directly.
 //
 // Four orderings are available:
 //
@@ -15,13 +18,12 @@
 package bmc
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/core"
-	"repro/internal/lits"
+	"repro/internal/engine"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -94,30 +96,8 @@ type Options struct {
 }
 
 // DepthStats records the solve of a single unrolling depth — the rows of
-// the paper's Fig. 7.
-type DepthStats struct {
-	K      int
-	Status sat.Status
-	Stats  sat.Stats
-	// Winner names the strategy whose verdict was kept at this depth; set
-	// only by RunPortfolio (empty for single-strategy runs).
-	Winner string
-	// Wall is the wall-clock time of this depth, including CNF generation,
-	// the SAT call, and score maintenance. Table 1 sums these up to the
-	// deepest depth every configuration completed, mirroring the paper's
-	// "CPU times spent to reach the maximum unrolling depth that all
-	// methods can complete".
-	Wall           time.Duration
-	FormulaVars    int
-	FormulaClauses int
-	FormulaLits    int
-	// CoreClauses/CoreVars describe the extracted unsat core (0 on SAT or
-	// when recording is off).
-	CoreClauses int
-	CoreVars    int
-	// RecorderBytes approximates the CDG memory footprint.
-	RecorderBytes int64
-}
+// the paper's Fig. 7. It is an alias for the unified engine.DepthStats.
+type DepthStats = engine.DepthStats
 
 // Result is the outcome of a BMC run.
 type Result struct {
@@ -134,127 +114,65 @@ type Result struct {
 	TotalTime time.Duration
 }
 
+// engineOptions translates legacy Options into engine options (shared by
+// all four wrappers; the portfolio wrappers append to it).
+func engineOptions(opts Options) []engine.Option {
+	eo := []engine.Option{
+		engine.WithEngine(engine.BMC),
+		engine.WithOrdering(opts.Strategy),
+		engine.WithBudgets(opts.MaxDepth, opts.PerInstanceConflicts),
+		engine.WithSolver(opts.Solver),
+		engine.WithScoreMode(opts.ScoreMode),
+		engine.WithSwitchDivisor(opts.SwitchDivisor),
+	}
+	if opts.ForceRecording {
+		eo = append(eo, engine.WithForceRecording())
+	}
+	if opts.SkipTraceVerification {
+		eo = append(eo, engine.WithoutTraceVerification())
+	}
+	return eo
+}
+
+// fromEngine maps the unified result back onto the legacy Result.
+func fromEngine(er *engine.Result) *Result {
+	res := &Result{
+		Depth:     er.K,
+		Trace:     er.Trace,
+		PerDepth:  er.PerDepth,
+		Total:     er.Total,
+		TotalTime: er.TotalTime,
+	}
+	switch er.Verdict {
+	case engine.Falsified:
+		res.Verdict = Falsified
+	case engine.Holds:
+		res.Verdict = Holds
+	default:
+		res.Verdict = BudgetExhausted
+	}
+	return res
+}
+
 // Run model-checks property propIdx of the circuit under the given
 // options. It returns an error only for structural problems (invalid
 // circuit, bad property index) or an internally detected inconsistency
 // (counter-example that fails replay).
+//
+// Deprecated: use engine.New(c, propIdx, ...) with Session.Check; Run is
+// a thin wrapper kept for compatibility.
 func Run(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
-	u, err := unroll.New(c, propIdx)
+	sess, err := engine.New(c, propIdx, engineOptions(opts)...)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	board := core.NewScoreBoard(opts.ScoreMode)
-	res := &Result{Verdict: Holds, Depth: -1}
-
-	useCores := opts.Strategy == core.OrderStatic || opts.Strategy == core.OrderDynamic
-	divisor := opts.SwitchDivisor
-	if divisor == 0 {
-		divisor = core.SwitchDivisor
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-
-	for k := 0; k <= opts.MaxDepth; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			break
-		}
-		depthStart := time.Now()
-		f := u.Formula(k)
-
-		solverOpts := opts.Solver
-		solverOpts.Guidance = nil
-		solverOpts.SwitchAfterDecisions = 0
-		solverOpts.Recorder = nil
-		if opts.PerInstanceConflicts > 0 {
-			solverOpts.MaxConflicts = opts.PerInstanceConflicts
-		}
-		if !opts.Deadline.IsZero() {
-			solverOpts.Deadline = opts.Deadline
-		}
-
-		configureStrategy(&solverOpts, opts.Strategy, board, f, u, k, divisor)
-
-		var rec *core.Recorder
-		if useCores || opts.ForceRecording {
-			rec = core.NewRecorder(f.NumClauses())
-			solverOpts.Recorder = rec
-		}
-
-		r := sat.New(f, solverOpts).Solve()
-		ds := DepthStats{
-			K:              k,
-			Status:         r.Status,
-			Stats:          r.Stats,
-			FormulaVars:    f.NumVars,
-			FormulaClauses: f.NumClauses(),
-			FormulaLits:    f.NumLiterals(),
-		}
-		res.Total.Add(r.Stats)
-
-		switch r.Status {
-		case sat.Sat:
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = Falsified
-			res.Depth = k
-			res.Trace = u.ExtractTrace(r.Model, k)
-			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("bmc: depth-%d counter-example failed replay on %s", k, c.Name())
-			}
-			res.TotalTime = time.Since(start)
-			return res, nil
-		case sat.Unsat:
-			if rec != nil {
-				coreIDs := rec.Core()
-				coreVars := rec.CoreVars(f)
-				ds.CoreClauses = len(coreIDs)
-				ds.CoreVars = len(coreVars)
-				ds.RecorderBytes = rec.ApproxBytes()
-				if useCores {
-					// update_ranking: weight by the 1-based instance
-					// number (the paper's j).
-					board.Update(coreVars, k+1)
-				}
-			}
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Depth = k
-		default: // Unknown: budget exhausted mid-instance
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			res.TotalTime = time.Since(start)
-			return res, nil
-		}
-	}
-	res.TotalTime = time.Since(start)
-	return res, nil
-}
-
-// configureStrategy applies one ordering strategy to solver options for
-// the depth-k instance: guidance scores (from the shared score board, or
-// frame numbers for TimeAxis) and the dynamic switch threshold. Shared by
-// Run and RunPortfolio.
-func configureStrategy(solverOpts *sat.Options, st core.Strategy, board *core.ScoreBoard, f *cnf.Formula, u *unroll.Unroller, k, divisor int) {
-	if st == TimeAxis {
-		solverOpts.Guidance = timeAxisGuidance(u, k, f.NumVars)
-		solverOpts.SwitchAfterDecisions = 0
-		return
-	}
-	st.ConfigureWithDivisor(solverOpts, board, f, divisor)
-}
-
-// timeAxisGuidance builds a per-variable score preferring earlier frames
-// (frame 0 scored highest), approximating Shtrichman's time-axis ordering.
-func timeAxisGuidance(u *unroll.Unroller, k, nVars int) []float64 {
-	g := make([]float64, nVars+1)
-	for v := 1; v <= nVars; v++ {
-		_, frame := u.NodeOf(lits.Var(v))
-		g[v] = float64(k + 1 - frame)
-	}
-	return g
+	return fromEngine(er), nil
 }
 
 // CheckFormulaOnly solves a single pre-built BMC instance with the given

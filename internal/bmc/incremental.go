@@ -1,16 +1,8 @@
 package bmc
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/circuit"
-	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/lits"
-	"repro/internal/racer"
-	"repro/internal/sat"
-	"repro/internal/unroll"
+	"repro/internal/engine"
 )
 
 // RunIncremental model-checks property propIdx with a single live solver
@@ -21,128 +13,24 @@ import (
 // (sat.SolveAssuming), so learned clauses, VSIDS scores, and saved phases
 // compound across depths.
 //
-// The refinement feedback loop survives intact: an incremental CDG
-// recorder (core.IncrementalRecorder) persists across depths, each UNSAT
-// depth's core — original clauses reached from that depth's final
-// conflict, which may travel through learned clauses of earlier frames —
-// is folded into the score board, and the current strategy's guidance is
-// re-applied to the live solver before every SolveAssuming
-// (sat.SetGuidance).
-//
 // Verdicts and counter-example depths are identical to Run's: the clause
 // set with actₖ assumed is equisatisfiable with the scratch depth-k
 // instance. Only the search effort differs (DepthStats record per-call
 // deltas, not lifetime totals).
+//
+// Deprecated: use engine.New with engine.WithIncremental();
+// RunIncremental is a thin wrapper kept for compatibility.
 func RunIncremental(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
-	u, err := unroll.New(c, propIdx)
+	eo := append(engineOptions(opts), engine.WithIncremental())
+	sess, err := engine.New(c, propIdx, eo...)
 	if err != nil {
 		return nil, err
 	}
-	d := u.Delta()
-	start := time.Now()
-	board := core.NewScoreBoard(opts.ScoreMode)
-	res := &Result{Verdict: Holds, Depth: -1}
-
-	useCores := opts.Strategy == core.OrderStatic || opts.Strategy == core.OrderDynamic
-	divisor := opts.SwitchDivisor
-	if divisor == 0 {
-		divisor = core.SwitchDivisor
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-
-	solverOpts := opts.Solver
-	solverOpts.Guidance = nil
-	solverOpts.SwitchAfterDecisions = 0
-	solverOpts.Recorder = nil
-	if opts.PerInstanceConflicts > 0 {
-		// MaxConflicts bounds each SolveAssuming call (per-call counters
-		// reset between depths), mirroring Run's per-instance budget.
-		solverOpts.MaxConflicts = opts.PerInstanceConflicts
-	}
-	if !opts.Deadline.IsZero() {
-		solverOpts.Deadline = opts.Deadline
-	}
-	var rec *core.IncrementalRecorder
-	if useCores || opts.ForceRecording {
-		rec = core.NewIncrementalRecorder()
-		solverOpts.Recorder = rec
-	}
-
-	s := sat.New(cnf.New(0), solverOpts)
-	src := racer.DeltaSource(d)
-	// clausesByID maps original-clause proof IDs back to literals for core
-	// extraction (the incremental analogue of indexing f.Clauses).
-	clausesByID := make(map[sat.ClauseID]cnf.Clause)
-	totalClauses, totalLits := 0, 0
-
-	for k := 0; k <= opts.MaxDepth; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			break
-		}
-		depthStart := time.Now()
-		frame := d.Frame(k)
-		s.AddVars(frame.NumVars)
-		for _, cl := range frame.Clauses {
-			id := s.AddClause(cl)
-			if rec != nil {
-				clausesByID[id] = cl
-			}
-			totalLits += len(cl)
-		}
-		totalClauses += frame.NumClauses()
-
-		racer.ApplyStrategy(s, opts.Strategy, board, src, k, totalLits, divisor)
-
-		r := s.SolveAssuming([]lits.Lit{d.ActLit(k)})
-		ds := DepthStats{
-			K:              k,
-			Status:         r.Status,
-			Stats:          r.Stats,
-			FormulaVars:    frame.NumVars,
-			FormulaClauses: totalClauses,
-			FormulaLits:    totalLits,
-		}
-		res.Total.Add(r.Stats)
-
-		switch r.Status {
-		case sat.Sat:
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = Falsified
-			res.Depth = k
-			res.Trace = d.ExtractTrace(r.Model, k)
-			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("bmc: incremental depth-%d counter-example failed replay on %s", k, c.Name())
-			}
-			res.TotalTime = time.Since(start)
-			return res, nil
-		case sat.Unsat:
-			if rec != nil && rec.HasProof() {
-				coreIDs := rec.Core()
-				coreVars := racer.CoreVars(src, coreIDs, clausesByID, frame.NumVars)
-				ds.CoreClauses = len(coreIDs)
-				ds.CoreVars = len(coreVars)
-				ds.RecorderBytes = rec.ApproxBytes()
-				if useCores {
-					// update_ranking: weight by the 1-based instance number
-					// (the paper's j), exactly as in the scratch loop.
-					board.Update(coreVars, k+1)
-				}
-				rec.ResetFinal()
-			}
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Depth = k
-		default: // Unknown: budget exhausted mid-instance
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			res.TotalTime = time.Since(start)
-			return res, nil
-		}
-	}
-	res.TotalTime = time.Since(start)
-	return res, nil
+	return fromEngine(er), nil
 }

@@ -1,15 +1,10 @@
 package bmc
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/circuit"
-	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
-	"repro/internal/sat"
-	"repro/internal/unroll"
 )
 
 // PortfolioOptions configures a concurrent portfolio BMC run. The embedded
@@ -44,142 +39,41 @@ type PortfolioResult struct {
 	Warm bool
 }
 
+// portfolioFromEngine maps the unified result onto the legacy
+// PortfolioResult.
+func portfolioFromEngine(er *engine.Result) *PortfolioResult {
+	return &PortfolioResult{
+		Result:     *fromEngine(er),
+		Telemetry:  er.Telemetry,
+		Strategies: er.Strategies,
+		Jobs:       er.Jobs,
+		Warm:       er.Warm,
+	}
+}
+
 // RunPortfolio model-checks property propIdx by racing one solver per
 // strategy at every unrolling depth (the concurrent counterpart of Run).
 // All racers solve the same instance; the first Sat/Unsat verdict wins
-// and cancels the rest through the solver's cooperative Stop channel. On
-// UNSAT the winner's unsat-core variables are folded into the shared
-// mutex-guarded score board that seeds the next depth's guidance, so the
-// paper's refinement feedback loop (§3.2) survives parallelization — each
-// depth's static/dynamic racers are guided by whichever core happened to
-// win the previous depth.
+// and cancels the rest through the solver's cooperative Stop channel.
 //
 // The verdict is always the same as any single-strategy Run: every racer
 // solves the identical formula, so whichever finishes first can only
 // differ in *which* model or core it found, never in satisfiability.
+//
+// Deprecated: use engine.New with engine.WithPortfolio; RunPortfolio is
+// a thin wrapper kept for compatibility.
 func RunPortfolio(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*PortfolioResult, error) {
-	u, err := unroll.New(c, propIdx)
+	eo := append(engineOptions(opts.Options),
+		engine.WithPortfolio(opts.Strategies, opts.Jobs))
+	sess, err := engine.New(c, propIdx, eo...)
 	if err != nil {
 		return nil, err
 	}
-	strategies := opts.Strategies
-	if len(strategies) == 0 {
-		strategies = portfolio.DefaultSet()
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-	start := time.Now()
-	board := core.NewScoreBoard(opts.ScoreMode)
-	res := &PortfolioResult{
-		Result:     Result{Verdict: Holds, Depth: -1},
-		Telemetry:  portfolio.NewTelemetry(),
-		Strategies: strategies.Names(),
-		Jobs:       opts.Jobs,
-	}
-	divisor := opts.SwitchDivisor
-	if divisor == 0 {
-		divisor = core.SwitchDivisor
-	}
-	// Proof recording (and the shared board it feeds) only pays off when
-	// some racer will consume the scores at the next depth; a portfolio
-	// of pure vsids/timeaxis runs recorder-free, like the sequential Run.
-	useCores := opts.ForceRecording
-	for _, st := range strategies {
-		if st == core.OrderStatic || st == core.OrderDynamic {
-			useCores = true
-		}
-	}
-
-	for k := 0; k <= opts.MaxDepth; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			break
-		}
-		depthStart := time.Now()
-		f := u.Formula(k)
-
-		// One fully configured attempt per strategy; when cores are in
-		// play each gets its own recorder, so whichever racer wins has a
-		// core to contribute.
-		attempts := make([]portfolio.Attempt, len(strategies))
-		recs := make([]*core.Recorder, len(strategies))
-		for i, st := range strategies {
-			solverOpts := opts.Solver
-			solverOpts.Guidance = nil
-			solverOpts.SwitchAfterDecisions = 0
-			// Clear any caller-supplied recorder, exactly as Run does: a
-			// single recorder shared by all racing goroutines would be a
-			// data race (each racer below gets its own when cores are on).
-			solverOpts.Recorder = nil
-			if opts.PerInstanceConflicts > 0 {
-				solverOpts.MaxConflicts = opts.PerInstanceConflicts
-			}
-			if !opts.Deadline.IsZero() {
-				solverOpts.Deadline = opts.Deadline
-			}
-			configureStrategy(&solverOpts, st, board, f, u, k, divisor)
-			if useCores {
-				recs[i] = core.NewRecorder(f.NumClauses())
-				solverOpts.Recorder = recs[i]
-			}
-			attempts[i] = portfolio.Attempt{Name: st.String(), Opts: solverOpts}
-		}
-
-		race := portfolio.Race(f, attempts, opts.Jobs, nil)
-		res.Telemetry.Observe(k, &race)
-
-		ds := DepthStats{
-			K:              k,
-			Winner:         race.WinnerName(),
-			FormulaVars:    f.NumVars,
-			FormulaClauses: f.NumClauses(),
-			FormulaLits:    f.NumLiterals(),
-		}
-		if race.Winner < 0 {
-			// Every racer exhausted its budget (or the deadline hit).
-			ds.Status = sat.Unknown
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			res.TotalTime = time.Since(start)
-			return res, nil
-		}
-
-		r := race.Result
-		ds.Status = r.Status
-		ds.Stats = r.Stats
-		res.Total.Add(r.Stats)
-
-		switch r.Status {
-		case sat.Sat:
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = Falsified
-			res.Depth = k
-			res.Trace = u.ExtractTrace(r.Model, k)
-			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("bmc: depth-%d portfolio counter-example (winner %s) failed replay on %s",
-					k, race.WinnerName(), c.Name())
-			}
-			res.TotalTime = time.Since(start)
-			return res, nil
-		case sat.Unsat:
-			if rec := recs[race.Winner]; rec != nil {
-				coreIDs := rec.Core()
-				coreVars := rec.CoreVars(f)
-				ds.CoreClauses = len(coreIDs)
-				ds.CoreVars = len(coreVars)
-				ds.RecorderBytes = rec.ApproxBytes()
-				// update_ranking with the winner's core, weighted by the
-				// 1-based instance number exactly as in the sequential
-				// loop.
-				board.Update(coreVars, k+1)
-			}
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Depth = k
-		}
-	}
-	res.TotalTime = time.Since(start)
-	return res, nil
+	return portfolioFromEngine(er), nil
 }

@@ -1,14 +1,8 @@
 package bmc
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/circuit"
-	"repro/internal/portfolio"
-	"repro/internal/racer"
-	"repro/internal/sat"
-	"repro/internal/unroll"
+	"repro/internal/engine"
 )
 
 // RunPortfolioIncremental model-checks property propIdx with the warm
@@ -29,92 +23,23 @@ import (
 // finishes first can only differ in which model or core it found, never
 // in satisfiability.
 //
-// Feedback survives as in RunPortfolio: on UNSAT depths the winner's
-// incremental unsat core is folded into the pool's shared score board,
-// which seeds the static/dynamic racers' guidance at the next depth.
+// Deprecated: use engine.New with engine.WithPortfolio,
+// engine.WithIncremental, and engine.WithExchange;
+// RunPortfolioIncremental is a thin wrapper kept for compatibility.
 func RunPortfolioIncremental(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*PortfolioResult, error) {
-	u, err := unroll.New(c, propIdx)
+	eo := append(engineOptions(opts.Options),
+		engine.WithPortfolio(opts.Strategies, opts.Jobs),
+		engine.WithIncremental(),
+		engine.WithExchange(opts.Exchange))
+	sess, err := engine.New(c, propIdx, eo...)
 	if err != nil {
 		return nil, err
 	}
-	d := u.Delta()
-	start := time.Now()
-	pool := racer.NewPool(racer.DeltaSource(d), racer.Config{
-		Strategies:           opts.Strategies,
-		Jobs:                 opts.Jobs,
-		Solver:               opts.Solver,
-		ScoreMode:            opts.ScoreMode,
-		SwitchDivisor:        opts.SwitchDivisor,
-		PerInstanceConflicts: opts.PerInstanceConflicts,
-		Deadline:             opts.Deadline,
-		ForceRecording:       opts.ForceRecording,
-		Exchange:             opts.Exchange,
-	})
-	res := &PortfolioResult{
-		Result:     Result{Verdict: Holds, Depth: -1},
-		Telemetry:  portfolio.NewTelemetry(),
-		Strategies: pool.Strategies(),
-		Jobs:       opts.Jobs,
-		Warm:       true,
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-
-	for k := 0; k <= opts.MaxDepth; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			break
-		}
-		depthStart := time.Now()
-		out := pool.RaceDepth(k)
-		race := &out.Race
-		res.Telemetry.Observe(k, race)
-		res.Telemetry.ObserveExchange(out.Exported, out.Imported, out.WinnerWarm, out.WinnerShared)
-
-		ds := DepthStats{
-			K:              k,
-			Winner:         race.WinnerName(),
-			FormulaVars:    out.FrameVars,
-			FormulaClauses: out.TotalClauses,
-			FormulaLits:    out.TotalLits,
-			CoreClauses:    out.CoreClauses,
-			CoreVars:       out.CoreVars,
-			RecorderBytes:  out.RecorderBytes,
-		}
-		if race.Winner < 0 {
-			// Every racer exhausted its budget (or the deadline hit).
-			ds.Status = sat.Unknown
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = BudgetExhausted
-			res.Depth = k
-			res.TotalTime = time.Since(start)
-			return res, nil
-		}
-
-		r := race.Result
-		ds.Status = r.Status
-		ds.Stats = r.Stats
-		res.Total.Add(r.Stats)
-
-		switch r.Status {
-		case sat.Sat:
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Verdict = Falsified
-			res.Depth = k
-			res.Trace = d.ExtractTrace(r.Model, k)
-			if !opts.SkipTraceVerification && !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("bmc: depth-%d warm-portfolio counter-example (winner %s) failed replay on %s",
-					k, race.WinnerName(), c.Name())
-			}
-			res.TotalTime = time.Since(start)
-			return res, nil
-		case sat.Unsat:
-			ds.Wall = time.Since(depthStart)
-			res.PerDepth = append(res.PerDepth, ds)
-			res.Depth = k
-		}
-	}
-	res.TotalTime = time.Since(start)
-	return res, nil
+	return portfolioFromEngine(er), nil
 }

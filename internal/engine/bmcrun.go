@@ -1,0 +1,455 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// The four BMC depth loops (scratch, incremental, cold portfolio, warm
+// portfolio pool), ported from the legacy bmc.Run* entrypoints. The
+// bespoke per-loop deadline arithmetic is gone: cancellation and
+// deadlines arrive through ctx (checked once per depth here, polled
+// inside every solver via sat.Options.Stop/Deadline from solverBase).
+
+// divisor resolves the dynamic strategy's switch divisor.
+func (s *Session) divisor() int {
+	if s.cfg.SwitchDivisor != 0 {
+		return s.cfg.SwitchDivisor
+	}
+	return core.SwitchDivisor
+}
+
+// useCores reports whether any configured strategy consumes unsat cores
+// (static/dynamic), which decides whether proof recording is attached.
+func (s *Session) useCores(strategies portfolio.StrategySet) bool {
+	if s.cfg.ForceRecording {
+		return true
+	}
+	if s.cfg.Portfolio {
+		for _, st := range strategies {
+			if st == core.OrderStatic || st == core.OrderDynamic {
+				return true
+			}
+		}
+		return false
+	}
+	return s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
+}
+
+// strategySet resolves the portfolio's raced set (default four-way).
+func (s *Session) strategySet() portfolio.StrategySet {
+	if len(s.cfg.Strategies) > 0 {
+		return s.cfg.Strategies
+	}
+	return portfolio.DefaultSet()
+}
+
+// configureStrategy applies one ordering strategy to solver options for
+// the scratch depth-k instance: guidance scores (from the shared score
+// board, or frame numbers for timeaxis) and the dynamic switch threshold.
+func configureStrategy(so *sat.Options, st core.Strategy, board *core.ScoreBoard, f *cnf.Formula, u *unroll.Unroller, k, divisor int) {
+	if st == core.OrderTimeAxis {
+		so.Guidance = timeAxisGuidance(u, k, f.NumVars)
+		so.SwitchAfterDecisions = 0
+		return
+	}
+	st.ConfigureWithDivisor(so, board, f, divisor)
+}
+
+// timeAxisGuidance builds a per-variable score preferring earlier frames
+// (frame 0 scored highest), approximating Shtrichman's time-axis
+// ordering.
+func timeAxisGuidance(u *unroll.Unroller, k, nVars int) []float64 {
+	g := make([]float64, nVars+1)
+	for v := 1; v <= nVars; v++ {
+		_, frame := u.NodeOf(lits.Var(v))
+		g[v] = float64(k + 1 - frame)
+	}
+	return g
+}
+
+// runBMCScratch is the sequential paper loop: every depth's unrolling is
+// built and solved from scratch (legacy bmc.Run).
+func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	board := core.NewScoreBoard(s.cfg.ScoreMode)
+	res := &Result{Verdict: Holds, K: -1}
+	useCores := s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
+	divisor := s.divisor()
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			res.Verdict = Unknown
+			res.K = k
+			break
+		}
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		f := u.Formula(k)
+
+		solverOpts := s.solverBase(ctx)
+		configureStrategy(&solverOpts, s.cfg.Ordering, board, f, u, k, divisor)
+
+		var rec *core.Recorder
+		if useCores || s.cfg.ForceRecording {
+			rec = core.NewRecorder(f.NumClauses())
+			solverOpts.Recorder = rec
+		}
+
+		r := sat.New(f, solverOpts).Solve()
+		ds := DepthStats{
+			K:              k,
+			Status:         r.Status,
+			Stats:          r.Stats,
+			FormulaVars:    f.NumVars,
+			FormulaClauses: f.NumClauses(),
+			FormulaLits:    f.NumLiterals(),
+		}
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Falsified
+			res.K = k
+			res.Trace = u.ExtractTrace(r.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: depth-%d counter-example failed replay on %s", k, s.circ.Name())
+			}
+			return res, nil
+		case sat.Unsat:
+			if rec != nil {
+				coreIDs := rec.Core()
+				coreVars := rec.CoreVars(f)
+				ds.CoreClauses = len(coreIDs)
+				ds.CoreVars = len(coreVars)
+				ds.RecorderBytes = rec.ApproxBytes()
+				if useCores {
+					// update_ranking: weight by the 1-based instance
+					// number (the paper's j).
+					board.Update(coreVars, k+1)
+				}
+			}
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.K = k
+		default: // Unknown/Interrupted: budget exhausted or cancelled mid-instance
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Unknown
+			res.K = k
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// runBMCIncremental keeps one live solver across the whole depth loop
+// (legacy bmc.RunIncremental): each depth adds only the new frame's
+// clauses and solves under the depth's activation-literal assumption, so
+// learned clauses, VSIDS scores, and saved phases compound across depths.
+func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	d := u.Delta()
+	board := core.NewScoreBoard(s.cfg.ScoreMode)
+	res := &Result{Verdict: Holds, K: -1}
+	useCores := s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
+	divisor := s.divisor()
+
+	solverOpts := s.solverBase(ctx)
+	var rec *core.IncrementalRecorder
+	if useCores || s.cfg.ForceRecording {
+		rec = core.NewIncrementalRecorder()
+		solverOpts.Recorder = rec
+	}
+
+	solver := sat.New(cnf.New(0), solverOpts)
+	src := racer.DeltaSource(d)
+	// clausesByID maps original-clause proof IDs back to literals for
+	// core extraction (the incremental analogue of indexing f.Clauses).
+	clausesByID := make(map[sat.ClauseID]cnf.Clause)
+	totalClauses, totalLits := 0, 0
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			res.Verdict = Unknown
+			res.K = k
+			break
+		}
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		frame := d.Frame(k)
+		solver.AddVars(frame.NumVars)
+		for _, cl := range frame.Clauses {
+			id := solver.AddClause(cl)
+			if rec != nil {
+				clausesByID[id] = cl
+			}
+			totalLits += len(cl)
+		}
+		totalClauses += frame.NumClauses()
+
+		racer.ApplyStrategy(solver, s.cfg.Ordering, board, src, k, totalLits, divisor)
+
+		r := solver.SolveAssuming([]lits.Lit{d.ActLit(k)})
+		ds := DepthStats{
+			K:              k,
+			Status:         r.Status,
+			Stats:          r.Stats,
+			FormulaVars:    frame.NumVars,
+			FormulaClauses: totalClauses,
+			FormulaLits:    totalLits,
+		}
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Falsified
+			res.K = k
+			res.Trace = d.ExtractTrace(r.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: incremental depth-%d counter-example failed replay on %s", k, s.circ.Name())
+			}
+			return res, nil
+		case sat.Unsat:
+			if rec != nil && rec.HasProof() {
+				coreIDs := rec.Core()
+				coreVars := racer.CoreVars(src, coreIDs, clausesByID, frame.NumVars)
+				ds.CoreClauses = len(coreIDs)
+				ds.CoreVars = len(coreVars)
+				ds.RecorderBytes = rec.ApproxBytes()
+				if useCores {
+					board.Update(coreVars, k+1)
+				}
+				rec.ResetFinal()
+			}
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.K = k
+		default: // Unknown/Interrupted
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Unknown
+			res.K = k
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// runBMCPortfolio races one throwaway solver per strategy at every depth
+// (legacy bmc.RunPortfolio); races go through the configured Executor.
+func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	strategies := s.strategySet()
+	exec := s.executor()
+	board := core.NewScoreBoard(s.cfg.ScoreMode)
+	res := &Result{
+		Verdict:    Holds,
+		K:          -1,
+		Telemetry:  portfolio.NewTelemetry(),
+		Strategies: strategies.Names(),
+		Jobs:       s.cfg.Jobs,
+	}
+	divisor := s.divisor()
+	// Proof recording (and the shared board it feeds) only pays off when
+	// some racer will consume the scores at the next depth.
+	useCores := s.useCores(strategies)
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			res.Verdict = Unknown
+			res.K = k
+			break
+		}
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		f := u.Formula(k)
+
+		// One fully configured attempt per strategy; when cores are in
+		// play each gets its own recorder, so whichever racer wins has a
+		// core to contribute.
+		attempts := make([]portfolio.Attempt, len(strategies))
+		recs := make([]*core.Recorder, len(strategies))
+		for i, st := range strategies {
+			solverOpts := s.solverBase(ctx)
+			configureStrategy(&solverOpts, st, board, f, u, k, divisor)
+			if useCores {
+				recs[i] = core.NewRecorder(f.NumClauses())
+				solverOpts.Recorder = recs[i]
+			}
+			attempts[i] = portfolio.Attempt{Name: st.String(), Opts: solverOpts}
+		}
+
+		race := exec.Race(f, attempts, s.cfg.Jobs, ctx.Done())
+		res.Telemetry.Observe(k, &race)
+
+		ds := DepthStats{
+			K:              k,
+			Winner:         race.WinnerName(),
+			FormulaVars:    f.NumVars,
+			FormulaClauses: f.NumClauses(),
+			FormulaLits:    f.NumLiterals(),
+		}
+		if race.Winner < 0 {
+			// Every racer exhausted its budget, or the race was cancelled.
+			ds.Status = sat.Unknown
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Unknown
+			res.K = k
+			return res, nil
+		}
+
+		r := race.Result
+		ds.Status = r.Status
+		ds.Stats = r.Stats
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Falsified
+			res.K = k
+			res.Trace = u.ExtractTrace(r.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: depth-%d portfolio counter-example (winner %s) failed replay on %s",
+					k, race.WinnerName(), s.circ.Name())
+			}
+			return res, nil
+		case sat.Unsat:
+			if rec := recs[race.Winner]; rec != nil {
+				coreIDs := rec.Core()
+				coreVars := rec.CoreVars(f)
+				ds.CoreClauses = len(coreIDs)
+				ds.CoreVars = len(coreVars)
+				ds.RecorderBytes = rec.ApproxBytes()
+				board.Update(coreVars, k+1)
+			}
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.K = k
+		}
+	}
+	return res, nil
+}
+
+// poolConfig translates the session config into a warm racer pool
+// configuration, routing races and clause-bus payloads through the
+// Executor seam. query labels the payloads for OnClausePayload.
+func (s *Session) poolConfig(ctx context.Context, query Query, exchange racer.ExchangeOptions) racer.Config {
+	exec := s.executor()
+	exchange.OnExport = func(k int, from string, clauses []cnf.Clause) {
+		exec.OnClausePayload(query, k, from, clauses)
+	}
+	cfg := racer.Config{
+		Strategies:           s.cfg.Strategies,
+		Jobs:                 s.cfg.Jobs,
+		Solver:               s.cfg.Solver,
+		ScoreMode:            s.cfg.ScoreMode,
+		SwitchDivisor:        s.cfg.SwitchDivisor,
+		PerInstanceConflicts: s.cfg.PerInstanceConflicts,
+		ForceRecording:       s.cfg.ForceRecording,
+		Exchange:             exchange,
+		Race:                 exec.RaceLive,
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		cfg.Deadline = dl
+	}
+	return cfg
+}
+
+// runBMCWarm drives the warm racer pool: one persistent incremental
+// solver per strategy across the whole depth loop, with the optional
+// depth-boundary clause bus (legacy bmc.RunPortfolioIncremental).
+func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	d := u.Delta()
+	pool := racer.NewPool(racer.DeltaSource(d), s.poolConfig(ctx, QueryBMC, s.cfg.Exchange))
+	res := &Result{
+		Verdict:    Holds,
+		K:          -1,
+		Telemetry:  portfolio.NewTelemetry(),
+		Strategies: pool.Strategies(),
+		Jobs:       s.cfg.Jobs,
+		Warm:       true,
+	}
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			res.Verdict = Unknown
+			res.K = k
+			break
+		}
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		out := pool.RaceDepthStop(k, ctx.Done())
+		race := &out.Race
+		res.Telemetry.Observe(k, race)
+		res.Telemetry.ObserveExchange(out.Exported, out.Imported, out.WinnerWarm, out.WinnerShared)
+
+		ds := DepthStats{
+			K:              k,
+			Winner:         race.WinnerName(),
+			FormulaVars:    out.FrameVars,
+			FormulaClauses: out.TotalClauses,
+			FormulaLits:    out.TotalLits,
+			CoreClauses:    out.CoreClauses,
+			CoreVars:       out.CoreVars,
+			RecorderBytes:  out.RecorderBytes,
+		}
+		if race.Winner < 0 {
+			ds.Status = sat.Unknown
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Unknown
+			res.K = k
+			return res, nil
+		}
+
+		r := race.Result
+		ds.Status = r.Status
+		ds.Stats = r.Stats
+		res.Total.Add(r.Stats)
+
+		switch r.Status {
+		case sat.Sat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.Verdict = Falsified
+			res.K = k
+			res.Trace = d.ExtractTrace(r.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: depth-%d warm-portfolio counter-example (winner %s) failed replay on %s",
+					k, race.WinnerName(), s.circ.Name())
+			}
+			return res, nil
+		case sat.Unsat:
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			res.K = k
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,243 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+// Kind selects the verification engine a session runs.
+type Kind int
+
+// Engines.
+const (
+	// BMC is plain bounded model checking: search for a counter-example
+	// of increasing length up to the depth bound.
+	BMC Kind = iota
+	// KInduction is temporal induction: BMC base cases plus the inductive
+	// step query, proving properties outright when the step closes.
+	KInduction
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BMC:
+		return "bmc"
+	case KInduction:
+		return "k-induction"
+	default:
+		return "?"
+	}
+}
+
+// Config is the full, validated configuration of a Session. Build one
+// through New's functional options; direct construction is supported for
+// tests and for callers that want to Validate a combination without
+// opening a circuit (cmd/bmc's flag translation does exactly that).
+type Config struct {
+	// Kind selects the verification engine (BMC or KInduction).
+	Kind Kind
+	// MaxDepth is the largest unrolling depth / induction depth checked
+	// (inclusive).
+	MaxDepth int
+	// Ordering is the decision-ordering strategy of single-strategy runs;
+	// ignored when Portfolio is set (the portfolio races Strategies).
+	Ordering core.Strategy
+	// Portfolio races a strategy set at every depth instead of running
+	// one ordering.
+	Portfolio bool
+	// Strategies is the raced set (Portfolio only; empty selects
+	// portfolio.DefaultSet).
+	Strategies portfolio.StrategySet
+	// Jobs caps concurrent solvers per race (Portfolio only; <= 0 means
+	// one per strategy).
+	Jobs int
+	// Incremental keeps live solvers across depths: a single persistent
+	// solver for single-strategy runs, the warm racer pool when combined
+	// with Portfolio.
+	Incremental bool
+	// Exchange configures the warm pool's clause bus (Incremental +
+	// Portfolio only). For KInduction it drives the base-query pool.
+	Exchange racer.ExchangeOptions
+	// ExchangeSet records that Exchange was configured explicitly, so
+	// Validate can reject it on engines that have no bus rather than
+	// silently ignoring it (racer.ExchangeOptions' zero value is
+	// indistinguishable from "never mentioned" otherwise).
+	ExchangeSet bool
+	// StepExchange configures the k-induction step pool's own bus; left
+	// zero it stays off even when Exchange is on (step sequences are
+	// SAT-dominated, where sharing perturbs phase-saving momentum).
+	StepExchange racer.ExchangeOptions
+	// StepExchangeSet mirrors ExchangeSet for StepExchange.
+	StepExchangeSet bool
+	// ScoreMode selects the bmc_score accumulation rule (BMC engine; the
+	// k-induction boards always use core.WeightedSum, as the legacy
+	// entrypoints did).
+	ScoreMode core.ScoreMode
+	// SwitchDivisor overrides the dynamic strategy's switch threshold
+	// divisor (0 selects core.SwitchDivisor; BMC engine only).
+	SwitchDivisor int
+	// Solver carries the base solver options; per-strategy fields
+	// (Guidance, SwitchAfterDecisions, Recorder, Stop) are managed by the
+	// session.
+	Solver sat.Options
+	// PerInstanceConflicts bounds each SAT call (0 = unlimited).
+	PerInstanceConflicts int64
+	// ForceRecording attaches proof recorders even for strategies that do
+	// not consume cores (the §3.1 overhead experiment).
+	ForceRecording bool
+	// SkipTraceVerification disables the counter-example replay check
+	// (benchmarks only).
+	SkipTraceVerification bool
+	// Progress, when non-nil, receives per-depth events as the check
+	// runs. It is called synchronously from the depth loop's goroutine,
+	// never concurrently.
+	Progress func(Event)
+	// Executor runs the session's races; nil selects LocalExecutor (the
+	// in-process goroutine pool).
+	Executor Executor
+}
+
+// Option is a functional configuration knob for New.
+type Option func(*Config)
+
+// WithEngine selects the verification engine (default BMC).
+func WithEngine(k Kind) Option { return func(c *Config) { c.Kind = k } }
+
+// WithOrdering selects the decision ordering of a single-strategy run
+// (default core.OrderDynamic, the paper's best configuration).
+func WithOrdering(st core.Strategy) Option { return func(c *Config) { c.Ordering = st } }
+
+// WithPortfolio races the given strategy set at every depth, first
+// verdict wins (nil or empty set selects portfolio.DefaultSet). jobs
+// caps the concurrent solvers per race; <= 0 means one per strategy.
+func WithPortfolio(set portfolio.StrategySet, jobs int) Option {
+	return func(c *Config) {
+		c.Portfolio = true
+		c.Strategies = set
+		c.Jobs = jobs
+	}
+}
+
+// WithIncremental keeps live solvers across depths (with WithPortfolio:
+// the warm racer pool).
+func WithIncremental() Option { return func(c *Config) { c.Incremental = true } }
+
+// WithExchange enables/configures the warm pool's clause bus. Requires
+// WithIncremental and WithPortfolio (Validate rejects the rest).
+func WithExchange(ex racer.ExchangeOptions) Option {
+	return func(c *Config) {
+		c.Exchange = ex
+		c.ExchangeSet = true
+	}
+}
+
+// WithStepExchange configures the k-induction step pool's own clause bus
+// (off by default even when WithExchange is on).
+func WithStepExchange(ex racer.ExchangeOptions) Option {
+	return func(c *Config) {
+		c.StepExchange = ex
+		c.StepExchangeSet = true
+	}
+}
+
+// WithBudgets sets the depth bound and the per-SAT-call conflict budget
+// (0 = unlimited conflicts). Wall-clock budgets are carried by the
+// context passed to Session.Check.
+func WithBudgets(maxDepth int, perInstanceConflicts int64) Option {
+	return func(c *Config) {
+		c.MaxDepth = maxDepth
+		c.PerInstanceConflicts = perInstanceConflicts
+	}
+}
+
+// WithSolver replaces the base solver options (default sat.Defaults()).
+func WithSolver(opts sat.Options) Option { return func(c *Config) { c.Solver = opts } }
+
+// WithScoreMode selects the bmc_score accumulation rule.
+func WithScoreMode(m core.ScoreMode) Option { return func(c *Config) { c.ScoreMode = m } }
+
+// WithSwitchDivisor overrides the dynamic strategy's switch divisor.
+func WithSwitchDivisor(d int) Option { return func(c *Config) { c.SwitchDivisor = d } }
+
+// WithForceRecording attaches proof recorders unconditionally.
+func WithForceRecording() Option { return func(c *Config) { c.ForceRecording = true } }
+
+// WithoutTraceVerification disables counter-example replay (benchmarks).
+func WithoutTraceVerification() Option { return func(c *Config) { c.SkipTraceVerification = true } }
+
+// WithProgress streams per-depth events to fn while the check runs.
+func WithProgress(fn func(Event)) Option { return func(c *Config) { c.Progress = fn } }
+
+// WithExecutor replaces the race executor (default LocalExecutor).
+func WithExecutor(ex Executor) Option { return func(c *Config) { c.Executor = ex } }
+
+// defaultConfig is New's starting point before options apply.
+func defaultConfig() Config {
+	return Config{
+		Kind:     BMC,
+		MaxDepth: 20,
+		Ordering: core.OrderDynamic,
+		Solver:   sat.Defaults(),
+	}
+}
+
+// NewConfig applies the options on top of the defaults without building
+// a session — for callers (cmd/bmc) that want to Validate a combination
+// before opening a circuit.
+func NewConfig(opts ...Option) Config {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Validate vets the configuration matrix in one place — every
+// combination the legacy entrypoints (and cmd/bmc's flag parsing) used
+// to reject ad hoc errors out here with a message naming the offending
+// knob. A nil error means Check can run the configuration.
+func (c *Config) Validate() error {
+	if c.Kind != BMC && c.Kind != KInduction {
+		return fmt.Errorf("engine: unknown engine kind %d (valid: BMC, KInduction)", int(c.Kind))
+	}
+	if c.MaxDepth < 0 {
+		return fmt.Errorf("engine: max depth must be >= 0, got %d", c.MaxDepth)
+	}
+	if c.PerInstanceConflicts < 0 {
+		return fmt.Errorf("engine: per-instance conflict budget must be >= 0, got %d", c.PerInstanceConflicts)
+	}
+	if c.Jobs < 0 {
+		return fmt.Errorf("engine: jobs must be >= 0 (0 = one solver per strategy), got %d", c.Jobs)
+	}
+	if !c.Portfolio {
+		if c.Jobs > 0 {
+			return fmt.Errorf("engine: jobs require a portfolio (a single-ordering run has one solver per query)")
+		}
+		if len(c.Strategies) > 0 {
+			return fmt.Errorf("engine: a strategy set requires a portfolio (a single-strategy run takes one ordering)")
+		}
+		if c.Ordering.String() == "unknown" {
+			return fmt.Errorf("engine: unknown ordering strategy %d (valid: vsids, static, dynamic, timeaxis)", int(c.Ordering))
+		}
+	}
+	if c.ExchangeSet && !(c.Portfolio && c.Incremental) {
+		return fmt.Errorf("engine: clause exchange requires an incremental portfolio (the bus runs between multiple persistent racers)")
+	}
+	if c.StepExchangeSet {
+		if c.Kind != KInduction {
+			return fmt.Errorf("engine: step-query clause exchange only applies to the k-induction engine")
+		}
+		if !(c.Portfolio && c.Incremental) {
+			return fmt.Errorf("engine: step-query clause exchange requires an incremental portfolio")
+		}
+	}
+	if c.Kind == KInduction && !c.Incremental && !c.Portfolio && c.Ordering == core.OrderTimeAxis {
+		return fmt.Errorf("engine: the sequential k-induction engine supports vsids|static|dynamic orderings (timeaxis needs a portfolio or the incremental warm pools)")
+	}
+	return nil
+}

@@ -1,0 +1,282 @@
+// Package engine is the unified session API over every verification
+// configuration in this repository: one context-aware entrypoint
+//
+//	sess, err := engine.New(circ, propIdx,
+//	        engine.WithEngine(engine.KInduction),
+//	        engine.WithPortfolio(nil, 4),
+//	        engine.WithIncremental(),
+//	        engine.WithExchange(racer.ExchangeOptions{Enabled: true}))
+//	res, err := sess.Check(ctx)
+//
+// subsumes the seven legacy entrypoints (bmc.Run, bmc.RunIncremental,
+// bmc.RunPortfolio, bmc.RunPortfolioIncremental, induction.Prove,
+// induction.ProvePortfolio, induction.ProvePortfolioIncremental), which
+// remain as thin deprecated wrappers. The engine×ordering×incremental×
+// sharing matrix is validated in one place (Config.Validate), results
+// come back as one Result (verdict, depth, trace, per-depth stats,
+// portfolio telemetry, warm/exchange attribution), cancellation and
+// deadlines are carried by the context.Context passed to Check and
+// plumbed down to every solver through sat.Options.Stop/Deadline, and
+// per-depth progress streams through WithProgress.
+//
+// Behind the session sits the Executor seam: every race — cold or warm —
+// is submitted through the Executor interface, and every clause-bus
+// payload flows through its hook, so a remote executor (the ROADMAP's
+// distributed portfolio: gRPC/TCP workers racing the same CNF, first
+// verdict cancels the rest, clauses as the wire payload) slots in behind
+// the same session API via WithExecutor. LocalExecutor, the default,
+// wraps the in-process goroutine pool.
+package engine
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/portfolio"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// Verdict classifies the outcome of a check, across both engines.
+type Verdict int
+
+// Verdicts.
+const (
+	// Unknown: a budget (conflicts, deadline, context cancellation, or
+	// the k-induction depth bound) ran out before a verdict.
+	Unknown Verdict = iota
+	// Falsified: a counter-example was found (and replayed, unless
+	// verification is off).
+	Falsified
+	// Holds: no counter-example up to the BMC depth bound — a bounded
+	// guarantee (BMC engine only).
+	Holds
+	// Proved: the property holds on all reachable states (k-induction
+	// engine only).
+	Proved
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Falsified:
+		return "falsified"
+	case Holds:
+		return "holds"
+	case Proved:
+		return "proved"
+	default:
+		return "unknown"
+	}
+}
+
+// MarshalJSON renders the verdict as its string form (cmd/bmc -json).
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form back (consumers of cmd/bmc -json).
+func (v *Verdict) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"falsified"`:
+		*v = Falsified
+	case `"holds"`:
+		*v = Holds
+	case `"proved"`:
+		*v = Proved
+	default:
+		*v = Unknown
+	}
+	return nil
+}
+
+// DepthStats records the solve of a single depth — the rows of the
+// paper's Fig. 7, extended with portfolio and warm-pool columns.
+type DepthStats struct {
+	K      int        `json:"k"`
+	Status sat.Status `json:"status"`
+	Stats  sat.Stats  `json:"stats"`
+	// Winner names the strategy whose verdict was kept at this depth
+	// (portfolio runs only; empty otherwise).
+	Winner string `json:"winner,omitempty"`
+	// Wall is the wall-clock time of this depth, including CNF
+	// generation, the SAT call(s), and score maintenance.
+	Wall           time.Duration `json:"wall"`
+	FormulaVars    int           `json:"formula_vars"`
+	FormulaClauses int           `json:"formula_clauses"`
+	FormulaLits    int           `json:"formula_lits"`
+	// CoreClauses/CoreVars describe the extracted unsat core (0 on SAT
+	// or when recording is off).
+	CoreClauses int `json:"core_clauses"`
+	CoreVars    int `json:"core_vars"`
+	// RecorderBytes approximates the CDG memory footprint.
+	RecorderBytes int64 `json:"recorder_bytes"`
+}
+
+// Result is the unified outcome of Session.Check: one struct covers
+// every engine×ordering×incremental×sharing configuration, with fields
+// that do not apply to the ran configuration left at their zero values.
+type Result struct {
+	// Engine echoes the session's engine kind.
+	Engine Kind `json:"engine"`
+	// Verdict is the outcome; K its depth: the counter-example length
+	// for Falsified, the deepest fully checked depth for Holds, the
+	// closing induction depth for Proved, and for Unknown the depth the
+	// budget ran out at (BMC: the first unfinished depth; k-induction:
+	// the last depth whose queries ran, -1 if none).
+	Verdict Verdict `json:"verdict"`
+	K       int     `json:"k"`
+	// Trace is the counter-example (Falsified only).
+	Trace *unroll.Trace `json:"trace,omitempty"`
+	// PerDepth records every solved depth (BMC engine only).
+	PerDepth []DepthStats `json:"per_depth,omitempty"`
+	// Total accumulates solver statistics: for BMC, across the depth
+	// loop (portfolio runs count winners only); zero for k-induction
+	// (see BaseStats/StepStats).
+	Total sat.Stats `json:"total"`
+	// BaseStats/StepStats accumulate per-query statistics (k-induction
+	// engine only; portfolio runs count winners only).
+	BaseStats sat.Stats `json:"base_stats,omitzero"`
+	StepStats sat.Stats `json:"step_stats,omitzero"`
+	// TotalTime is the wall-clock time of the whole check.
+	TotalTime time.Duration `json:"total_time"`
+	// Strategies and Jobs echo the portfolio configuration (portfolio
+	// runs only); Warm marks persistent-pool (incremental portfolio)
+	// runs.
+	Strategies []string `json:"strategies,omitempty"`
+	Jobs       int      `json:"jobs,omitempty"`
+	Warm       bool     `json:"warm,omitempty"`
+	// Telemetry records which ordering won at which depth and the
+	// clause-bus traffic (BMC portfolio runs).
+	Telemetry *portfolio.Telemetry `json:"telemetry,omitempty"`
+	// BaseTelemetry/StepTelemetry are the per-query race telemetries
+	// (k-induction portfolio runs).
+	BaseTelemetry *portfolio.Telemetry `json:"base_telemetry,omitempty"`
+	StepTelemetry *portfolio.Telemetry `json:"step_telemetry,omitempty"`
+}
+
+// Session is one configured check of one property: circuit, property
+// index, and a validated Config. Check may be called repeatedly; every
+// call runs from scratch with fresh solvers and boards.
+type Session struct {
+	circ    *circuit.Circuit
+	propIdx int
+	cfg     Config
+}
+
+// New builds a session for property propIdx of the circuit. The
+// configuration starts from defaults (BMC engine, dynamic ordering,
+// depth 20, sat.Defaults solver, LocalExecutor) and is refined by the
+// options; it is validated here, so a non-nil error means either an
+// invalid knob combination (Config.Validate's message names it) or a
+// structurally invalid circuit/property index.
+func New(c *circuit.Circuit, propIdx int, opts ...Option) (*Session, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	// Validate the circuit and property index up front; Check rebuilds
+	// its own unroller per call (unrollers carry per-run state).
+	if _, err := unroll.New(c, propIdx); err != nil {
+		return nil, err
+	}
+	return &Session{circ: c, propIdx: propIdx, cfg: cfg}, nil
+}
+
+// Config returns a copy of the session's effective configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Check runs the configured verification under ctx. Cancellation and
+// deadline are honored in every configuration: the context's Done
+// channel is plumbed into every solver's cooperative stop poll and into
+// every race's cancellation, and its deadline into sat.Options.Deadline,
+// so Check returns promptly (bounded by the solver poll interval) with
+// Verdict == Unknown and the partial results gathered so far. A non-nil
+// error is reserved for structural problems (a counter-example that
+// fails replay); budget and cancellation outcomes are verdicts, not
+// errors.
+func (s *Session) Check(ctx context.Context) (*Result, error) {
+	u, err := unroll.New(s.circ, s.propIdx)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var res *Result
+	if s.cfg.Kind == KInduction {
+		switch {
+		case s.cfg.Incremental:
+			res, err = s.runKindWarm(ctx, u)
+		case s.cfg.Portfolio:
+			res, err = s.runKindPortfolio(ctx, u)
+		default:
+			res, err = s.runKindSequential(ctx, u)
+		}
+	} else {
+		switch {
+		case s.cfg.Portfolio && s.cfg.Incremental:
+			res, err = s.runBMCWarm(ctx, u)
+		case s.cfg.Portfolio:
+			res, err = s.runBMCPortfolio(ctx, u)
+		case s.cfg.Incremental:
+			res, err = s.runBMCIncremental(ctx, u)
+		default:
+			res, err = s.runBMCScratch(ctx, u)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	res.Engine = s.cfg.Kind
+	res.TotalTime = time.Since(start)
+	return res, nil
+}
+
+// DeadlineContext translates a legacy deadline field (zero = none) into
+// the context Check understands — the shared shim of the deprecated
+// bmc/induction wrappers, whose Options carry a time.Time instead of a
+// context. Callers must call cancel once the check returns.
+func DeadlineContext(deadline time.Time) (context.Context, context.CancelFunc) {
+	if deadline.IsZero() {
+		return context.Background(), func() {}
+	}
+	return context.WithDeadline(context.Background(), deadline)
+}
+
+// executor resolves the configured executor (default LocalExecutor).
+func (s *Session) executor() Executor {
+	if s.cfg.Executor != nil {
+		return s.cfg.Executor
+	}
+	return LocalExecutor{}
+}
+
+// emit delivers a progress event to the configured consumer, if any.
+func (s *Session) emit(e Event) {
+	if s.cfg.Progress != nil {
+		s.cfg.Progress(e)
+	}
+}
+
+// solverBase derives the per-call solver options every loop starts from:
+// the config's base options with the session-managed fields cleared, the
+// per-instance conflict budget applied, and the context's deadline and
+// Done channel plumbed into sat.Options.Deadline/Stop — the single place
+// cancellation enters the solver layer.
+func (s *Session) solverBase(ctx context.Context) sat.Options {
+	so := s.cfg.Solver
+	so.Guidance = nil
+	so.SwitchAfterDecisions = 0
+	so.Recorder = nil
+	so.Stop = ctx.Done()
+	if s.cfg.PerInstanceConflicts > 0 {
+		so.MaxConflicts = s.cfg.PerInstanceConflicts
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		so.Deadline = dl
+	}
+	return so
+}

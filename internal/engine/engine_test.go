@@ -1,0 +1,315 @@
+package engine_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/bmc"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/induction"
+	"repro/internal/lits"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+)
+
+// checkModel runs one session on a suite model and fails the test on a
+// structural error.
+func checkModel(t *testing.T, m bench.Model, opts ...engine.Option) *engine.Result {
+	t.Helper()
+	sess, err := engine.New(m.Build(), 0, opts...)
+	if err != nil {
+		t.Fatalf("%s: New: %v", m.Name, err)
+	}
+	res, err := sess.Check(context.Background())
+	if err != nil {
+		t.Fatalf("%s: Check: %v", m.Name, err)
+	}
+	return res
+}
+
+// TestSessionEquivalenceSuite is the redesign's acceptance criterion: on
+// every internal/bench family, all four BMC session configurations
+// (scratch, incremental, cold portfolio, warm portfolio) return the
+// identical verdict, depth, and counter-example trace through the one
+// session API — and they match the legacy bmc.Run wrapper, i.e. the
+// pre-redesign path's pinned behavior.
+func TestSessionEquivalenceSuite(t *testing.T) {
+	for _, m := range bench.Suite() {
+		depth := m.MaxDepth
+		if !m.ExpectFail && depth > 4 {
+			depth = 4
+		}
+		if testing.Short() && m.ExpectFail && depth > 10 {
+			depth = 10
+		}
+		base := []engine.Option{engine.WithBudgets(depth, 0)}
+		ref := checkModel(t, m, base...)
+
+		legacy, err := bmc.Run(m.Build(), 0, bmc.Options{
+			MaxDepth: depth, Strategy: core.OrderDynamic, Solver: sat.Defaults(),
+		})
+		if err != nil {
+			t.Fatalf("%s legacy: %v", m.Name, err)
+		}
+		if legacy.Verdict.String() != ref.Verdict.String() || legacy.Depth != ref.K {
+			t.Errorf("%s: session (%v@%d) disagrees with legacy Run (%v@%d)",
+				m.Name, ref.Verdict, ref.K, legacy.Verdict, legacy.Depth)
+		}
+
+		configs := []struct {
+			name string
+			opts []engine.Option
+		}{
+			{"incremental", append([]engine.Option{engine.WithIncremental()}, base...)},
+			{"portfolio", append([]engine.Option{engine.WithPortfolio(nil, 0)}, base...)},
+			{"warm", append([]engine.Option{engine.WithPortfolio(nil, 0), engine.WithIncremental(),
+				engine.WithExchange(racer.ExchangeOptions{Enabled: true})}, base...)},
+		}
+		for _, cfg := range configs {
+			res := checkModel(t, m, cfg.opts...)
+			if res.Verdict != ref.Verdict || res.K != ref.K {
+				t.Errorf("%s/%s: (%v@%d) disagrees with scratch session (%v@%d)",
+					m.Name, cfg.name, res.Verdict, res.K, ref.Verdict, ref.K)
+			}
+			if ref.Verdict == engine.Falsified {
+				if res.Trace == nil || res.Trace.Depth != ref.Trace.Depth {
+					t.Errorf("%s/%s: counter-example trace missing or wrong depth", m.Name, cfg.name)
+				}
+			}
+		}
+		if m.ExpectFail && !testing.Short() && ref.Verdict == engine.Falsified && ref.K != m.FailDepth {
+			t.Errorf("%s: counter-example at depth %d, ground truth %d", m.Name, ref.K, m.FailDepth)
+		}
+	}
+}
+
+// TestSessionTightBudgetEquivalence: with a 1-conflict budget every
+// configuration must agree on the verdict — and, when the run decides,
+// on its depth. The depth at which an Unknown budget bites is engine
+// state-dependent (a warm solver's carried clauses change per-depth
+// effort), so only decided outcomes pin K, exactly as the legacy suites
+// did.
+func TestSessionTightBudgetEquivalence(t *testing.T) {
+	for _, name := range []string{"add_w8", "cnt_w4_t9", "twin_w8"} {
+		m, ok := bench.ByName(name)
+		if !ok {
+			t.Fatalf("model %s missing", name)
+		}
+		base := []engine.Option{engine.WithBudgets(6, 1)}
+		ref := checkModel(t, m, base...)
+		for _, cfg := range []struct {
+			name string
+			opts []engine.Option
+		}{
+			{"incremental", append([]engine.Option{engine.WithIncremental()}, base...)},
+			{"portfolio", append([]engine.Option{engine.WithPortfolio(nil, 0)}, base...)},
+			{"warm", append([]engine.Option{engine.WithPortfolio(nil, 0), engine.WithIncremental()}, base...)},
+		} {
+			res := checkModel(t, m, cfg.opts...)
+			if res.Verdict != ref.Verdict {
+				t.Errorf("%s/%s: tight budget verdict %v disagrees with scratch %v",
+					name, cfg.name, res.Verdict, ref.Verdict)
+			}
+			if ref.Verdict != engine.Unknown && res.K != ref.K {
+				t.Errorf("%s/%s: decided at depth %d, scratch at %d", name, cfg.name, res.K, ref.K)
+			}
+		}
+	}
+}
+
+// TestKindSessionEquivalence: the three k-induction configurations agree
+// on status and K across the proved / deeper-k / falsified regimes, and
+// match the legacy induction.Prove wrapper.
+func TestKindSessionEquivalence(t *testing.T) {
+	models := []struct {
+		name  string
+		build bench.Model
+		maxK  int
+	}{
+		{"twin", bench.Model{Name: "twin", Build: func() *circuit.Circuit { return bench.Twin(6, 0, 0) }}, 4},
+		{"gcnt_offset", bench.Model{Name: "gcnt_offset", Build: func() *circuit.Circuit { return bench.OffsetCounter(4, 10, 12) }}, 8},
+		{"tlc_bug", bench.Model{Name: "tlc_bug", Build: func() *circuit.Circuit { return bench.TrafficLight(true, 0, 0) }}, 4},
+	}
+	for _, tc := range models {
+		kind := []engine.Option{engine.WithEngine(engine.KInduction), engine.WithBudgets(tc.maxK, 0)}
+		ref := checkModel(t, tc.build, kind...)
+
+		legacy, err := induction.Prove(tc.build.Build(), 0, induction.Options{
+			MaxK: tc.maxK, Strategy: core.OrderDynamic, Solver: sat.Defaults(),
+		})
+		if err != nil {
+			t.Fatalf("%s legacy: %v", tc.name, err)
+		}
+		if legacy.Status.String() != ref.Verdict.String() || legacy.K != ref.K {
+			t.Errorf("%s: session (%v@%d) disagrees with legacy Prove (%v@%d)",
+				tc.name, ref.Verdict, ref.K, legacy.Status, legacy.K)
+		}
+
+		for _, cfg := range []struct {
+			name string
+			opts []engine.Option
+		}{
+			{"portfolio", append([]engine.Option{engine.WithPortfolio(nil, 0)}, kind...)},
+			{"warm", append([]engine.Option{engine.WithPortfolio(nil, 0), engine.WithIncremental(),
+				engine.WithExchange(racer.ExchangeOptions{Enabled: true})}, kind...)},
+			{"warm-single", append([]engine.Option{engine.WithIncremental()}, kind...)},
+		} {
+			res := checkModel(t, tc.build, cfg.opts...)
+			if res.Verdict != ref.Verdict || res.K != ref.K {
+				t.Errorf("%s/%s: (%v@%d) disagrees with sequential session (%v@%d)",
+					tc.name, cfg.name, res.Verdict, res.K, ref.Verdict, ref.K)
+			}
+		}
+	}
+}
+
+// countingExecutor wraps LocalExecutor and counts what flows through the
+// seam.
+type countingExecutor struct {
+	engine.LocalExecutor
+	races, liveRaces, payloads int
+}
+
+func (e *countingExecutor) Race(f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+	e.races++
+	return e.LocalExecutor.Race(f, attempts, jobs, stop)
+}
+
+func (e *countingExecutor) RaceLive(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+	e.liveRaces++
+	return e.LocalExecutor.RaceLive(attempts, assumps, jobs, stop)
+}
+
+func (e *countingExecutor) OnClausePayload(q engine.Query, k int, from string, clauses []cnf.Clause) {
+	e.payloads += len(clauses)
+}
+
+// TestExecutorSeam: every race of a portfolio session — cold and warm —
+// is submitted through the configured Executor, and the warm pool's
+// clause-bus payloads flow through its hook; swapping the executor does
+// not change the verdict.
+func TestExecutorSeam(t *testing.T) {
+	m, ok := bench.ByName("add_w8")
+	if !ok {
+		t.Fatal("model add_w8 missing")
+	}
+	const depth = 4
+	ref := checkModel(t, m, engine.WithBudgets(depth, 0))
+
+	cold := &countingExecutor{}
+	res := checkModel(t, m, engine.WithBudgets(depth, 0), engine.WithPortfolio(nil, 0),
+		engine.WithExecutor(cold))
+	if cold.races != depth+1 {
+		t.Errorf("cold: %d races through the executor, want %d", cold.races, depth+1)
+	}
+	if res.Verdict != ref.Verdict || res.K != ref.K {
+		t.Errorf("cold: verdict changed behind a custom executor: (%v@%d) vs (%v@%d)",
+			res.Verdict, res.K, ref.Verdict, ref.K)
+	}
+
+	warm := &countingExecutor{}
+	res = checkModel(t, m, engine.WithBudgets(depth, 0), engine.WithPortfolio(nil, 0),
+		engine.WithIncremental(), engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+		engine.WithExecutor(warm))
+	if warm.liveRaces != depth+1 {
+		t.Errorf("warm: %d live races through the executor, want %d", warm.liveRaces, depth+1)
+	}
+	if warm.payloads == 0 {
+		t.Error("warm: no clause-bus payloads reached the executor hook")
+	}
+	if res.Verdict != ref.Verdict || res.K != ref.K {
+		t.Errorf("warm: verdict changed behind a custom executor: (%v@%d) vs (%v@%d)",
+			res.Verdict, res.K, ref.Verdict, ref.K)
+	}
+}
+
+// TestProgressEvents: the event stream mirrors the per-depth results —
+// one DepthStarted/DepthFinished pair per depth in order, with the
+// finished stats matching Result.PerDepth.
+func TestProgressEvents(t *testing.T) {
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	var events []engine.Event
+	res := checkModel(t, m, engine.WithBudgets(12, 0),
+		engine.WithProgress(func(e engine.Event) { events = append(events, e) }))
+	if res.Verdict != engine.Falsified || res.K != 9 {
+		t.Fatalf("unexpected result (%v@%d)", res.Verdict, res.K)
+	}
+	var finished []engine.DepthStats
+	depth := -1
+	for _, e := range events {
+		switch e.Kind {
+		case engine.DepthStarted:
+			if e.K != depth+1 {
+				t.Fatalf("DepthStarted out of order: got k=%d after k=%d", e.K, depth)
+			}
+			depth = e.K
+		case engine.DepthFinished:
+			if e.K != depth {
+				t.Fatalf("DepthFinished for k=%d inside depth %d", e.K, depth)
+			}
+			finished = append(finished, e.Depth)
+		}
+	}
+	if !reflect.DeepEqual(finished, res.PerDepth) {
+		t.Errorf("event stream does not mirror PerDepth: %d events vs %d rows", len(finished), len(res.PerDepth))
+	}
+}
+
+// TestKindProgressEvents: the k-induction engines emit base and step
+// events per depth.
+func TestKindProgressEvents(t *testing.T) {
+	var base, step int
+	m := bench.Model{Name: "twin", Build: func() *circuit.Circuit { return bench.Twin(6, 0, 0) }}
+	res := checkModel(t, m, engine.WithEngine(engine.KInduction), engine.WithBudgets(4, 0),
+		engine.WithPortfolio(nil, 0), engine.WithIncremental(),
+		engine.WithProgress(func(e engine.Event) {
+			if e.Kind != engine.DepthFinished {
+				return
+			}
+			switch e.Query {
+			case engine.QueryBase:
+				base++
+			case engine.QueryStep:
+				step++
+			}
+		}))
+	if res.Verdict != engine.Proved {
+		t.Fatalf("unexpected verdict %v", res.Verdict)
+	}
+	if base == 0 || base != step {
+		t.Errorf("expected matching base/step event counts, got base=%d step=%d", base, step)
+	}
+}
+
+// TestSessionRepeatable: a Session can be checked repeatedly; every call
+// runs from scratch and returns the same verdict.
+func TestSessionRepeatable(t *testing.T) {
+	m, ok := bench.ByName("tlc_bug")
+	if !ok {
+		t.Fatal("model tlc_bug missing")
+	}
+	sess, err := engine.New(m.Build(), 0, engine.WithBudgets(5, 0), engine.WithIncremental())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := sess.Check(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := sess.Check(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Verdict != second.Verdict || first.K != second.K {
+		t.Errorf("repeat check diverged: (%v@%d) vs (%v@%d)", first.Verdict, first.K, second.Verdict, second.K)
+	}
+}

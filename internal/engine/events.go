@@ -1,0 +1,47 @@
+package engine
+
+// Query identifies which instance sequence of a session an event (or a
+// clause-bus payload) concerns.
+type Query string
+
+// Queries.
+const (
+	// QueryBMC is the single instance sequence of the BMC engine.
+	QueryBMC Query = "bmc"
+	// QueryBase is the k-induction base-case sequence (counter-examples
+	// of length exactly k).
+	QueryBase Query = "base"
+	// QueryStep is the k-induction step-case sequence (simple-path
+	// induction steps).
+	QueryStep Query = "step"
+)
+
+// EventKind classifies progress events.
+type EventKind int
+
+// Event kinds.
+const (
+	// DepthStarted fires before a depth's instance is solved (or raced).
+	// The k-induction engines emit one per query: base and step together
+	// when the two queries race in parallel, the step one only once the
+	// base verdict lets it run in the sequential prover.
+	DepthStarted EventKind = iota
+	// DepthFinished fires once a depth's instance has come to rest, with
+	// the depth's statistics in Event.Depth. For the k-induction engine
+	// it fires once per query (base, then step) per depth; a step query
+	// whose race was cancelled because the base verdict made it moot
+	// reports its winner empty and its status undecided.
+	DepthFinished
+)
+
+// Event is one progress notification of a running check. Events are
+// delivered synchronously from the depth loop's goroutine in depth
+// order, so consumers need no locking; a slow consumer slows the check.
+type Event struct {
+	Kind  EventKind
+	Query Query
+	// K is the depth the event concerns.
+	K int
+	// Depth carries the finished depth's statistics (DepthFinished only).
+	Depth DepthStats
+}

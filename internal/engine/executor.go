@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/lits"
+	"repro/internal/portfolio"
+)
+
+// Executor is the session's execution seam: every race a Session runs —
+// cold (throwaway solvers over one formula) or live (the warm pool's
+// persistent solvers under an assumption) — is submitted through this
+// interface, and every depth-boundary clause-bus payload flows through
+// its hook. LocalExecutor wraps today's in-process goroutine pool; a
+// remote executor (gRPC or plain TCP workers racing the same CNF, the
+// ROADMAP's distributed-portfolio direction) implements the same three
+// methods: ship the attempts out, report the first verdict back, cancel
+// the rest when stop closes, and forward the clause payloads — plain
+// literal slices, the designed wire format — to its workers.
+//
+// Implementations must preserve the first-verdict-wins contract of
+// portfolio.Race/RaceLive: the returned RaceResult carries the first
+// Sat/Unsat verdict (Winner == -1 when none landed), and once stop is
+// closed the call returns promptly with every attempt at rest.
+type Executor interface {
+	// Race runs a cold race: one throwaway solver per attempt, all
+	// solving formula f, at most jobs concurrently (jobs <= 0 means one
+	// per attempt).
+	Race(f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult
+	// RaceLive races caller-owned persistent solvers on an assumption
+	// list; the solvers' clause databases and heuristic state survive
+	// the race (the warm pool's per-depth race).
+	RaceLive(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult
+	// OnClausePayload observes one racer's exported clause-bus payload at
+	// a depth boundary: query names the instance sequence (bmc, base,
+	// step), k the depth, from the exporting strategy. Local execution
+	// redistributes in-process and needs nothing here; a remote executor
+	// forwards the payload to its workers. The clauses must not be
+	// mutated.
+	OnClausePayload(query Query, k int, from string, clauses []cnf.Clause)
+}
+
+// LocalExecutor runs races on the in-process goroutine pool
+// (portfolio.Race / portfolio.RaceLive). It is the only code path that
+// constructs racer goroutines; every engine configuration routes through
+// it unless WithExecutor installs a replacement.
+type LocalExecutor struct{}
+
+// Race implements Executor with portfolio.Race.
+func (LocalExecutor) Race(f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+	return portfolio.Race(f, attempts, jobs, stop)
+}
+
+// RaceLive implements Executor with portfolio.RaceLive.
+func (LocalExecutor) RaceLive(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+	return portfolio.RaceLive(attempts, assumps, jobs, stop)
+}
+
+// OnClausePayload is a no-op: the local clause bus redistributes
+// in-process immediately after exporting.
+func (LocalExecutor) OnClausePayload(Query, int, string, []cnf.Clause) {}

@@ -1,0 +1,415 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/lits"
+	"repro/internal/portfolio"
+	"repro/internal/racer"
+	"repro/internal/sat"
+	"repro/internal/unroll"
+)
+
+// The three k-induction loops (sequential, cold portfolio, warm pools),
+// ported from the legacy induction.Prove* entrypoints. Per depth the
+// base query (a counter-example of length exactly k) and the induction
+// step query (the simple-path step case) are solved — in parallel for
+// the portfolio engines, with a moot step race cancelled cooperatively —
+// and the verdict logic is identical across all three: Falsified needs a
+// SAT base, Proved needs the step UNSAT at a k whose base cases are all
+// clean.
+
+// kindResult initializes the k-induction result shell. K carries the
+// last depth whose queries actually ran (-1 when none did).
+func kindResult() *Result { return &Result{Verdict: Unknown, K: -1} }
+
+// runKindSequential is the sequential prover (legacy induction.Prove).
+func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	res := kindResult()
+	baseBoard := core.NewScoreBoard(core.WeightedSum)
+	stepBoard := core.NewScoreBoard(core.WeightedSum)
+	useCores := s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			// The budget expired before depth k was attempted: K stays at
+			// the last depth whose queries ran, not the one that never did.
+			return res, nil
+		}
+		res.K = k
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBase, K: k})
+
+		// Base case: a counter-example of length exactly k.
+		base := u.Formula(k)
+		r, rec := s.solveKindQuery(ctx, base, baseBoard, useCores)
+		res.BaseStats.Add(r.Stats)
+		s.emit(Event{Kind: DepthFinished, Query: QueryBase, K: k,
+			Depth: DepthStats{K: k, Status: r.Status, Stats: r.Stats, Wall: time.Since(depthStart)}})
+		switch r.Status {
+		case sat.Sat:
+			res.Verdict = Falsified
+			res.Trace = u.ExtractTrace(r.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: depth-%d counter-example failed replay", k)
+			}
+			return res, nil
+		case sat.Unsat:
+			if rec != nil && useCores {
+				baseBoard.Update(rec.CoreVars(base), k+1)
+			}
+		default: // Unknown/Interrupted: budget exhausted or cancelled
+			return res, nil
+		}
+
+		// Step case: P-states s_0..s_k, pairwise distinct, with a
+		// transition into ¬P at s_{k+1}. UNSAT closes the proof.
+		stepStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryStep, K: k})
+		step := unroll.StepFormula(u, k)
+		r, rec = s.solveKindQuery(ctx, step, stepBoard, useCores)
+		res.StepStats.Add(r.Stats)
+		s.emit(Event{Kind: DepthFinished, Query: QueryStep, K: k,
+			Depth: DepthStats{K: k, Status: r.Status, Stats: r.Stats, Wall: time.Since(stepStart)}})
+		switch r.Status {
+		case sat.Unsat:
+			res.Verdict = Proved
+			if rec != nil && useCores {
+				stepBoard.Update(rec.CoreVars(step), k+1)
+			}
+			return res, nil
+		case sat.Sat:
+			// SAT step: no core; scores carry over unchanged.
+		default: // Unknown/Interrupted
+			return res, nil
+		}
+	}
+	res.K = s.cfg.MaxDepth
+	return res, nil
+}
+
+// solveKindQuery dispatches one sequential-prover instance under the
+// configured ordering.
+func (s *Session) solveKindQuery(ctx context.Context, f *cnf.Formula, board *core.ScoreBoard, useCores bool) (sat.Result, *core.Recorder) {
+	so := s.solverBase(ctx)
+	s.cfg.Ordering.Configure(&so, board, f)
+	var rec *core.Recorder
+	if useCores {
+		rec = core.NewRecorder(f.NumClauses())
+		so.Recorder = rec
+	}
+	return sat.New(f, so).Solve(), rec
+}
+
+// stepStopper builds the step race's cancellation channel: closed when
+// the base verdict makes the step moot, or when ctx is cancelled (so a
+// mid-step cancellation interrupts the race promptly instead of waiting
+// for its budget). The returned release func must be called once the
+// step race has joined.
+func stepStopper(ctx context.Context) (stop chan struct{}, cancel func(), release func()) {
+	stop = make(chan struct{})
+	var once sync.Once
+	cancel = func() { once.Do(func() { close(stop) }) }
+	release = func() {}
+	if ctx.Done() != nil {
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-ctx.Done():
+				cancel()
+			case <-done:
+			}
+		}()
+		release = func() { close(done) }
+	}
+	return stop, cancel, release
+}
+
+// runKindPortfolio races base and step queries in parallel, each across
+// the strategy set (legacy induction.ProvePortfolio); races go through
+// the configured Executor.
+func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	strategies := s.strategySet()
+	res := kindResult()
+	res.BaseTelemetry = portfolio.NewTelemetry()
+	res.StepTelemetry = portfolio.NewTelemetry()
+	res.Strategies = strategies.Names()
+	res.Jobs = s.cfg.Jobs
+	baseBoard := core.NewScoreBoard(core.WeightedSum)
+	stepBoard := core.NewScoreBoard(core.WeightedSum)
+	useCores := false
+	for _, st := range strategies {
+		if st == core.OrderStatic || st == core.OrderDynamic {
+			useCores = true
+		}
+	}
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			return res, nil
+		}
+		res.K = k
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBase, K: k})
+		s.emit(Event{Kind: DepthStarted, Query: QueryStep, K: k})
+
+		base := u.Formula(k)
+		step := unroll.StepFormula(u, k)
+
+		// The two queries race in parallel; a base verdict that makes the
+		// step moot — SAT falsifies outright, undecided ends the attempt —
+		// cancels the step race so it stops burning cores on a moot
+		// question.
+		stopStep, cancelStep, release := stepStopper(ctx)
+		var stepRace portfolio.RaceResult
+		var stepRecs []*core.Recorder
+		stepDone := make(chan struct{})
+		go func() {
+			defer close(stepDone)
+			stepRace, stepRecs = s.raceKindQuery(ctx, u, step, strategies, stepBoard, k, k+2, useCores, stopStep)
+		}()
+		baseRace, baseRecs := s.raceKindQuery(ctx, u, base, strategies, baseBoard, k, k+1, useCores, ctx.Done())
+		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
+		if stepMoot {
+			cancelStep()
+		}
+		<-stepDone
+		release()
+
+		res.BaseTelemetry.Observe(k, &baseRace)
+		if stepMoot {
+			// A deliberately-cancelled race is no evidence about any
+			// strategy; folding it into Observe would count every racer as
+			// a loser and skew the win rates.
+			res.StepTelemetry.ObserveAborted(k, &stepRace)
+		} else {
+			res.StepTelemetry.Observe(k, &stepRace)
+		}
+		if baseRace.Winner >= 0 {
+			res.BaseStats.Add(baseRace.Result.Stats)
+		}
+		if stepRace.Winner >= 0 {
+			res.StepStats.Add(stepRace.Result.Stats)
+		}
+		s.emit(Event{Kind: DepthFinished, Query: QueryBase, K: k,
+			Depth: kindRaceStats(k, &baseRace, depthStart)})
+		s.emit(Event{Kind: DepthFinished, Query: QueryStep, K: k,
+			Depth: kindRaceStats(k, &stepRace, depthStart)})
+
+		// Base case first: a counter-example ends everything; an
+		// undecided base (budget or cancellation) ends the attempt as
+		// Unknown.
+		if baseRace.Winner < 0 {
+			return res, nil
+		}
+		switch baseRace.Result.Status {
+		case sat.Sat:
+			res.Verdict = Falsified
+			res.Trace = u.ExtractTrace(baseRace.Result.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: depth-%d portfolio counter-example (winner %s) failed replay",
+					k, baseRace.WinnerName())
+			}
+			return res, nil
+		case sat.Unsat:
+			foldKindCore(baseBoard, baseRecs, &baseRace, base, k, useCores)
+		}
+
+		// Step case: UNSAT closes the proof.
+		if stepRace.Winner < 0 {
+			return res, nil
+		}
+		if stepRace.Result.Status == sat.Unsat {
+			res.Verdict = Proved
+			foldKindCore(stepBoard, stepRecs, &stepRace, step, k, useCores)
+			return res, nil
+		}
+	}
+	res.K = s.cfg.MaxDepth
+	return res, nil
+}
+
+// kindRaceStats summarizes one query's race as a DepthStats for the
+// progress stream (undecided races report status Unknown, no winner).
+func kindRaceStats(k int, race *portfolio.RaceResult, start time.Time) DepthStats {
+	ds := DepthStats{K: k, Status: sat.Unknown, Winner: race.WinnerName(), Wall: time.Since(start)}
+	if race.Winner >= 0 {
+		ds.Status = race.Result.Status
+		ds.Stats = race.Result.Stats
+	}
+	return ds
+}
+
+// raceKindQuery races one query formula across the strategy set, one
+// fully configured attempt per strategy. frames is the number of time
+// frames the instance spans (k+1 for base, k+2 for step) — the timeaxis
+// racers' guidance prefers earlier frames and leaves the step encoding's
+// auxiliary disequality variables unscored.
+func (s *Session) raceKindQuery(ctx context.Context, u *unroll.Unroller, f *cnf.Formula, strategies portfolio.StrategySet,
+	board *core.ScoreBoard, k, frames int, useCores bool, stop <-chan struct{}) (portfolio.RaceResult, []*core.Recorder) {
+	attempts := make([]portfolio.Attempt, len(strategies))
+	recs := make([]*core.Recorder, len(strategies))
+	for i, st := range strategies {
+		so := s.solverBase(ctx)
+		if st == core.OrderTimeAxis {
+			so.Guidance = frameGuidance(u, frames, f.NumVars)
+		} else {
+			st.Configure(&so, board, f)
+		}
+		if useCores {
+			recs[i] = core.NewRecorder(f.NumClauses())
+			so.Recorder = recs[i]
+		}
+		attempts[i] = portfolio.Attempt{Name: st.String(), Opts: so}
+	}
+	return s.executor().Race(f, attempts, s.cfg.Jobs, stop), recs
+}
+
+// foldKindCore feeds the winning racer's unsat core into the query's
+// board.
+func foldKindCore(board *core.ScoreBoard, recs []*core.Recorder, race *portfolio.RaceResult, f *cnf.Formula, k int, useCores bool) {
+	if !useCores || race.Winner < 0 {
+		return
+	}
+	if rec := recs[race.Winner]; rec != nil && rec.HasProof() {
+		board.Update(rec.CoreVars(f), k+1)
+	}
+}
+
+// frameGuidance builds the Shtrichman-style time-axis scores for an
+// instance spanning the given number of frames: variables of frame 0
+// score highest, later frames lower, and variables past the unroller's
+// frame-stable range (the step encoding's disequality auxiliaries) score
+// zero.
+func frameGuidance(u *unroll.Unroller, frames, nVars int) []float64 {
+	g := make([]float64, nVars+1)
+	framed := u.NumVars(frames - 1)
+	for v := 1; v <= nVars && v <= framed; v++ {
+		_, frame := u.NodeOf(lits.Var(v))
+		g[v] = float64(frames - frame)
+	}
+	return g
+}
+
+// runKindWarm keeps two persistent racer pools alive across the whole
+// proof attempt — one over the base-query sequence, one over the
+// step-query sequence (legacy induction.ProvePortfolioIncremental). A
+// single-ordering incremental session runs the same machinery with a
+// one-strategy set (and no bus — there is nobody to share with).
+func (s *Session) runKindWarm(ctx context.Context, u *unroll.Unroller) (*Result, error) {
+	d := u.Delta()
+	// Both sequences spend stretches hunting models (every step instance
+	// below the closing depth is SAT; the base instance at a failure
+	// depth is SAT), where a full-mesh bus can converge all racers onto
+	// the same wrong turn. Keep one racer import-free as the diversity
+	// reserve on whichever bus is on.
+	baseEx := s.cfg.Exchange
+	baseEx.ReserveFirst = true
+	stepEx := s.cfg.StepExchange
+	stepEx.ReserveFirst = true
+	baseCfg := s.poolConfig(ctx, QueryBase, baseEx)
+	stepCfg := s.poolConfig(ctx, QueryStep, stepEx)
+	// The k-induction boards always accumulate WeightedSum, and the
+	// legacy warm pools never forwarded ScoreMode/ForceRecording; keep
+	// that behavior for equivalence.
+	baseCfg.ScoreMode, stepCfg.ScoreMode = core.WeightedSum, core.WeightedSum
+	baseCfg.ForceRecording, stepCfg.ForceRecording = false, false
+	if !s.cfg.Portfolio {
+		set := portfolio.StrategySet{s.cfg.Ordering}
+		baseCfg.Strategies, stepCfg.Strategies = set, set
+	}
+	basePool := racer.NewPool(racer.DeltaSource(d), baseCfg)
+	stepPool := racer.NewPool(racer.StepSource(u.StepDelta()), stepCfg)
+	res := kindResult()
+	res.BaseTelemetry = portfolio.NewTelemetry()
+	res.StepTelemetry = portfolio.NewTelemetry()
+	res.Strategies = basePool.Strategies()
+	res.Jobs = s.cfg.Jobs
+	res.Warm = true
+
+	for k := 0; k <= s.cfg.MaxDepth; k++ {
+		if ctx.Err() != nil {
+			return res, nil
+		}
+		res.K = k
+		depthStart := time.Now()
+		s.emit(Event{Kind: DepthStarted, Query: QueryBase, K: k})
+		s.emit(Event{Kind: DepthStarted, Query: QueryStep, K: k})
+
+		// The two pools race in parallel; a base verdict that makes the
+		// step moot closes the stop channel so the step racers come to
+		// rest instead of burning their full budgets (their conflicts are
+		// kept — the pool's clause bus and warm state survive
+		// cancellation).
+		stopStep, cancelStep, release := stepStopper(ctx)
+		var stepOut racer.DepthOutcome
+		stepDone := make(chan struct{})
+		go func() {
+			defer close(stepDone)
+			stepOut = stepPool.RaceDepthStop(k, stopStep)
+		}()
+		baseOut := basePool.RaceDepthStop(k, ctx.Done())
+		baseRace := &baseOut.Race
+		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
+		if stepMoot {
+			cancelStep()
+		}
+		<-stepDone
+		release()
+		stepRace := &stepOut.Race
+
+		res.BaseTelemetry.Observe(k, baseRace)
+		res.BaseTelemetry.ObserveExchange(baseOut.Exported, baseOut.Imported, baseOut.WinnerWarm, baseOut.WinnerShared)
+		if stepMoot {
+			// Bus traffic is real even on an aborted depth, but the race
+			// itself carries no win/loss signal.
+			res.StepTelemetry.ObserveAborted(k, stepRace)
+			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, false, false)
+		} else {
+			res.StepTelemetry.Observe(k, stepRace)
+			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, stepOut.WinnerWarm, stepOut.WinnerShared)
+		}
+		if baseRace.Winner >= 0 {
+			res.BaseStats.Add(baseRace.Result.Stats)
+		}
+		if stepRace.Winner >= 0 {
+			res.StepStats.Add(stepRace.Result.Stats)
+		}
+		s.emit(Event{Kind: DepthFinished, Query: QueryBase, K: k,
+			Depth: kindRaceStats(k, baseRace, depthStart)})
+		s.emit(Event{Kind: DepthFinished, Query: QueryStep, K: k,
+			Depth: kindRaceStats(k, stepRace, depthStart)})
+
+		// Base case first: a counter-example ends everything; an
+		// undecided base (budget or cancellation) ends the attempt as
+		// Unknown.
+		if baseRace.Winner < 0 {
+			return res, nil
+		}
+		if baseRace.Result.Status == sat.Sat {
+			res.Verdict = Falsified
+			res.Trace = d.ExtractTrace(baseRace.Result.Model, k)
+			if !s.cfg.SkipTraceVerification && !u.Replay(res.Trace) {
+				return nil, fmt.Errorf("engine: depth-%d warm-portfolio counter-example (winner %s) failed replay",
+					k, baseRace.WinnerName())
+			}
+			return res, nil
+		}
+
+		// Base UNSAT: the step verdict decides. (Winner cores were
+		// already folded into each pool's own board by RaceDepthStop.)
+		if stepRace.Winner < 0 {
+			return res, nil
+		}
+		if stepRace.Result.Status == sat.Unsat {
+			res.Verdict = Proved
+			return res, nil
+		}
+	}
+	return res, nil
+}

@@ -6,9 +6,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/core"
-	"repro/internal/sat"
+	"repro/internal/engine"
 )
 
 // AblationModels returns the representative suite subset the ablation
@@ -74,18 +73,12 @@ func RunOverhead(cfg Config) (*OverheadResult, error) {
 	res := &OverheadResult{}
 	var totOff, totOn time.Duration
 	for _, m := range cfg.models() {
-		run := func(record bool) (*bmc.Result, error) {
-			opts := bmc.Options{
-				MaxDepth:             cfg.depthFor(m),
-				Strategy:             core.OrderVSIDS,
-				Solver:               sat.Defaults(),
-				PerInstanceConflicts: cfg.PerInstanceConflicts,
-				ForceRecording:       record,
+		run := func(record bool) (*engine.Result, error) {
+			opts := []engine.Option{engine.WithOrdering(core.OrderVSIDS)}
+			if record {
+				opts = append(opts, engine.WithForceRecording())
 			}
-			if cfg.PerModelBudget > 0 {
-				opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-			}
-			return bmc.Run(m.Build(), 0, opts)
+			return cfg.checkOne(m, opts...)
 		}
 		off, err := run(false)
 		if err != nil {
@@ -153,17 +146,7 @@ func RunScoreAblation(cfg Config) (*ScoreAblationResult, error) {
 	for _, m := range cfg.models() {
 		res.Models = append(res.Models, m.Name)
 		for mi, mode := range modes {
-			opts := bmc.Options{
-				MaxDepth:             cfg.depthFor(m),
-				Strategy:             core.OrderStatic,
-				ScoreMode:            mode,
-				Solver:               sat.Defaults(),
-				PerInstanceConflicts: cfg.PerInstanceConflicts,
-			}
-			if cfg.PerModelBudget > 0 {
-				opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-			}
-			r, err := bmc.Run(m.Build(), 0, opts)
+			r, err := cfg.checkOne(m, engine.WithOrdering(core.OrderStatic), engine.WithScoreMode(mode))
 			if err != nil {
 				return nil, fmt.Errorf("score ablation %s/%v: %w", m.Name, mode, err)
 			}
@@ -223,20 +206,11 @@ func RunThresholdSweep(cfg Config, divisors []int) (*ThresholdResult, error) {
 	for _, m := range cfg.models() {
 		res.Models = append(res.Models, m.Name)
 		for di, div := range divisors {
-			opts := bmc.Options{
-				MaxDepth:             cfg.depthFor(m),
-				Strategy:             core.OrderDynamic,
-				SwitchDivisor:        div,
-				Solver:               sat.Defaults(),
-				PerInstanceConflicts: cfg.PerInstanceConflicts,
-			}
+			st := core.OrderDynamic
 			if div == 0 {
-				opts.Strategy = core.OrderStatic
+				st = core.OrderStatic
 			}
-			if cfg.PerModelBudget > 0 {
-				opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-			}
-			r, err := bmc.Run(m.Build(), 0, opts)
+			r, err := cfg.checkOne(m, engine.WithOrdering(st), engine.WithSwitchDivisor(div))
 			if err != nil {
 				return nil, fmt.Errorf("threshold %s/%d: %w", m.Name, div, err)
 			}
@@ -293,7 +267,7 @@ type TimeAxisResult struct {
 
 // RunTimeAxis executes the A3 comparison.
 func RunTimeAxis(cfg Config) (*TimeAxisResult, error) {
-	strategies := []core.Strategy{core.OrderVSIDS, core.OrderDynamic, bmc.TimeAxis}
+	strategies := []core.Strategy{core.OrderVSIDS, core.OrderDynamic, core.OrderTimeAxis}
 	res := &TimeAxisResult{}
 	for _, m := range cfg.models() {
 		res.Models = append(res.Models, m.Name)
@@ -322,6 +296,3 @@ func (r *TimeAxisResult) Write(w io.Writer) {
 	fmt.Fprintf(w, "%-16s %14s %14s %14s\n", "TOTAL",
 		fmtDuration(r.Total[0]), fmtDuration(r.Total[1]), fmtDuration(r.Total[2]))
 }
-
-// Ensure sat import is referenced even if future edits drop direct uses.
-var _ = sat.Defaults

@@ -5,9 +5,8 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/bmc"
 	"repro/internal/core"
-	"repro/internal/induction"
+	"repro/internal/engine"
 	"repro/internal/sat"
 )
 
@@ -32,7 +31,7 @@ func TestRunTable1Small(t *testing.T) {
 	}
 	for _, row := range res.Rows {
 		for c := 0; c < numConfs; c++ {
-			if row.Verdict[c] == bmc.BudgetExhausted {
+			if row.Verdict[c] == engine.Unknown {
 				t.Errorf("%s/%s: budget exhausted in a tiny config", row.Name, ConfNames[c])
 			}
 			if row.Time[c] <= 0 {
@@ -226,14 +225,14 @@ func TestAblationSubsetsResolve(t *testing.T) {
 }
 
 func TestAlignRowCommonDepth(t *testing.T) {
-	mk := func(completed int, wallMS ...int) *bmc.Result {
-		r := &bmc.Result{Verdict: bmc.Holds, Depth: completed}
+	mk := func(completed int, wallMS ...int) *engine.Result {
+		r := &engine.Result{Verdict: engine.Holds, K: completed}
 		for k, ms := range wallMS {
 			st := sat.Unsat
 			if k > completed {
 				st = sat.Unknown
 			}
-			r.PerDepth = append(r.PerDepth, bmc.DepthStats{
+			r.PerDepth = append(r.PerDepth, engine.DepthStats{
 				K:      k,
 				Status: st,
 				Wall:   time.Duration(ms) * time.Millisecond,
@@ -241,13 +240,13 @@ func TestAlignRowCommonDepth(t *testing.T) {
 			})
 		}
 		if completed < len(wallMS)-1 {
-			r.Verdict = bmc.BudgetExhausted
+			r.Verdict = engine.Unknown
 		}
 		return r
 	}
 	// Baseline completed depths 0..1 (died inside depth 2); refined runs
 	// completed all three depths.
-	runs := [numConfs]*bmc.Result{
+	runs := [numConfs]*engine.Result{
 		mk(1, 10, 20, 999),
 		mk(2, 5, 5, 5),
 		mk(2, 6, 6, 6),
@@ -268,12 +267,12 @@ func TestAlignRowCommonDepth(t *testing.T) {
 }
 
 func TestAlignRowAllFalsified(t *testing.T) {
-	mk := func(total time.Duration) *bmc.Result {
-		return &bmc.Result{
-			Verdict:   bmc.Falsified,
-			Depth:     3,
+	mk := func(total time.Duration) *engine.Result {
+		return &engine.Result{
+			Verdict:   engine.Falsified,
+			K:         3,
 			TotalTime: total,
-			PerDepth: []bmc.DepthStats{
+			PerDepth: []engine.DepthStats{
 				{K: 0, Status: sat.Unsat, Wall: time.Millisecond},
 				{K: 1, Status: sat.Unsat, Wall: time.Millisecond},
 				{K: 2, Status: sat.Unsat, Wall: time.Millisecond},
@@ -282,7 +281,7 @@ func TestAlignRowAllFalsified(t *testing.T) {
 			Total: sat.Stats{Decisions: 77},
 		}
 	}
-	runs := [numConfs]*bmc.Result{mk(40 * time.Millisecond), mk(20 * time.Millisecond), mk(30 * time.Millisecond)}
+	runs := [numConfs]*engine.Result{mk(40 * time.Millisecond), mk(20 * time.Millisecond), mk(30 * time.Millisecond)}
 	row := alignRow(2, "f", runs)
 	if row.TF != "F" {
 		t.Fatalf("TF=%q, want F", row.TF)
@@ -452,7 +451,7 @@ func TestRunWarmKindAblationSmall(t *testing.T) {
 		if row.ConfCold < 0 || row.ConfWarm < 0 || row.ConfShared < 0 {
 			t.Errorf("%s: negative conflict counts", row.Name)
 		}
-		if row.Status == induction.Unknown {
+		if row.Status == engine.Unknown {
 			t.Errorf("%s: undecided within the tiny budget", row.Name)
 		}
 	}

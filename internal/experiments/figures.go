@@ -5,8 +5,8 @@ import (
 	"io"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/core"
+	"repro/internal/engine"
 )
 
 // Fig7Result holds the per-depth search statistics of the paper's Figure 7:
@@ -95,4 +95,4 @@ func (r *Fig7Result) TotalReduction() (dec, imp float64) {
 
 // Fig7DepthStats re-exports the underlying per-depth data of a BMC run for
 // tools that need the raw rows.
-type Fig7DepthStats = bmc.DepthStats
+type Fig7DepthStats = engine.DepthStats

@@ -5,16 +5,15 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/bmc"
 	"repro/internal/core"
-	"repro/internal/sat"
+	"repro/internal/engine"
 )
 
 // --- incremental vs scratch ablation ---
 
-// IncrementalRow compares, on one model, the scratch depth loop (bmc.Run,
-// every instance rebuilt and solved from nothing) against the incremental
-// loop (bmc.RunIncremental, one live solver whose clause database and
+// IncrementalRow compares, on one model, the scratch depth loop (every
+// instance rebuilt and solved from nothing) against the incremental loop
+// (engine.WithIncremental: one live solver whose clause database and
 // scores compound across depths), both under the same ordering strategy.
 type IncrementalRow struct {
 	Name string
@@ -52,23 +51,11 @@ type IncrementalResult struct {
 func RunIncrementalAblation(cfg Config, st core.Strategy) (*IncrementalResult, error) {
 	res := &IncrementalResult{Strategy: st}
 	for _, m := range cfg.models() {
-		opts := bmc.Options{
-			MaxDepth:             cfg.depthFor(m),
-			Strategy:             st,
-			Solver:               sat.Defaults(),
-			PerInstanceConflicts: cfg.PerInstanceConflicts,
-		}
-		if cfg.PerModelBudget > 0 {
-			opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-		}
-		sr, err := bmc.Run(m.Build(), 0, opts)
+		sr, err := cfg.checkOne(m, engine.WithOrdering(st))
 		if err != nil {
 			return nil, fmt.Errorf("incremental ablation %s scratch: %w", m.Name, err)
 		}
-		if cfg.PerModelBudget > 0 {
-			opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-		}
-		ir, err := bmc.RunIncremental(m.Build(), 0, opts)
+		ir, err := cfg.checkOne(m, engine.WithOrdering(st), engine.WithIncremental())
 		if err != nil {
 			return nil, fmt.Errorf("incremental ablation %s incremental: %w", m.Name, err)
 		}
@@ -81,8 +68,8 @@ func RunIncrementalAblation(cfg Config, st core.Strategy) (*IncrementalResult, e
 			ConflictsIncremental: ir.Total.Conflicts,
 			Agreed:               true,
 		}
-		bothDecided := sr.Verdict != bmc.BudgetExhausted && ir.Verdict != bmc.BudgetExhausted
-		if bothDecided && (sr.Verdict != ir.Verdict || sr.Depth != ir.Depth) {
+		bothDecided := sr.Verdict != engine.Unknown && ir.Verdict != engine.Unknown
+		if bothDecided && (sr.Verdict != ir.Verdict || sr.K != ir.K) {
 			row.Agreed = false
 			res.Disagreements++
 		}

@@ -6,9 +6,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
-	"repro/internal/sat"
 )
 
 // --- portfolio vs best-single-order ablation ---
@@ -96,8 +95,8 @@ func RunPortfolioAblation(cfg Config) (*PortfolioAblationResult, error) {
 			}
 			row.Single = append(row.Single, sr.TotalTime)
 			res.TotalSingle[si] += sr.TotalTime
-			bothDecided := sr.Verdict != bmc.BudgetExhausted && pr.Verdict != bmc.BudgetExhausted
-			if bothDecided && (sr.Verdict != pr.Verdict || sr.Depth != pr.Depth) {
+			bothDecided := sr.Verdict != engine.Unknown && pr.Verdict != engine.Unknown
+			if bothDecided && (sr.Verdict != pr.Verdict || sr.K != pr.K) {
 				row.Agreed = false
 			}
 		}
@@ -114,19 +113,8 @@ func RunPortfolioAblation(cfg Config) (*PortfolioAblationResult, error) {
 
 // runPortfolio executes one model under the racing engine with the
 // config's budgets (the portfolio analogue of runOne).
-func (cfg Config) runPortfolio(m bench.Model, set portfolio.StrategySet) (*bmc.PortfolioResult, error) {
-	opts := bmc.PortfolioOptions{
-		Options: bmc.Options{
-			MaxDepth:             cfg.depthFor(m),
-			Solver:               sat.Defaults(),
-			PerInstanceConflicts: cfg.PerInstanceConflicts,
-		},
-		Strategies: set,
-	}
-	if cfg.PerModelBudget > 0 {
-		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-	}
-	return bmc.RunPortfolio(m.Build(), 0, opts)
+func (cfg Config) runPortfolio(m bench.Model, set portfolio.StrategySet) (*engine.Result, error) {
+	return cfg.checkOne(m, engine.WithPortfolio(set, 0))
 }
 
 // Write renders the comparison table.

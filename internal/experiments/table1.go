@@ -13,13 +13,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/sat"
 )
 
@@ -60,18 +61,27 @@ func (cfg Config) depthFor(m bench.Model) int {
 	return d
 }
 
-// runOne executes one (model, strategy) BMC run under the config's budgets.
-func (cfg Config) runOne(m bench.Model, st core.Strategy) (*bmc.Result, error) {
-	opts := bmc.Options{
-		MaxDepth:             cfg.depthFor(m),
-		Strategy:             st,
-		Solver:               sat.Defaults(),
-		PerInstanceConflicts: cfg.PerInstanceConflicts,
+// checkOne builds one engine session on a model under the config's
+// budgets (the per-model wall-clock budget rides on the context) and
+// runs it.
+func (cfg Config) checkOne(m bench.Model, opts ...engine.Option) (*engine.Result, error) {
+	opts = append(opts, engine.WithBudgets(cfg.depthFor(m), cfg.PerInstanceConflicts))
+	sess, err := engine.New(m.Build(), 0, opts...)
+	if err != nil {
+		return nil, err
 	}
+	ctx := context.Background()
 	if cfg.PerModelBudget > 0 {
-		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.PerModelBudget)
+		defer cancel()
 	}
-	return bmc.Run(m.Build(), 0, opts)
+	return sess.Check(ctx)
+}
+
+// runOne executes one (model, strategy) BMC run under the config's budgets.
+func (cfg Config) runOne(m bench.Model, st core.Strategy) (*engine.Result, error) {
+	return cfg.checkOne(m, engine.WithOrdering(st))
 }
 
 // Table1Row is one model's measurements across the three configurations.
@@ -95,7 +105,7 @@ type Table1Row struct {
 	FullTime [3]time.Duration
 	// Verdicts per configuration (should agree on falsification; recorded
 	// for honesty).
-	Verdict [3]bmc.Verdict
+	Verdict [3]engine.Verdict
 }
 
 // Configuration indices into Table1Row arrays.
@@ -125,7 +135,7 @@ type Table1Result struct {
 func RunTable1(cfg Config) (*Table1Result, error) {
 	res := &Table1Result{}
 	for _, m := range cfg.models() {
-		var runs [numConfs]*bmc.Result
+		var runs [numConfs]*engine.Result
 		for c := 0; c < numConfs; c++ {
 			r, err := cfg.runOne(m, confStrategies[c])
 			if err != nil {
@@ -174,14 +184,14 @@ func RunTable1(cfg Config) (*Table1Result, error) {
 // any configuration ran out of budget, the comparison is truncated to the
 // deepest depth all configurations completed (the paper's parenthesised-k
 // convention).
-func alignRow(index int, name string, runs [numConfs]*bmc.Result) Table1Row {
+func alignRow(index int, name string, runs [numConfs]*engine.Result) Table1Row {
 	row := Table1Row{Index: index, Name: name}
 	allFalsified := true
 	common := -1
 	for c, r := range runs {
 		row.Verdict[c] = r.Verdict
 		row.FullTime[c] = r.TotalTime
-		if r.Verdict != bmc.Falsified {
+		if r.Verdict != engine.Falsified {
 			allFalsified = false
 		}
 		completed := -1
@@ -204,7 +214,7 @@ func alignRow(index int, name string, runs [numConfs]*bmc.Result) Table1Row {
 			row.Conf[c] = r.Total.Conflicts
 		}
 		row.TF = "F"
-		row.Depth = runs[ConfBase].Depth
+		row.Depth = runs[ConfBase].K
 		return row
 	}
 	for c, r := range runs {

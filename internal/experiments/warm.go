@@ -6,17 +6,16 @@ import (
 	"time"
 
 	"repro/internal/bench"
-	"repro/internal/bmc"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
-	"repro/internal/sat"
 )
 
 // --- warm pool ablation: cold portfolio vs warm pool vs warm+sharing ---
 
 // WarmRow compares, on one model, the per-depth-rebuild portfolio
-// (bmc.RunPortfolio) against the warm racer pool without and with the
-// clause-exchange bus (bmc.RunPortfolioIncremental). Conflicts count the
+// against the warm racer pool without and with the clause-exchange bus
+// (engine.WithIncremental + WithExchange). Conflicts count the
 // total search effort of ALL racers — winners and cancelled losers alike
 // (the sum of the telemetry's per-strategy ConflictsSpent) — because the
 // pool's whole point is turning loser conflicts into reusable work, which
@@ -83,9 +82,9 @@ func RunWarmAblation(cfg Config) (*WarmResult, error) {
 		row.WarmWinsShared = shared.Telemetry.WarmWins
 		row.SharedWinsShared = shared.Telemetry.SharedWins
 
-		for _, other := range []*bmc.PortfolioResult{warm, shared} {
-			bothDecided := cold.Verdict != bmc.BudgetExhausted && other.Verdict != bmc.BudgetExhausted
-			if bothDecided && (cold.Verdict != other.Verdict || cold.Depth != other.Depth) {
+		for _, other := range []*engine.Result{warm, shared} {
+			bothDecided := cold.Verdict != engine.Unknown && other.Verdict != engine.Unknown
+			if bothDecided && (cold.Verdict != other.Verdict || cold.K != other.K) {
 				row.Agreed = false
 			}
 		}
@@ -111,25 +110,14 @@ func RunWarmAblation(cfg Config) (*WarmResult, error) {
 
 // runWarm executes one model under the warm pool with the config's
 // budgets (the warm analogue of runPortfolio).
-func (cfg Config) runWarm(m bench.Model, set portfolio.StrategySet, share bool) (*bmc.PortfolioResult, error) {
-	opts := bmc.PortfolioOptions{
-		Options: bmc.Options{
-			MaxDepth:             cfg.depthFor(m),
-			Solver:               sat.Defaults(),
-			PerInstanceConflicts: cfg.PerInstanceConflicts,
-		},
-		Strategies: set,
-		Exchange:   racer.ExchangeOptions{Enabled: share},
-	}
-	if cfg.PerModelBudget > 0 {
-		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-	}
-	return bmc.RunPortfolioIncremental(m.Build(), 0, opts)
+func (cfg Config) runWarm(m bench.Model, set portfolio.StrategySet, share bool) (*engine.Result, error) {
+	return cfg.checkOne(m, engine.WithPortfolio(set, 0), engine.WithIncremental(),
+		engine.WithExchange(racer.ExchangeOptions{Enabled: share}))
 }
 
 // spentConflicts sums every racer's conflicts across all depths — winners
 // and losers.
-func spentConflicts(r *bmc.PortfolioResult) int64 {
+func spentConflicts(r *engine.Result) int64 {
 	var n int64
 	for _, c := range r.Telemetry.ConflictsSpent {
 		n += c

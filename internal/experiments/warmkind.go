@@ -7,13 +7,12 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/circuit"
-	"repro/internal/induction"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
-	"repro/internal/sat"
 )
 
-// --- warm k-induction ablation: cold ProvePortfolio vs warm pools ---
+// --- warm k-induction ablation: cold portfolio vs warm pools ---
 
 // KindAblationModels returns the k-induction ablation subset: immediately
 // inductive rows (the warm step pool's one-shot UNSAT regime), a deeper-k
@@ -44,16 +43,16 @@ func KindAblationModels() []bench.Model {
 	return models
 }
 
-// WarmKindRow compares, on one model, cold ProvePortfolio (throwaway
-// solvers per query per depth) against the warm-pool engine without and
-// with each pool's clause bus. Conflicts count the total search effort of
+// WarmKindRow compares, on one model, the cold k-induction portfolio
+// (throwaway solvers per query per depth) against the warm-pool engine
+// without and with each pool's clause bus. Conflicts count the total search effort of
 // ALL racers of BOTH queries — winners, cancelled losers, and
 // deliberately-aborted step races alike — because the pools' whole point
 // is turning that work into reusable state.
 type WarmKindRow struct {
 	Name string
 	// Status/K are the cold engine's verdict (all engines must agree).
-	Status                         induction.Status
+	Status                         engine.Verdict
 	K                              int
 	TimeCold, TimeWarm, TimeShared time.Duration
 	ConfCold, ConfWarm, ConfShared int64
@@ -96,19 +95,19 @@ func RunWarmKindAblation(cfg Config) (*WarmKindResult, error) {
 
 		row := WarmKindRow{
 			Name:       m.Name,
-			Status:     cold.Status,
+			Status:     cold.Verdict,
 			K:          cold.K,
-			TimeCold:   cold.TimeTotal,
-			TimeWarm:   warm.TimeTotal,
-			TimeShared: shared.TimeTotal,
-			ConfCold:   kindConflicts(cold.PortfolioResult),
-			ConfWarm:   kindConflicts(warm.PortfolioResult),
-			ConfShared: kindConflicts(shared.PortfolioResult),
+			TimeCold:   cold.TotalTime,
+			TimeWarm:   warm.TotalTime,
+			TimeShared: shared.TotalTime,
+			ConfCold:   kindConflicts(cold),
+			ConfWarm:   kindConflicts(warm),
+			ConfShared: kindConflicts(shared),
 			Agreed:     true,
 		}
-		for _, other := range []*induction.PortfolioResult{warm.PortfolioResult, shared.PortfolioResult} {
-			bothDecided := cold.Status != induction.Unknown && other.Status != induction.Unknown
-			if bothDecided && (cold.Status != other.Status || cold.K != other.K) {
+		for _, other := range []*engine.Result{warm, shared} {
+			bothDecided := cold.Verdict != engine.Unknown && other.Verdict != engine.Unknown
+			if bothDecided && (cold.Verdict != other.Verdict || cold.K != other.K) {
 				row.Agreed = false
 			}
 		}
@@ -129,48 +128,21 @@ func RunWarmKindAblation(cfg Config) (*WarmKindResult, error) {
 	return res, nil
 }
 
-// timedKindResult carries a proof result plus its wall time (the
-// induction results do not record one themselves).
-type timedKindResult struct {
-	*induction.PortfolioResult
-	TimeTotal time.Duration
-}
-
-func (cfg Config) kindOptions(m bench.Model, set portfolio.StrategySet) induction.PortfolioOptions {
-	opts := induction.PortfolioOptions{
-		Options: induction.Options{
-			MaxK:                 cfg.depthFor(m),
-			Solver:               sat.Defaults(),
-			PerInstanceConflicts: cfg.PerInstanceConflicts,
-		},
-		Strategies: set,
-	}
-	if cfg.PerModelBudget > 0 {
-		opts.Deadline = time.Now().Add(cfg.PerModelBudget)
-	}
-	return opts
-}
-
 // runKindPortfolio executes one model under the cold per-depth racing
 // engine.
-func (cfg Config) runKindPortfolio(m bench.Model, set portfolio.StrategySet) (timedKindResult, error) {
-	start := time.Now()
-	r, err := induction.ProvePortfolio(m.Build(), 0, cfg.kindOptions(m, set))
-	return timedKindResult{r, time.Since(start)}, err
+func (cfg Config) runKindPortfolio(m bench.Model, set portfolio.StrategySet) (*engine.Result, error) {
+	return cfg.checkOne(m, engine.WithEngine(engine.KInduction), engine.WithPortfolio(set, 0))
 }
 
 // runKindWarm executes one model under the warm-pool engine.
-func (cfg Config) runKindWarm(m bench.Model, set portfolio.StrategySet, share bool) (timedKindResult, error) {
-	opts := cfg.kindOptions(m, set)
-	opts.Exchange = racer.ExchangeOptions{Enabled: share}
-	start := time.Now()
-	r, err := induction.ProvePortfolioIncremental(m.Build(), 0, opts)
-	return timedKindResult{r, time.Since(start)}, err
+func (cfg Config) runKindWarm(m bench.Model, set portfolio.StrategySet, share bool) (*engine.Result, error) {
+	return cfg.checkOne(m, engine.WithEngine(engine.KInduction), engine.WithPortfolio(set, 0),
+		engine.WithIncremental(), engine.WithExchange(racer.ExchangeOptions{Enabled: share}))
 }
 
 // kindConflicts sums every racer's conflicts across both query sequences
 // — winners, losers, and aborted step races.
-func kindConflicts(r *induction.PortfolioResult) int64 {
+func kindConflicts(r *engine.Result) int64 {
 	var n int64
 	for _, t := range []*portfolio.Telemetry{r.BaseTelemetry, r.StepTelemetry} {
 		for _, c := range t.ConflictsSpent {
@@ -183,14 +155,14 @@ func kindConflicts(r *induction.PortfolioResult) int64 {
 
 // Write renders the comparison table.
 func (r *WarmKindResult) Write(w io.Writer) {
-	fmt.Fprintln(w, "Warm k-induction pools vs cold ProvePortfolio (persistent base+step racers; conflicts count ALL racers of BOTH queries)")
+	fmt.Fprintln(w, "Warm k-induction pools vs cold portfolio (persistent base+step racers; conflicts count ALL racers of BOTH queries)")
 	fmt.Fprintf(w, "%-16s %-12s %9s %9s %9s %11s %11s %11s %6s\n",
 		"model", "verdict", "cold (s)", "warm (s)", "shared(s)", "conf.cold", "conf.warm", "conf.shared", "agree")
 	writeRule(w, 102)
 	for i := range r.Rows {
 		row := &r.Rows[i]
 		verdict := fmt.Sprintf("%s@%d", row.Status, row.K)
-		if row.Status == induction.Unknown {
+		if row.Status == engine.Unknown {
 			verdict = "unknown"
 		}
 		agree := "yes"

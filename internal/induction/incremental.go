@@ -1,14 +1,8 @@
 package induction
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/circuit"
-	"repro/internal/portfolio"
-	"repro/internal/racer"
-	"repro/internal/sat"
-	"repro/internal/unroll"
+	"repro/internal/engine"
 )
 
 // ProvePortfolioIncremental is the warm-pool counterpart of
@@ -16,135 +10,42 @@ import (
 // query per depth, it keeps TWO persistent racer pools alive across the
 // whole proof attempt — one over the base-query sequence (the same
 // unroll.Delta frames and per-depth activation literals BMC's warm pool
-// uses) and one over the step-query sequence (unroll.StepDelta: per-depth
-// step frames plus monotone simple-path disequalities, with each depth's
-// bad literal behind an activation guard). Base instances of a k-induction
-// run are exactly as correlated as BMC's, and step instances are a second
-// such family, so learned clauses, VSIDS scores, and saved phases compound
-// within each pool depth over depth.
+// uses) and one over the step-query sequence (unroll.StepDelta). Base
+// instances of a k-induction run are exactly as correlated as BMC's, and
+// step instances are a second such family, so learned clauses, VSIDS
+// scores, and saved phases compound within each pool depth over depth.
 //
-// Per depth the two pools race in parallel, each across the strategy set
-// (portfolio.RaceLive through racer.Pool): a decided base race whose
-// verdict makes the step moot — SAT falsifies outright, undecided ends the
-// attempt — cancels the still-running step race cooperatively
-// (sat.SetStop via Pool.RaceDepthStop), and the cancelled race is recorded
-// as aborted, not lost. Each pool owns its score board (winner unsat cores
-// feed the static/dynamic guidance, as in ProvePortfolio's per-query
-// boards), its own clause-exchange bus (opts.Exchange for the base pool,
-// opts.StepExchange for the step pool — base and step are different
-// formulas, so clauses never cross pools, and the step bus defaults off
-// because step sequences are SAT-dominated), and its own telemetry with
-// warm/shared win attribution.
+// Per depth the two pools race in parallel, each across the strategy
+// set: a decided base race whose verdict makes the step moot cancels the
+// still-running step race cooperatively, and the cancelled race is
+// recorded as aborted, not lost. Each pool owns its score board, its own
+// clause-exchange bus (opts.Exchange for the base pool, opts.StepExchange
+// for the step pool — the step bus defaults off because step sequences
+// are SAT-dominated), and its own telemetry with warm/shared win
+// attribution.
 //
-// The verdict logic is exactly Prove's, so the proof status never depends
-// on which racer won, only the effort does: Falsified needs a SAT base
-// (replayed against the circuit), Proved needs the step UNSAT at a k whose
-// base cases are all clean, and every engine reports the same k.
+// The verdict logic is exactly Prove's, so the proof status never
+// depends on which racer won, only the effort does.
+//
+// Deprecated: use engine.New with engine.WithEngine(engine.KInduction),
+// engine.WithPortfolio, engine.WithIncremental, and
+// engine.WithExchange/WithStepExchange; ProvePortfolioIncremental is a
+// thin wrapper kept for compatibility.
 func ProvePortfolioIncremental(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*PortfolioResult, error) {
-	u, err := unroll.New(c, propIdx)
+	eo := append(engineOptions(opts.Options),
+		engine.WithPortfolio(opts.Strategies, opts.Jobs),
+		engine.WithIncremental(),
+		engine.WithExchange(opts.Exchange),
+		engine.WithStepExchange(opts.StepExchange))
+	sess, err := engine.New(c, propIdx, eo...)
 	if err != nil {
 		return nil, err
 	}
-	d := u.Delta()
-	cfg := racer.Config{
-		Strategies:           opts.Strategies,
-		Jobs:                 opts.Jobs,
-		Solver:               opts.Solver,
-		PerInstanceConflicts: opts.PerInstanceConflicts,
-		Deadline:             opts.Deadline,
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-	// Both sequences spend stretches hunting models (every step instance
-	// below the closing depth is SAT; the base instance at a failure depth
-	// is SAT), where a full-mesh bus can converge all racers onto the same
-	// wrong turn. Keep one racer import-free as the diversity reserve on
-	// whichever bus is on.
-	baseCfg := cfg
-	baseCfg.Exchange = opts.Exchange
-	baseCfg.Exchange.ReserveFirst = true
-	stepCfg := cfg
-	stepCfg.Exchange = opts.StepExchange
-	stepCfg.Exchange.ReserveFirst = true
-	basePool := racer.NewPool(racer.DeltaSource(d), baseCfg)
-	stepPool := racer.NewPool(racer.StepSource(u.StepDelta()), stepCfg)
-	res := &PortfolioResult{
-		Result:        Result{Status: Unknown, K: -1},
-		BaseTelemetry: portfolio.NewTelemetry(),
-		StepTelemetry: portfolio.NewTelemetry(),
-		Strategies:    basePool.Strategies(),
-		Warm:          true,
-	}
-
-	for k := 0; k <= opts.MaxK; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			// The deadline expired before depth k's races started: K stays
-			// at the last depth whose races ran, not the one that never did.
-			return res, nil
-		}
-		res.K = k
-
-		// The two pools race in parallel; a base verdict that makes the
-		// step moot closes the stop channel so the step racers come to
-		// rest instead of burning their full budgets (their conflicts are
-		// kept — the pool's clause bus and warm state survive
-		// cancellation).
-		stopStep := make(chan struct{})
-		var stepOut racer.DepthOutcome
-		stepDone := make(chan struct{})
-		go func() {
-			defer close(stepDone)
-			stepOut = stepPool.RaceDepthStop(k, stopStep)
-		}()
-		baseOut := basePool.RaceDepthStop(k, nil)
-		baseRace := &baseOut.Race
-		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
-		if stepMoot {
-			close(stopStep)
-		}
-		<-stepDone
-		stepRace := &stepOut.Race
-
-		res.BaseTelemetry.Observe(k, baseRace)
-		res.BaseTelemetry.ObserveExchange(baseOut.Exported, baseOut.Imported, baseOut.WinnerWarm, baseOut.WinnerShared)
-		if stepMoot {
-			// Bus traffic is real even on an aborted depth, but the race
-			// itself carries no win/loss signal (see ProvePortfolio).
-			res.StepTelemetry.ObserveAborted(k, stepRace)
-			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, false, false)
-		} else {
-			res.StepTelemetry.Observe(k, stepRace)
-			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, stepOut.WinnerWarm, stepOut.WinnerShared)
-		}
-		if baseRace.Winner >= 0 {
-			res.BaseStats.Add(baseRace.Result.Stats)
-		}
-		if stepRace.Winner >= 0 {
-			res.StepStats.Add(stepRace.Result.Stats)
-		}
-
-		// Base case first: a counter-example ends everything; an
-		// undecided base (budget) ends the attempt as Unknown.
-		if baseRace.Winner < 0 {
-			return res, nil
-		}
-		if baseRace.Result.Status == sat.Sat {
-			res.Status = Falsified
-			res.Trace = d.ExtractTrace(baseRace.Result.Model, k)
-			if !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("induction: depth-%d warm-portfolio counter-example (winner %s) failed replay",
-					k, baseRace.WinnerName())
-			}
-			return res, nil
-		}
-
-		// Base UNSAT: the step verdict decides. (Winner cores were already
-		// folded into each pool's own board by RaceDepthStop.)
-		if stepRace.Winner < 0 {
-			return res, nil
-		}
-		if stepRace.Result.Status == sat.Unsat {
-			res.Status = Proved
-			return res, nil
-		}
-	}
-	return res, nil
+	return portfolioFromEngine(er), nil
 }

@@ -1,23 +1,24 @@
-// Package induction implements k-induction (temporal induction in the
-// sense of Eén & Sörensson, the incremental-BMC related work the paper
-// cites as [5]): a property is proved when, in addition to the bounded
-// base case, the inductive step — "every simple path of k+1 consecutive
-// P-states is followed by another P-state" — is unsatisfiable.
+// Package induction holds the legacy k-induction entrypoints (temporal
+// induction in the sense of Eén & Sörensson, the incremental-BMC related
+// work the paper cites as [5]): a property is proved when, in addition to
+// the bounded base case, the inductive step — "every simple path of k+1
+// consecutive P-states is followed by another P-state" — is
+// unsatisfiable.
 //
-// The engine shares the BMC substrate: the unroller provides the
-// transition clauses, and the same refined decision orderings can steer
-// the step instances (their sequence is exactly as correlated as BMC's,
-// so the paper's observation carries over).
+// All three prove functions — Prove, ProvePortfolio,
+// ProvePortfolioIncremental — are thin deprecated wrappers over the
+// unified session API in internal/engine (engine.New with
+// engine.WithEngine(engine.KInduction) + Session.Check). New code should
+// use engine directly.
 package induction
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
 	"repro/internal/core"
-	"repro/internal/lits"
+	"repro/internal/engine"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -78,179 +79,63 @@ type Result struct {
 	BaseStats, StepStats sat.Stats
 }
 
+// engineOptions translates legacy Options into engine options.
+func engineOptions(opts Options) []engine.Option {
+	return []engine.Option{
+		engine.WithEngine(engine.KInduction),
+		engine.WithOrdering(opts.Strategy),
+		engine.WithBudgets(opts.MaxK, opts.PerInstanceConflicts),
+		engine.WithSolver(opts.Solver),
+	}
+}
+
+// fromEngine maps the unified result back onto the legacy Result.
+func fromEngine(er *engine.Result) *Result {
+	res := &Result{
+		K:         er.K,
+		Trace:     er.Trace,
+		BaseStats: er.BaseStats,
+		StepStats: er.StepStats,
+	}
+	switch er.Verdict {
+	case engine.Proved:
+		res.Status = Proved
+	case engine.Falsified:
+		res.Status = Falsified
+	default:
+		res.Status = Unknown
+	}
+	return res
+}
+
 // Prove runs k-induction on property propIdx of the circuit.
+//
+// One behavioral difference from the pre-engine implementation:
+// Strategy = core.OrderTimeAxis is rejected with an error (it used to be
+// silently run as plain VSIDS — the sequential prover has no frame
+// guidance; use ProvePortfolio or ProvePortfolioIncremental, whose
+// racers do).
+//
+// Deprecated: use engine.New with engine.WithEngine(engine.KInduction);
+// Prove is a thin wrapper kept for compatibility.
 func Prove(c *circuit.Circuit, propIdx int, opts Options) (*Result, error) {
-	u, err := unroll.New(c, propIdx)
+	sess, err := engine.New(c, propIdx, engineOptions(opts)...)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Status: Unknown, K: -1}
-	baseBoard := core.NewScoreBoard(core.WeightedSum)
-	stepBoard := core.NewScoreBoard(core.WeightedSum)
-	useCores := opts.Strategy == core.OrderStatic || opts.Strategy == core.OrderDynamic
-
-	for k := 0; k <= opts.MaxK; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			// The deadline expired before depth k was attempted: K stays at
-			// the last depth whose queries ran, not the one that never did.
-			return res, nil
-		}
-		res.K = k
-
-		// Base case: a counter-example of length exactly k.
-		base := u.Formula(k)
-		r, rec := solveOne(base, baseBoard, k, useCores, opts)
-		res.BaseStats.Add(r.Stats)
-		switch r.Status {
-		case sat.Sat:
-			res.Status = Falsified
-			res.Trace = u.ExtractTrace(r.Model, k)
-			if !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("induction: depth-%d counter-example failed replay", k)
-			}
-			return res, nil
-		case sat.Unknown:
-			return res, nil
-		default:
-			if rec != nil && useCores {
-				baseBoard.Update(rec.CoreVars(base), k+1)
-			}
-		}
-
-		// Step case: P-states s_0..s_k, pairwise distinct, with a
-		// transition into ¬P at s_{k+1}. UNSAT closes the proof.
-		step := StepFormula(u, k)
-		r, rec = solveOne(step, stepBoard, k, useCores, opts)
-		res.StepStats.Add(r.Stats)
-		switch r.Status {
-		case sat.Unsat:
-			res.Status = Proved
-			if rec != nil && useCores {
-				stepBoard.Update(rec.CoreVars(step), k+1)
-			}
-			return res, nil
-		case sat.Unknown:
-			return res, nil
-		default:
-			if useCores {
-				// SAT step: no core; scores carry over unchanged.
-				continue
-			}
-		}
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-	res.K = opts.MaxK
-	return res, nil
-}
-
-// solveOne dispatches one instance under the configured ordering.
-func solveOne(f *cnf.Formula, board *core.ScoreBoard, k int, useCores bool, opts Options) (sat.Result, *core.Recorder) {
-	so := opts.Solver
-	so.Guidance = nil
-	so.SwitchAfterDecisions = 0
-	so.Recorder = nil
-	if opts.PerInstanceConflicts > 0 {
-		so.MaxConflicts = opts.PerInstanceConflicts
-	}
-	if !opts.Deadline.IsZero() {
-		so.Deadline = opts.Deadline
-	}
-	opts.Strategy.Configure(&so, board, f)
-	var rec *core.Recorder
-	if useCores {
-		rec = core.NewRecorder(f.NumClauses())
-		so.Recorder = rec
-	}
-	return sat.New(f, so).Solve(), rec
+	return fromEngine(er), nil
 }
 
 // StepFormula builds the induction step instance of depth k over the
-// unroller's circuit: frames 0..k+1 connected by the transition relation
-// with NO initial-state constraint, the property's bad signal false in
-// frames 0..k and asserted in frame k+1, and pairwise state disequality
-// between all frames (the simple-path constraint that makes k-induction
-// complete on finite systems).
-//
-// Auxiliary variables for the disequality encoding are allocated past the
-// unroller's frame-stable range, so bmc_score transfer on circuit
-// variables is unaffected.
+// unroller's circuit. The encoding lives in unroll.StepFormula (next to
+// the unrolling it is built from); this forwarder is kept for existing
+// callers and tests.
 func StepFormula(u *unroll.Unroller, k int) *cnf.Formula {
-	c := u.Circuit()
-	frames := k + 2 // frames 0..k+1
-	f := u.Formula(k + 1)
-
-	// Remove the init units and the final property literal: rebuild from
-	// scratch instead — Formula's clause layout is an implementation
-	// detail we must not depend on. So: fresh formula.
-	f = cnf.New(u.NumVars(k + 1))
-
-	// Gate relations in every frame.
-	for frame := 0; frame < frames; frame++ {
-		for n := circuit.NodeID(1); int(n) < c.NumNodes(); n++ {
-			if c.Kind(n) != circuit.KindAnd {
-				continue
-			}
-			f0, f1 := c.Fanins(n)
-			out := lits.PosLit(u.VarFor(n, frame))
-			f.AddAnd2(out, u.LitFor(f0, frame), u.LitFor(f1, frame))
-		}
-	}
-	// Latch transitions.
-	for frame := 0; frame < frames-1; frame++ {
-		for _, id := range c.Latches() {
-			next := c.LatchNext(id)
-			lhs := lits.PosLit(u.VarFor(id, frame+1))
-			switch next {
-			case circuit.True:
-				f.AddUnit(lhs)
-			case circuit.False:
-				f.AddUnit(lhs.Neg())
-			default:
-				f.AddEq(lhs, u.LitFor(next, frame))
-			}
-		}
-	}
-
-	// Property: good in frames 0..k, bad in frame k+1.
-	bad := c.Properties()[u.PropIdx()].Bad
-	switch bad {
-	case circuit.True, circuit.False:
-		// Constant properties need no step reasoning; emit the trivial
-		// encoding (bad const true: frames 0..k unsatisfiable; const
-		// false: bad frame unsatisfiable).
-		if bad == circuit.True && k >= 0 {
-			f.AddClause(cnf.Clause{})
-		}
-		if bad == circuit.False {
-			f.AddClause(cnf.Clause{})
-		}
-		return f
-	}
-	for frame := 0; frame <= k; frame++ {
-		f.AddUnit(u.LitFor(bad, frame).Neg())
-	}
-	f.AddUnit(u.LitFor(bad, k+1))
-
-	// Simple path: states of frames 0..k pairwise distinct. For each pair
-	// i<j introduce one diff variable per latch (diff ↔ latch_i ⊕ latch_j
-	// one direction suffices: diff → xor) and require OR(diffs).
-	latches := c.Latches()
-	aux := u.NumVars(k + 1)
-	for i := 0; i <= k; i++ {
-		for j := i + 1; j <= k; j++ {
-			or := make(cnf.Clause, 0, len(latches))
-			for _, id := range latches {
-				aux++
-				d := lits.PosLit(lits.Var(aux))
-				a := lits.PosLit(u.VarFor(id, i))
-				b := lits.PosLit(u.VarFor(id, j))
-				// d → (a ⊕ b): clauses (¬d ∨ a ∨ b) ∧ (¬d ∨ ¬a ∨ ¬b).
-				f.AddClause(cnf.Clause{d.Neg(), a, b})
-				f.AddClause(cnf.Clause{d.Neg(), a.Neg(), b.Neg()})
-				or = append(or, d)
-			}
-			f.AddClause(or)
-		}
-	}
-	f.NumVars = aux
-	return f
+	return unroll.StepFormula(u, k)
 }

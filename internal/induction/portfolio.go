@@ -1,17 +1,10 @@
 package induction
 
 import (
-	"fmt"
-	"time"
-
 	"repro/internal/circuit"
-	"repro/internal/cnf"
-	"repro/internal/core"
-	"repro/internal/lits"
+	"repro/internal/engine"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
-	"repro/internal/sat"
-	"repro/internal/unroll"
 )
 
 // PortfolioOptions configures ProvePortfolio. The embedded Options carry
@@ -59,180 +52,46 @@ type PortfolioResult struct {
 	Warm bool
 }
 
+// portfolioFromEngine maps the unified result onto the legacy
+// PortfolioResult.
+func portfolioFromEngine(er *engine.Result) *PortfolioResult {
+	return &PortfolioResult{
+		Result:        *fromEngine(er),
+		BaseTelemetry: er.BaseTelemetry,
+		StepTelemetry: er.StepTelemetry,
+		Strategies:    er.Strategies,
+		Warm:          er.Warm,
+	}
+}
+
 // ProvePortfolio is the concurrent counterpart of Prove. At every depth k
 // the base query (counter-example of length exactly k) and the induction
 // step query (simple-path step case) are independent SAT instances, so
 // they are solved in parallel — and each query is itself raced across the
-// whole strategy set, first verdict wins, losers cancelled (the ROADMAP's
-// "portfolio for k-induction" item). A base-case counter-example aborts
-// the still-running step race through the shared stop channel: its
-// verdict would be moot.
+// whole strategy set, first verdict wins, losers cancelled. A base-case
+// counter-example aborts the still-running step race: its verdict would
+// be moot.
 //
 // The verdict logic is exactly Prove's — Falsified needs a SAT base,
 // Proved needs the step UNSAT at a k whose base cases are all clean — so
 // the proof status never depends on which racer won, only the effort
-// does. Each query keeps its own score board, fed by its races' winning
-// cores, mirroring Prove's base/step separation.
+// does.
+//
+// Deprecated: use engine.New with engine.WithEngine(engine.KInduction)
+// and engine.WithPortfolio; ProvePortfolio is a thin wrapper kept for
+// compatibility.
 func ProvePortfolio(c *circuit.Circuit, propIdx int, opts PortfolioOptions) (*PortfolioResult, error) {
-	u, err := unroll.New(c, propIdx)
+	eo := append(engineOptions(opts.Options),
+		engine.WithPortfolio(opts.Strategies, opts.Jobs))
+	sess, err := engine.New(c, propIdx, eo...)
 	if err != nil {
 		return nil, err
 	}
-	strategies := opts.Strategies
-	if len(strategies) == 0 {
-		strategies = portfolio.DefaultSet()
+	ctx, cancel := engine.DeadlineContext(opts.Deadline)
+	defer cancel()
+	er, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
 	}
-	res := &PortfolioResult{
-		Result:        Result{Status: Unknown, K: -1},
-		BaseTelemetry: portfolio.NewTelemetry(),
-		StepTelemetry: portfolio.NewTelemetry(),
-		Strategies:    strategies.Names(),
-	}
-	baseBoard := core.NewScoreBoard(core.WeightedSum)
-	stepBoard := core.NewScoreBoard(core.WeightedSum)
-	useCores := false
-	for _, st := range strategies {
-		if st == core.OrderStatic || st == core.OrderDynamic {
-			useCores = true
-		}
-	}
-
-	for k := 0; k <= opts.MaxK; k++ {
-		if !opts.Deadline.IsZero() && time.Now().After(opts.Deadline) {
-			// The deadline expired before depth k's races started: K stays
-			// at the last depth whose races ran, not the one that never did.
-			return res, nil
-		}
-		res.K = k
-
-		base := u.Formula(k)
-		step := StepFormula(u, k)
-
-		// The two queries race in parallel; a SAT base verdict closes the
-		// stop channel so the step race stops burning cores on a moot
-		// question.
-		stopStep := make(chan struct{})
-		var stepRace portfolio.RaceResult
-		var stepRecs []*core.Recorder
-		stepDone := make(chan struct{})
-		go func() {
-			defer close(stepDone)
-			stepRace, stepRecs = raceQuery(u, step, strategies, stepBoard, k, k+2, useCores, opts, stopStep)
-		}()
-		baseRace, baseRecs := raceQuery(u, base, strategies, baseBoard, k, k+1, useCores, opts, nil)
-		// Only an UNSAT base keeps the step verdict relevant: a SAT base
-		// falsifies outright, and an undecided base ends the attempt as
-		// Unknown — either way the step race is moot, so stop it instead
-		// of letting it burn its full budget.
-		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
-		if stepMoot {
-			close(stopStep)
-		}
-		<-stepDone
-
-		res.BaseTelemetry.Observe(k, &baseRace)
-		if stepMoot {
-			// A deliberately-cancelled race is no evidence about any
-			// strategy; folding it into Observe would count every racer as
-			// a loser and skew the win rates.
-			res.StepTelemetry.ObserveAborted(k, &stepRace)
-		} else {
-			res.StepTelemetry.Observe(k, &stepRace)
-		}
-		if baseRace.Winner >= 0 {
-			res.BaseStats.Add(baseRace.Result.Stats)
-		}
-		if stepRace.Winner >= 0 {
-			res.StepStats.Add(stepRace.Result.Stats)
-		}
-
-		// Base case first: a counter-example ends everything; an
-		// undecided base (budget) ends the attempt as Unknown.
-		if baseRace.Winner < 0 {
-			return res, nil
-		}
-		switch baseRace.Result.Status {
-		case sat.Sat:
-			res.Status = Falsified
-			res.Trace = u.ExtractTrace(baseRace.Result.Model, k)
-			if !u.Replay(res.Trace) {
-				return nil, fmt.Errorf("induction: depth-%d portfolio counter-example (winner %s) failed replay",
-					k, baseRace.WinnerName())
-			}
-			return res, nil
-		case sat.Unsat:
-			foldCore(baseBoard, baseRecs, &baseRace, base, k, useCores)
-		}
-
-		// Step case: UNSAT closes the proof.
-		if stepRace.Winner < 0 {
-			return res, nil
-		}
-		if stepRace.Result.Status == sat.Unsat {
-			res.Status = Proved
-			foldCore(stepBoard, stepRecs, &stepRace, step, k, useCores)
-			return res, nil
-		}
-	}
-	res.K = opts.MaxK
-	return res, nil
-}
-
-// raceQuery races one query formula across the strategy set, one fully
-// configured attempt per strategy. frames is the number of time frames
-// the instance spans (k+1 for base, k+2 for step) — the timeaxis racers'
-// guidance prefers earlier frames and leaves the step encoding's
-// auxiliary disequality variables unscored.
-func raceQuery(u *unroll.Unroller, f *cnf.Formula, strategies portfolio.StrategySet,
-	board *core.ScoreBoard, k, frames int, useCores bool, opts PortfolioOptions, stop <-chan struct{}) (portfolio.RaceResult, []*core.Recorder) {
-	attempts := make([]portfolio.Attempt, len(strategies))
-	recs := make([]*core.Recorder, len(strategies))
-	for i, st := range strategies {
-		so := opts.Solver
-		so.Guidance = nil
-		so.SwitchAfterDecisions = 0
-		so.Recorder = nil
-		if opts.PerInstanceConflicts > 0 {
-			so.MaxConflicts = opts.PerInstanceConflicts
-		}
-		if !opts.Deadline.IsZero() {
-			so.Deadline = opts.Deadline
-		}
-		if st == core.OrderTimeAxis {
-			so.Guidance = frameGuidance(u, frames, f.NumVars)
-		} else {
-			st.Configure(&so, board, f)
-		}
-		if useCores {
-			recs[i] = core.NewRecorder(f.NumClauses())
-			so.Recorder = recs[i]
-		}
-		attempts[i] = portfolio.Attempt{Name: st.String(), Opts: so}
-	}
-	return portfolio.Race(f, attempts, opts.Jobs, stop), recs
-}
-
-// foldCore feeds the winning racer's unsat core into the query's board.
-func foldCore(board *core.ScoreBoard, recs []*core.Recorder, race *portfolio.RaceResult, f *cnf.Formula, k int, useCores bool) {
-	if !useCores || race.Winner < 0 {
-		return
-	}
-	if rec := recs[race.Winner]; rec != nil && rec.HasProof() {
-		board.Update(rec.CoreVars(f), k+1)
-	}
-}
-
-// frameGuidance builds the Shtrichman-style time-axis scores for an
-// instance spanning the given number of frames: variables of frame 0
-// score highest, later frames lower, and variables past the unroller's
-// frame-stable range (the step encoding's disequality auxiliaries) score
-// zero.
-func frameGuidance(u *unroll.Unroller, frames, nVars int) []float64 {
-	g := make([]float64, nVars+1)
-	framed := u.NumVars(frames - 1)
-	for v := 1; v <= nVars && v <= framed; v++ {
-		_, frame := u.NodeOf(lits.Var(v))
-		g[v] = float64(frames - frame)
-	}
-	return g
+	return portfolioFromEngine(er), nil
 }

@@ -7,6 +7,8 @@ package racer
 // making each learned clause a logical consequence valid in any of them;
 // see sat.Solver.ImportClause for the contract.
 
+import "repro/internal/cnf"
+
 // ExchangeOptions configures the clause bus.
 type ExchangeOptions struct {
 	// Enabled turns the bus on; the zero value leaves the pool warm but
@@ -22,6 +24,15 @@ type ExchangeOptions struct {
 	// keeping the lowest-LBD ones. Zero selects the default (256); a
 	// negative value removes the cap.
 	PerRacerBudget int
+	// OnExport, when non-nil, observes each racer's exported payload right
+	// after it is pulled off the solver and before it is redistributed:
+	// depth k, the exporting strategy's name, and the clauses themselves
+	// (plain literal slices — the designed wire format). This is the
+	// clause-bus payload hook of the engine.Executor seam: a remote
+	// executor forwards the payload to its workers, the local executor
+	// needs nothing (in-process redistribution happens right below). The
+	// slice is shared with the importing side and must not be mutated.
+	OnExport func(k int, from string, clauses []cnf.Clause)
 	// ReserveFirst keeps the first racer import-free (it still exports).
 	// Feeding every racer the identical clause diet converges their search
 	// trajectories, which costs the portfolio exactly the diversity its
@@ -72,13 +83,16 @@ func (e ExchangeOptions) withDefaults() ExchangeOptions {
 // goroutine. Broadcast order is racer order, which keeps runs with the
 // same race outcomes deterministic; each recipient's ImportClause dedups
 // clauses that arrive from several senders.
-func (p *Pool) exchange(out *DepthOutcome) {
+func (p *Pool) exchange(out *DepthOutcome, k int) {
 	ex := p.cfg.Exchange
 	for i, from := range p.racers {
 		clauses := from.solver.ExportLearned(from.exportMark, ex.MaxLen, ex.MaxLBD, ex.PerRacerBudget)
 		from.exportMark = from.solver.NextClauseID()
 		if len(clauses) == 0 {
 			continue
+		}
+		if ex.OnExport != nil {
+			ex.OnExport(k, from.name, clauses)
 		}
 		from.exported += int64(len(clauses))
 		out.Exported[from.name] += int64(len(clauses))

@@ -38,10 +38,18 @@ import (
 	"repro/internal/sat"
 )
 
+// RaceFunc races a set of live solvers under an assumption list and
+// returns the first verdict, cancelling the rest — the signature of
+// portfolio.RaceLive. The pool calls it for every depth; injecting a
+// different implementation (engine.Executor) is how race execution is
+// swapped without the pool knowing where the solvers actually run.
+type RaceFunc func(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult
+
 // Config configures a warm racer pool. The zero value is not usable on
 // its own — Strategies and the base Solver options come from the caller
-// (bmc.RunPortfolioIncremental and induction.ProvePortfolioIncremental
-// translate their PortfolioOptions).
+// (engine.Session translates its configuration; the legacy
+// bmc.RunPortfolioIncremental and induction.ProvePortfolioIncremental
+// wrappers go through engine).
 type Config struct {
 	// Strategies is the raced set, one persistent solver each (default:
 	// the full four-way portfolio.DefaultSet).
@@ -70,6 +78,10 @@ type Config struct {
 	ForceRecording bool
 	// Exchange configures the clause bus; the zero value leaves it off.
 	Exchange ExchangeOptions
+	// Race runs each depth's race; nil selects portfolio.RaceLive (the
+	// in-process goroutine pool). engine.LocalExecutor injects itself
+	// here so the Executor seam covers warm races too.
+	Race RaceFunc
 }
 
 // racerState is one persistent racer: a named strategy, its live solver,
@@ -121,6 +133,9 @@ type Pool struct {
 func NewPool(src Source, cfg Config) *Pool {
 	if len(cfg.Strategies) == 0 {
 		cfg.Strategies = portfolio.DefaultSet()
+	}
+	if cfg.Race == nil {
+		cfg.Race = portfolio.RaceLive
 	}
 	cfg.Exchange = cfg.Exchange.withDefaults()
 	p := &Pool{
@@ -233,7 +248,7 @@ func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
 	}
 
 	out := DepthOutcome{
-		Race:         portfolio.RaceLive(attempts, []lits.Lit{p.src.Assumption(k)}, p.cfg.Jobs, stop),
+		Race:         p.cfg.Race(attempts, []lits.Lit{p.src.Assumption(k)}, p.cfg.Jobs, stop),
 		FrameVars:    frame.NumVars,
 		TotalClauses: p.totalClauses,
 		TotalLits:    p.totalLits,
@@ -258,7 +273,7 @@ func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
 	}
 
 	if p.cfg.Exchange.Enabled {
-		p.exchange(&out)
+		p.exchange(&out, k)
 	}
 	return out
 }
@@ -287,8 +302,9 @@ func (p *Pool) foldWinnerCore(out *DepthOutcome, r *racerState, nVars, k int) {
 // threshold derived from totalLits/divisor), frame scores for timeaxis
 // (earlier frames higher; the encoding's auxiliary variables — activation
 // guards, disequality helpers — are left unscored), plain VSIDS
-// otherwise. Shared by the warm pools and bmc.RunIncremental — the single
-// place the live-solver strategy semantics live.
+// otherwise. Shared by the warm pools and the engine's single-solver
+// incremental loop — the single place the live-solver strategy semantics
+// live.
 func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, src Source, k, totalLits, divisor int) {
 	nVars := src.NumVars(k)
 	switch st {
@@ -326,7 +342,8 @@ func ApplyStrategy(s *sat.Solver, st core.Strategy, board *core.ScoreBoard, src 
 // caller's ID-to-literals registry (originals plus imported clauses,
 // which appear as core leaves like originals — acceptable for the
 // heuristic score board). Sorted ascending, mirroring
-// core.Recorder.CoreVars. Shared by the warm pools and bmc.RunIncremental.
+// core.Recorder.CoreVars. Shared by the warm pools and the engine's
+// single-solver incremental loop.
 func CoreVars(src Source, coreIDs []sat.ClauseID, clausesByID map[sat.ClauseID]cnf.Clause, nVars int) []lits.Var {
 	seen := make([]bool, nVars+1)
 	var out []lits.Var

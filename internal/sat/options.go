@@ -43,6 +43,26 @@ func (s Status) String() string {
 // than a budget or cancellation outcome.
 func (s Status) Decided() bool { return s == Sat || s == Unsat }
 
+// MarshalJSON renders the status as its string form (cmd/bmc -json).
+func (s Status) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form back (consumers of cmd/bmc -json).
+func (s *Status) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"SAT"`:
+		*s = Sat
+	case `"UNSAT"`:
+		*s = Unsat
+	case `"INTERRUPTED"`:
+		*s = Interrupted
+	default:
+		*s = Unknown
+	}
+	return nil
+}
+
 // ProofRecorder receives the resolution-dependency events the solver emits
 // while searching. It is the hook through which the refinement layer
 // (internal/core) maintains the paper's simplified Conflict Dependency
