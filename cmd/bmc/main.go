@@ -22,9 +22,16 @@
 // portfolio) are rejected with an error naming the offending knob.
 //
 // -json emits the unified engine.Result as JSON on stdout (verdict, K,
-// per-depth stats, portfolio telemetry, trace) for scripting; -v streams
-// per-depth progress lines as the check runs, through the session's
-// event stream.
+// per-depth stats, portfolio telemetry, trace, metrics snapshot) for
+// scripting; -v streams per-depth progress lines as the check runs,
+// through the session's event stream.
+//
+// Observability: -metrics dumps the session's metric registry after the
+// check; -metrics-addr=:9090 serves the same registry live at /metrics
+// (Prometheus exposition) plus the Go profiler at /debug/pprof/ while
+// the check runs; -trace=out.json records the check as a Chrome trace
+// (open in chrome://tracing or https://ui.perfetto.dev) with one lane
+// per query and one per racer strategy.
 //
 // The wall-clock budget (-timeout) and Ctrl-C both cancel the check
 // through its context: the run stops promptly and reports what it
@@ -41,6 +48,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"time"
@@ -48,6 +58,7 @@ import (
 	"repro/internal/aiger"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
 	"repro/internal/sat"
@@ -166,8 +177,8 @@ func progressPrinter(w io.Writer) func(engine.Event) {
 			return
 		}
 		if !headerDone {
-			fmt.Fprintf(w, "%-4s %-5s %-8s %-10s %10s %12s %12s %10s %10s\n",
-				"k", "query", "status", "winner", "decisions", "implications", "conflicts", "coreCls", "coreVars")
+			fmt.Fprintf(w, "%-4s %-5s %-8s %-10s %10s %12s %12s %10s %10s %9s %9s\n",
+				"k", "query", "status", "winner", "decisions", "implications", "conflicts", "coreCls", "coreVars", "encode", "solve")
 			headerDone = true
 		}
 		d := e.Depth
@@ -175,9 +186,10 @@ func progressPrinter(w io.Writer) func(engine.Event) {
 		if winner == "" {
 			winner = "-"
 		}
-		fmt.Fprintf(w, "%-4d %-5s %-8s %-10s %10d %12d %12d %10d %10d\n",
+		fmt.Fprintf(w, "%-4d %-5s %-8s %-10s %10d %12d %12d %10d %10d %9s %9s\n",
 			e.K, e.Query, d.Status, winner, d.Stats.Decisions, d.Stats.Implications,
-			d.Stats.Conflicts, d.CoreClauses, d.CoreVars)
+			d.Stats.Conflicts, d.CoreClauses, d.CoreVars,
+			d.EncodeWall.Round(10*time.Microsecond), d.SolveWall.Round(10*time.Microsecond))
 	}
 }
 
@@ -204,6 +216,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonOut    = fs.Bool("json", false, "emit the unified engine.Result as JSON on stdout")
 		verbose    = fs.Bool("v", false, "stream per-depth statistics as the check runs")
 		witness    = fs.Bool("witness", false, "print the counter-example trace")
+		metricsOut = fs.Bool("metrics", false, "dump the session's metric registry after the check")
+		metricAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address while the check runs (e.g. :9090)")
+		traceOut   = fs.String("trace", "", "write the check as a Chrome trace JSON to this file (view in chrome://tracing or ui.perfetto.dev)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -264,6 +279,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose && !*jsonOut {
 		eo = append(eo, engine.WithProgress(progressPrinter(stdout)))
 	}
+	// The registry is live whenever any consumer wants it: the -metrics
+	// dump, the /metrics endpoint, or the -json result (whose Metrics
+	// field carries the snapshot). Otherwise the no-op path stays in place.
+	var reg *obs.Registry
+	if *metricsOut || *metricAddr != "" || *jsonOut {
+		reg = obs.NewRegistry()
+		eo = append(eo, engine.WithMetrics(reg))
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer()
+		eo = append(eo, engine.WithTracer(tracer))
+	}
+	if *metricAddr != "" {
+		ln, err := net.Listen("tcp", *metricAddr)
+		if err != nil {
+			fmt.Fprintln(stderr, "bmc:", err)
+			return 2
+		}
+		defer ln.Close()
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "serving /metrics and /debug/pprof/ on %s\n", ln.Addr())
+		}
+	}
 	sess, err := engine.New(circ, *prop, eo...)
 	if err != nil {
 		fmt.Fprintln(stderr, "bmc:", err)
@@ -285,6 +335,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if tracer != nil {
+		tf, err := os.Create(*traceOut)
+		if err == nil {
+			err = tracer.WriteJSON(tf)
+			if cerr := tf.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "bmc:", err)
+			return 2
+		}
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "trace: %d spans written to %s\n", tracer.Len(), *traceOut)
+		}
+	}
+
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -295,6 +362,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return exitCode(res.Verdict)
 	}
 
+	if *metricsOut {
+		reg.WriteText(stdout)
+	}
 	if res.Telemetry != nil {
 		res.Telemetry.WriteSummary(stdout)
 	}

@@ -5,6 +5,7 @@
 //	tablegen -experiment=fig6        # Figure 6 (scatter panes)
 //	tablegen -experiment=fig7        # Figure 7 (per-depth statistics)
 //	tablegen -experiment=overhead    # §3.1 CDG bookkeeping overhead
+//	tablegen -experiment=obs-overhead # observability layer overhead (metrics+tracer)
 //	tablegen -experiment=ablation    # §3.2 score-rule ablation
 //	tablegen -experiment=threshold   # §3.3 switch-divisor sweep
 //	tablegen -experiment=timeaxis    # related-work time-axis comparison
@@ -35,7 +36,7 @@ func main() {
 
 func run() int {
 	var (
-		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|incremental|warm|all")
+		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|obs-overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|incremental|warm|all")
 		budget = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
 		quick  = flag.Bool("quick", false, "cap depths for a fast smoke run")
 		csv    = flag.Bool("csv", false, "emit CSV instead of the text table")
@@ -99,6 +100,14 @@ func run() int {
 
 	runOverhead := func() error {
 		res, err := experiments.RunOverhead(overheadCfg)
+		if err != nil {
+			return err
+		}
+		res.Write(os.Stdout)
+		return nil
+	}
+	runObsOverhead := func() error {
+		res, err := experiments.RunObsOverhead(overheadCfg)
 		if err != nil {
 			return err
 		}
@@ -189,6 +198,8 @@ func run() int {
 		err = runFig7()
 	case "overhead":
 		err = runOverhead()
+	case "obs-overhead":
+		err = runObsOverhead()
 	case "ablation":
 		err = runAblation()
 	case "threshold":
@@ -204,7 +215,7 @@ func run() int {
 	case "warm":
 		err = runWarm()
 	case "all":
-		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio, runIncremental, runWarm} {
+		for _, step := range []func() error{runTable1, runFig6, runFig7, runOverhead, runObsOverhead, runCDGMemory, runAblation, runThreshold, runTimeAxis, runPortfolio, runIncremental, runWarm} {
 			if err = step(); err != nil {
 				break
 			}

@@ -19,6 +19,12 @@
 //	                     progress event stream, and all seven depth loops
 //	                     (BMC scratch/incremental/portfolio/warm;
 //	                     k-induction sequential/portfolio/warm)
+//	internal/obs         zero-dependency observability layer: lock-cheap
+//	                     metrics registry (atomic counters/gauges/
+//	                     histograms, nil-safe no-op handles when off) with
+//	                     text/JSON/Prometheus export, and a span tracer
+//	                     emitting Chrome-trace JSON; every layer below
+//	                     hangs its instrumentation off these two types
 //	internal/sat         incremental CDCL solver (Chaff lineage): clause
 //	                     addition and assumption solving on a live solver,
 //	                     proof recording, guidance scores, cancellation,
@@ -54,8 +60,9 @@
 //	                     static|dynamic|timeaxis|portfolio, -incremental,
 //	                     -share, -json; the flag matrix is validated by
 //	                     engine.Config.Validate before the circuit is
-//	                     opened, and -v streams the session's progress
-//	                     events)
+//	                     opened, -v streams the session's progress
+//	                     events, -metrics/-metrics-addr/-trace expose the
+//	                     observability layer)
 //
 // The root package holds the paper-artifact benchmarks (bench_test.go).
 package repro

@@ -84,6 +84,7 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 	res := &Result{Verdict: Holds, K: -1}
 	useCores := s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
 	divisor := s.divisor()
+	metrics := s.solverMetrics(QueryBMC, s.cfg.Ordering.String())
 
 	for k := 0; k <= s.cfg.MaxDepth; k++ {
 		if ctx.Err() != nil {
@@ -93,9 +94,12 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 		}
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		sp := s.beginDepth(QueryBMC, k)
 		f := u.Formula(k)
+		encodeWall := time.Since(depthStart)
 
 		solverOpts := s.solverBase(ctx)
+		solverOpts.Metrics = metrics
 		configureStrategy(&solverOpts, s.cfg.Ordering, board, f, u, k, divisor)
 
 		var rec *core.Recorder
@@ -109,6 +113,8 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 			K:              k,
 			Status:         r.Status,
 			Stats:          r.Stats,
+			EncodeWall:     encodeWall,
+			SolveWall:      r.Stats.SolveTime,
 			FormulaVars:    f.NumVars,
 			FormulaClauses: f.NumClauses(),
 			FormulaLits:    f.NumLiterals(),
@@ -119,7 +125,7 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = u.ExtractTrace(r.Model, k)
@@ -142,12 +148,12 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 			}
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		default: // Unknown/Interrupted: budget exhausted or cancelled mid-instance
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -167,7 +173,9 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 	useCores := s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
 	divisor := s.divisor()
 
+	d.SetMetrics(s.unrollMetrics(QueryBMC))
 	solverOpts := s.solverBase(ctx)
+	solverOpts.Metrics = s.solverMetrics(QueryBMC, s.cfg.Ordering.String())
 	var rec *core.IncrementalRecorder
 	if useCores || s.cfg.ForceRecording {
 		rec = core.NewIncrementalRecorder()
@@ -189,6 +197,7 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 		}
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		sp := s.beginDepth(QueryBMC, k)
 		frame := d.Frame(k)
 		solver.AddVars(frame.NumVars)
 		for _, cl := range frame.Clauses {
@@ -199,6 +208,7 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 			totalLits += len(cl)
 		}
 		totalClauses += frame.NumClauses()
+		encodeWall := time.Since(depthStart)
 
 		racer.ApplyStrategy(solver, s.cfg.Ordering, board, src, k, totalLits, divisor)
 
@@ -207,6 +217,8 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 			K:              k,
 			Status:         r.Status,
 			Stats:          r.Stats,
+			EncodeWall:     encodeWall,
+			SolveWall:      r.Stats.SolveTime,
 			FormulaVars:    frame.NumVars,
 			FormulaClauses: totalClauses,
 			FormulaLits:    totalLits,
@@ -217,7 +229,7 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = d.ExtractTrace(r.Model, k)
@@ -239,12 +251,12 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 			}
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		default: // Unknown/Interrupted
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -270,6 +282,11 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 	// Proof recording (and the shared board it feeds) only pays off when
 	// some racer will consume the scores at the next depth.
 	useCores := s.useCores(strategies)
+	res.Telemetry.SetMetrics(s.cfg.Metrics, string(QueryBMC))
+	metrics := make([]*sat.Metrics, len(strategies))
+	for i, st := range strategies {
+		metrics[i] = s.solverMetrics(QueryBMC, st.String())
+	}
 
 	for k := 0; k <= s.cfg.MaxDepth; k++ {
 		if ctx.Err() != nil {
@@ -279,7 +296,9 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 		}
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		sp := s.beginDepth(QueryBMC, k)
 		f := u.Formula(k)
+		encodeWall := time.Since(depthStart)
 
 		// One fully configured attempt per strategy; when cores are in
 		// play each gets its own recorder, so whichever racer wins has a
@@ -288,6 +307,7 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 		recs := make([]*core.Recorder, len(strategies))
 		for i, st := range strategies {
 			solverOpts := s.solverBase(ctx)
+			solverOpts.Metrics = metrics[i]
 			configureStrategy(&solverOpts, st, board, f, u, k, divisor)
 			if useCores {
 				recs[i] = core.NewRecorder(f.NumClauses())
@@ -298,10 +318,13 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 
 		race := exec.Race(f, attempts, s.cfg.Jobs, ctx.Done())
 		res.Telemetry.Observe(k, &race)
+		s.observeRace(QueryBMC, k, &race)
 
 		ds := DepthStats{
 			K:              k,
 			Winner:         race.WinnerName(),
+			EncodeWall:     encodeWall,
+			SolveWall:      race.Wall,
 			FormulaVars:    f.NumVars,
 			FormulaClauses: f.NumClauses(),
 			FormulaLits:    f.NumLiterals(),
@@ -311,7 +334,7 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 			ds.Status = sat.Unknown
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -326,7 +349,7 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = u.ExtractTrace(r.Model, k)
@@ -346,7 +369,7 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 			}
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		}
 	}
@@ -371,6 +394,8 @@ func (s *Session) poolConfig(ctx context.Context, query Query, exchange racer.Ex
 		ForceRecording:       s.cfg.ForceRecording,
 		Exchange:             exchange,
 		Race:                 exec.RaceLive,
+		Metrics:              s.cfg.Metrics,
+		Query:                string(query),
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		cfg.Deadline = dl
@@ -383,6 +408,7 @@ func (s *Session) poolConfig(ctx context.Context, query Query, exchange racer.Ex
 // depth-boundary clause bus (legacy bmc.RunPortfolioIncremental).
 func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, error) {
 	d := u.Delta()
+	d.SetMetrics(s.unrollMetrics(QueryBMC))
 	pool := racer.NewPool(racer.DeltaSource(d), s.poolConfig(ctx, QueryBMC, s.cfg.Exchange))
 	res := &Result{
 		Verdict:    Holds,
@@ -392,6 +418,7 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 		Jobs:       s.cfg.Jobs,
 		Warm:       true,
 	}
+	res.Telemetry.SetMetrics(s.cfg.Metrics, string(QueryBMC))
 
 	for k := 0; k <= s.cfg.MaxDepth; k++ {
 		if ctx.Err() != nil {
@@ -401,14 +428,19 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 		}
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBMC, K: k})
+		sp := s.beginDepth(QueryBMC, k)
 		out := pool.RaceDepthStop(k, ctx.Done())
 		race := &out.Race
 		res.Telemetry.Observe(k, race)
-		res.Telemetry.ObserveExchange(out.Exported, out.Imported, out.WinnerWarm, out.WinnerShared)
+		res.Telemetry.ObserveExchange(out.Exported, out.Imported, out.DedupDropped, out.WinnerWarm, out.WinnerShared)
+		s.observeRace(QueryBMC, k, race)
+		s.observeExchange(QueryBMC, k, &out)
 
 		ds := DepthStats{
 			K:              k,
 			Winner:         race.WinnerName(),
+			EncodeWall:     out.EncodeWall,
+			SolveWall:      race.Wall,
 			FormulaVars:    out.FrameVars,
 			FormulaClauses: out.TotalClauses,
 			FormulaLits:    out.TotalLits,
@@ -420,7 +452,7 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 			ds.Status = sat.Unknown
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -435,7 +467,7 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = d.ExtractTrace(r.Model, k)
@@ -447,7 +479,7 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 		case sat.Unsat:
 			ds.Wall = time.Since(depthStart)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.emit(Event{Kind: DepthFinished, Query: QueryBMC, K: k, Depth: ds})
+			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		}
 	}

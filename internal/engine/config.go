@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
 	"repro/internal/sat"
@@ -100,6 +101,16 @@ type Config struct {
 	// Executor runs the session's races; nil selects LocalExecutor (the
 	// in-process goroutine pool).
 	Executor Executor
+	// Metrics, when non-nil, collects instrumentation from every layer of
+	// the check — solver counters per query and strategy, clause-bus
+	// traffic per link, race outcomes, frame-build costs — and its
+	// snapshot lands in Result.Metrics. Nil (the default) keeps every hot
+	// path on its one-branch no-op.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records the check as Chrome-trace spans: the
+	// root check span, per-depth and per-race spans on each query's lane,
+	// and one span per racer attempt on its strategy's lane.
+	Tracer *obs.Tracer
 }
 
 // Option is a functional configuration knob for New.
@@ -175,6 +186,14 @@ func WithProgress(fn func(Event)) Option { return func(c *Config) { c.Progress =
 
 // WithExecutor replaces the race executor (default LocalExecutor).
 func WithExecutor(ex Executor) Option { return func(c *Config) { c.Executor = ex } }
+
+// WithMetrics collects instrumentation from every layer of the check
+// into reg; the session snapshots it into Result.Metrics.
+func WithMetrics(reg *obs.Registry) Option { return func(c *Config) { c.Metrics = reg } }
+
+// WithTracer records the check as Chrome-trace spans on tr (write the
+// file with obs.Tracer.WriteJSON after Check returns).
+func WithTracer(tr *obs.Tracer) Option { return func(c *Config) { c.Tracer = tr } }
 
 // defaultConfig is New's starting point before options apply.
 func defaultConfig() Config {

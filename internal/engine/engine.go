@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/circuit"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/sat"
 	"repro/internal/unroll"
@@ -101,8 +102,12 @@ type DepthStats struct {
 	// (portfolio runs only; empty otherwise).
 	Winner string `json:"winner,omitempty"`
 	// Wall is the wall-clock time of this depth, including CNF
-	// generation, the SAT call(s), and score maintenance.
+	// generation, the SAT call(s), and score maintenance. EncodeWall and
+	// SolveWall split out its two dominant parts: building/feeding the
+	// depth's CNF, and the SAT call (the race's wall for portfolio runs).
 	Wall           time.Duration `json:"wall"`
+	EncodeWall     time.Duration `json:"encode_wall,omitempty"`
+	SolveWall      time.Duration `json:"solve_wall,omitempty"`
 	FormulaVars    int           `json:"formula_vars"`
 	FormulaClauses int           `json:"formula_clauses"`
 	FormulaLits    int           `json:"formula_lits"`
@@ -154,6 +159,9 @@ type Result struct {
 	// (k-induction portfolio runs).
 	BaseTelemetry *portfolio.Telemetry `json:"base_telemetry,omitempty"`
 	StepTelemetry *portfolio.Telemetry `json:"step_telemetry,omitempty"`
+	// Metrics is the session registry's snapshot at the end of the check
+	// (WithMetrics sessions only).
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Session is one configured check of one property: circuit, property
@@ -205,6 +213,8 @@ func (s *Session) Check(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	root := s.cfg.Tracer.Begin("engine", "check")
+	root.SetArg("engine", s.cfg.Kind.String())
 	var res *Result
 	if s.cfg.Kind == KInduction {
 		switch {
@@ -228,10 +238,19 @@ func (s *Session) Check(ctx context.Context) (*Result, error) {
 		}
 	}
 	if err != nil {
+		root.SetArg("error", err.Error())
+		root.End()
 		return nil, err
 	}
 	res.Engine = s.cfg.Kind
 	res.TotalTime = time.Since(start)
+	if s.cfg.Metrics != nil {
+		snap := s.cfg.Metrics.Snapshot()
+		res.Metrics = &snap
+	}
+	root.SetArg("verdict", res.Verdict.String())
+	root.SetArg("k", res.K)
+	root.End()
 	return res, nil
 }
 

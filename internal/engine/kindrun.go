@@ -34,6 +34,8 @@ func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*R
 	baseBoard := core.NewScoreBoard(core.WeightedSum)
 	stepBoard := core.NewScoreBoard(core.WeightedSum)
 	useCores := s.cfg.Ordering == core.OrderStatic || s.cfg.Ordering == core.OrderDynamic
+	baseMetrics := s.solverMetrics(QueryBase, s.cfg.Ordering.String())
+	stepMetrics := s.solverMetrics(QueryStep, s.cfg.Ordering.String())
 
 	for k := 0; k <= s.cfg.MaxDepth; k++ {
 		if ctx.Err() != nil {
@@ -44,13 +46,15 @@ func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*R
 		res.K = k
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBase, K: k})
+		baseSpan := s.beginDepth(QueryBase, k)
 
 		// Base case: a counter-example of length exactly k.
 		base := u.Formula(k)
-		r, rec := s.solveKindQuery(ctx, base, baseBoard, useCores)
+		baseEncode := time.Since(depthStart)
+		r, rec := s.solveKindQuery(ctx, base, baseBoard, useCores, baseMetrics)
 		res.BaseStats.Add(r.Stats)
-		s.emit(Event{Kind: DepthFinished, Query: QueryBase, K: k,
-			Depth: DepthStats{K: k, Status: r.Status, Stats: r.Stats, Wall: time.Since(depthStart)}})
+		s.finishDepth(baseSpan, QueryBase, DepthStats{K: k, Status: r.Status, Stats: r.Stats,
+			EncodeWall: baseEncode, SolveWall: r.Stats.SolveTime, Wall: time.Since(depthStart)})
 		switch r.Status {
 		case sat.Sat:
 			res.Verdict = Falsified
@@ -71,11 +75,13 @@ func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*R
 		// transition into ¬P at s_{k+1}. UNSAT closes the proof.
 		stepStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryStep, K: k})
+		stepSpan := s.beginDepth(QueryStep, k)
 		step := unroll.StepFormula(u, k)
-		r, rec = s.solveKindQuery(ctx, step, stepBoard, useCores)
+		stepEncode := time.Since(stepStart)
+		r, rec = s.solveKindQuery(ctx, step, stepBoard, useCores, stepMetrics)
 		res.StepStats.Add(r.Stats)
-		s.emit(Event{Kind: DepthFinished, Query: QueryStep, K: k,
-			Depth: DepthStats{K: k, Status: r.Status, Stats: r.Stats, Wall: time.Since(stepStart)}})
+		s.finishDepth(stepSpan, QueryStep, DepthStats{K: k, Status: r.Status, Stats: r.Stats,
+			EncodeWall: stepEncode, SolveWall: r.Stats.SolveTime, Wall: time.Since(stepStart)})
 		switch r.Status {
 		case sat.Unsat:
 			res.Verdict = Proved
@@ -95,8 +101,9 @@ func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*R
 
 // solveKindQuery dispatches one sequential-prover instance under the
 // configured ordering.
-func (s *Session) solveKindQuery(ctx context.Context, f *cnf.Formula, board *core.ScoreBoard, useCores bool) (sat.Result, *core.Recorder) {
+func (s *Session) solveKindQuery(ctx context.Context, f *cnf.Formula, board *core.ScoreBoard, useCores bool, m *sat.Metrics) (sat.Result, *core.Recorder) {
 	so := s.solverBase(ctx)
+	so.Metrics = m
 	s.cfg.Ordering.Configure(&so, board, f)
 	var rec *core.Recorder
 	if useCores {
@@ -148,6 +155,14 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 			useCores = true
 		}
 	}
+	res.BaseTelemetry.SetMetrics(s.cfg.Metrics, string(QueryBase))
+	res.StepTelemetry.SetMetrics(s.cfg.Metrics, string(QueryStep))
+	baseMetrics := make([]*sat.Metrics, len(strategies))
+	stepMetrics := make([]*sat.Metrics, len(strategies))
+	for i, st := range strategies {
+		baseMetrics[i] = s.solverMetrics(QueryBase, st.String())
+		stepMetrics[i] = s.solverMetrics(QueryStep, st.String())
+	}
 
 	for k := 0; k <= s.cfg.MaxDepth; k++ {
 		if ctx.Err() != nil {
@@ -157,9 +172,12 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBase, K: k})
 		s.emit(Event{Kind: DepthStarted, Query: QueryStep, K: k})
+		baseSpan := s.beginDepth(QueryBase, k)
+		stepSpan := s.beginDepth(QueryStep, k)
 
 		base := u.Formula(k)
 		step := unroll.StepFormula(u, k)
+		encodeWall := time.Since(depthStart)
 
 		// The two queries race in parallel; a base verdict that makes the
 		// step moot — SAT falsifies outright, undecided ends the attempt —
@@ -171,9 +189,9 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 		stepDone := make(chan struct{})
 		go func() {
 			defer close(stepDone)
-			stepRace, stepRecs = s.raceKindQuery(ctx, u, step, strategies, stepBoard, k, k+2, useCores, stopStep)
+			stepRace, stepRecs = s.raceKindQuery(ctx, u, step, strategies, stepBoard, k, k+2, useCores, stopStep, stepMetrics)
 		}()
-		baseRace, baseRecs := s.raceKindQuery(ctx, u, base, strategies, baseBoard, k, k+1, useCores, ctx.Done())
+		baseRace, baseRecs := s.raceKindQuery(ctx, u, base, strategies, baseBoard, k, k+1, useCores, ctx.Done(), baseMetrics)
 		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
 		if stepMoot {
 			cancelStep()
@@ -196,10 +214,14 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 		if stepRace.Winner >= 0 {
 			res.StepStats.Add(stepRace.Result.Stats)
 		}
-		s.emit(Event{Kind: DepthFinished, Query: QueryBase, K: k,
-			Depth: kindRaceStats(k, &baseRace, depthStart)})
-		s.emit(Event{Kind: DepthFinished, Query: QueryStep, K: k,
-			Depth: kindRaceStats(k, &stepRace, depthStart)})
+		s.observeRace(QueryBase, k, &baseRace)
+		s.observeRace(QueryStep, k, &stepRace)
+		baseDS := kindRaceStats(k, &baseRace, depthStart)
+		baseDS.EncodeWall, baseDS.SolveWall = encodeWall, baseRace.Wall
+		stepDS := kindRaceStats(k, &stepRace, depthStart)
+		stepDS.SolveWall = stepRace.Wall
+		s.finishDepth(baseSpan, QueryBase, baseDS)
+		s.finishDepth(stepSpan, QueryStep, stepDS)
 
 		// Base case first: a counter-example ends everything; an
 		// undecided base (budget or cancellation) ends the attempt as
@@ -251,11 +273,12 @@ func kindRaceStats(k int, race *portfolio.RaceResult, start time.Time) DepthStat
 // racers' guidance prefers earlier frames and leaves the step encoding's
 // auxiliary disequality variables unscored.
 func (s *Session) raceKindQuery(ctx context.Context, u *unroll.Unroller, f *cnf.Formula, strategies portfolio.StrategySet,
-	board *core.ScoreBoard, k, frames int, useCores bool, stop <-chan struct{}) (portfolio.RaceResult, []*core.Recorder) {
+	board *core.ScoreBoard, k, frames int, useCores bool, stop <-chan struct{}, metrics []*sat.Metrics) (portfolio.RaceResult, []*core.Recorder) {
 	attempts := make([]portfolio.Attempt, len(strategies))
 	recs := make([]*core.Recorder, len(strategies))
 	for i, st := range strategies {
 		so := s.solverBase(ctx)
+		so.Metrics = metrics[i]
 		if st == core.OrderTimeAxis {
 			so.Guidance = frameGuidance(u, frames, f.NumVars)
 		} else {
@@ -323,11 +346,16 @@ func (s *Session) runKindWarm(ctx context.Context, u *unroll.Unroller) (*Result,
 		set := portfolio.StrategySet{s.cfg.Ordering}
 		baseCfg.Strategies, stepCfg.Strategies = set, set
 	}
+	d.SetMetrics(s.unrollMetrics(QueryBase))
+	sd := u.StepDelta()
+	sd.SetMetrics(s.unrollMetrics(QueryStep))
 	basePool := racer.NewPool(racer.DeltaSource(d), baseCfg)
-	stepPool := racer.NewPool(racer.StepSource(u.StepDelta()), stepCfg)
+	stepPool := racer.NewPool(racer.StepSource(sd), stepCfg)
 	res := kindResult()
 	res.BaseTelemetry = portfolio.NewTelemetry()
 	res.StepTelemetry = portfolio.NewTelemetry()
+	res.BaseTelemetry.SetMetrics(s.cfg.Metrics, string(QueryBase))
+	res.StepTelemetry.SetMetrics(s.cfg.Metrics, string(QueryStep))
 	res.Strategies = basePool.Strategies()
 	res.Jobs = s.cfg.Jobs
 	res.Warm = true
@@ -340,6 +368,8 @@ func (s *Session) runKindWarm(ctx context.Context, u *unroll.Unroller) (*Result,
 		depthStart := time.Now()
 		s.emit(Event{Kind: DepthStarted, Query: QueryBase, K: k})
 		s.emit(Event{Kind: DepthStarted, Query: QueryStep, K: k})
+		baseSpan := s.beginDepth(QueryBase, k)
+		stepSpan := s.beginDepth(QueryStep, k)
 
 		// The two pools race in parallel; a base verdict that makes the
 		// step moot closes the stop channel so the step racers come to
@@ -364,15 +394,15 @@ func (s *Session) runKindWarm(ctx context.Context, u *unroll.Unroller) (*Result,
 		stepRace := &stepOut.Race
 
 		res.BaseTelemetry.Observe(k, baseRace)
-		res.BaseTelemetry.ObserveExchange(baseOut.Exported, baseOut.Imported, baseOut.WinnerWarm, baseOut.WinnerShared)
+		res.BaseTelemetry.ObserveExchange(baseOut.Exported, baseOut.Imported, baseOut.DedupDropped, baseOut.WinnerWarm, baseOut.WinnerShared)
 		if stepMoot {
 			// Bus traffic is real even on an aborted depth, but the race
 			// itself carries no win/loss signal.
 			res.StepTelemetry.ObserveAborted(k, stepRace)
-			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, false, false)
+			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, stepOut.DedupDropped, false, false)
 		} else {
 			res.StepTelemetry.Observe(k, stepRace)
-			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, stepOut.WinnerWarm, stepOut.WinnerShared)
+			res.StepTelemetry.ObserveExchange(stepOut.Exported, stepOut.Imported, stepOut.DedupDropped, stepOut.WinnerWarm, stepOut.WinnerShared)
 		}
 		if baseRace.Winner >= 0 {
 			res.BaseStats.Add(baseRace.Result.Stats)
@@ -380,10 +410,16 @@ func (s *Session) runKindWarm(ctx context.Context, u *unroll.Unroller) (*Result,
 		if stepRace.Winner >= 0 {
 			res.StepStats.Add(stepRace.Result.Stats)
 		}
-		s.emit(Event{Kind: DepthFinished, Query: QueryBase, K: k,
-			Depth: kindRaceStats(k, baseRace, depthStart)})
-		s.emit(Event{Kind: DepthFinished, Query: QueryStep, K: k,
-			Depth: kindRaceStats(k, stepRace, depthStart)})
+		s.observeRace(QueryBase, k, baseRace)
+		s.observeRace(QueryStep, k, stepRace)
+		s.observeExchange(QueryBase, k, &baseOut)
+		s.observeExchange(QueryStep, k, &stepOut)
+		baseDS := kindRaceStats(k, baseRace, depthStart)
+		baseDS.EncodeWall, baseDS.SolveWall = baseOut.EncodeWall, baseRace.Wall
+		stepDS := kindRaceStats(k, stepRace, depthStart)
+		stepDS.EncodeWall, stepDS.SolveWall = stepOut.EncodeWall, stepRace.Wall
+		s.finishDepth(baseSpan, QueryBase, baseDS)
+		s.finishDepth(stepSpan, QueryStep, stepDS)
 
 		// Base case first: a counter-example ends everything; an
 		// undecided base (budget or cancellation) ends the attempt as

@@ -144,6 +144,36 @@ func TestRunOverheadSmall(t *testing.T) {
 	}
 }
 
+func TestRunObsOverheadSmall(t *testing.T) {
+	res, err := RunObsOverhead(tinyCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("got %d rows", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Instrumentation must not change the search.
+		if row.DecisionsOff != row.DecisionsOn {
+			t.Errorf("%s: instrumentation changed the search (%d vs %d decisions)",
+				row.Name, row.DecisionsOff, row.DecisionsOn)
+		}
+		// The instrumented run must actually have recorded something, or
+		// the comparison is vacuous.
+		if row.Spans == 0 {
+			t.Errorf("%s: instrumented run recorded no spans", row.Name)
+		}
+		if row.Counters == 0 {
+			t.Errorf("%s: instrumented run registered no counters", row.Name)
+		}
+	}
+	var out strings.Builder
+	res.Write(&out)
+	if !strings.Contains(out.String(), "aggregate conflicts-normalized overhead") {
+		t.Errorf("obs-overhead table missing summary")
+	}
+}
+
 func TestRunScoreAblationSmall(t *testing.T) {
 	res, err := RunScoreAblation(tinyCfg())
 	if err != nil {

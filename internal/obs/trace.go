@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer collects timed spans and serializes them as Chrome trace format
+// JSON (the "trace event format" consumed by chrome://tracing, Perfetto,
+// and speedscope): one complete ("ph":"X") event per span, grouped into
+// lanes rendered as threads. A nil *Tracer is a no-op — Begin returns a
+// nil *Span whose methods are no-ops — so tracing off costs one branch.
+//
+// Lanes serve two purposes. Spans on the same lane nest by containment
+// (the root "check" span contains each depth span contains the depth's
+// race span — all on the "engine" lane), which is how the viewer renders
+// the hierarchy; concurrent work (the racer attempts of one race) goes
+// on one lane per strategy so simultaneous spans never falsely nest.
+//
+// Tracer is safe for concurrent use; spans are buffered in memory and
+// written once at the end of the run (WriteJSON), keeping the recording
+// path allocation-light and file-I/O-free.
+type Tracer struct {
+	mu    sync.Mutex
+	start time.Time
+	lanes map[string]int
+	order []string
+	evs   []traceEvent
+}
+
+// traceEvent is one Chrome-trace "complete" event.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`  // microseconds since trace start
+	Dur  float64        `json:"dur"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns a tracer whose timestamps are relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{start: time.Now(), lanes: map[string]int{}}
+}
+
+// laneID resolves (or assigns) the thread id of a lane. Caller holds mu.
+func (t *Tracer) laneID(lane string) int {
+	id, ok := t.lanes[lane]
+	if !ok {
+		id = len(t.lanes)
+		t.lanes[lane] = id
+		t.order = append(t.order, lane)
+	}
+	return id
+}
+
+// Span is one in-progress span started by Begin. End closes it; SetArg
+// attaches key/value metadata rendered in the viewer's detail pane. A
+// nil *Span (from a nil tracer) is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	lane  string
+	start time.Time
+	args  map[string]any
+}
+
+// Begin opens a span named name on the given lane. Nil tracers return a
+// nil (no-op) span.
+func (t *Tracer) Begin(lane, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, name: name, lane: lane, start: time.Now()}
+}
+
+// SetArg attaches one key/value argument to the span.
+func (sp *Span) SetArg(key string, value any) {
+	if sp == nil {
+		return
+	}
+	if sp.args == nil {
+		sp.args = map[string]any{}
+	}
+	sp.args[key] = value
+}
+
+// End closes the span and records it.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.t.Complete(sp.lane, sp.name, sp.start, time.Since(sp.start), sp.args)
+}
+
+// Complete records a span wholesale from caller-measured times — used to
+// synthesize spans for work measured elsewhere (each racer attempt's
+// wall time is reported by the race harness after the race joins, so its
+// span is recorded retroactively on the strategy's lane). args may be
+// nil; the map is retained, so callers must not mutate it afterwards.
+// Nil tracers drop the span.
+func (t *Tracer) Complete(lane, name string, start time.Time, dur time.Duration, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ts := start.Sub(t.start)
+	if ts < 0 {
+		ts = 0
+	}
+	t.evs = append(t.evs, traceEvent{
+		Name: name,
+		Ph:   "X",
+		Ts:   float64(ts) / float64(time.Microsecond),
+		Dur:  float64(dur) / float64(time.Microsecond),
+		Pid:  1,
+		Tid:  t.laneID(lane),
+		Args: args,
+	})
+}
+
+// traceFile is the top-level Chrome trace JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteJSON serializes every recorded span (plus thread-name metadata
+// naming each lane) as a Chrome trace JSON object. Events are sorted by
+// start time, as the format recommends. The tracer remains usable; spans
+// recorded after a write appear in the next write.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	evs := make([]traceEvent, len(t.evs))
+	copy(evs, t.evs)
+	lanes := make([]string, len(t.order))
+	copy(lanes, t.order)
+	t.mu.Unlock()
+
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Ts < evs[j].Ts })
+	// Thread-name metadata events label each lane in the viewer.
+	out := make([]traceEvent, 0, len(evs)+len(lanes))
+	for id, lane := range lanes {
+		out = append(out, traceEvent{
+			Name: "thread_name",
+			Ph:   "M",
+			Pid:  1,
+			Tid:  id,
+			Args: map[string]any{"name": lane},
+		})
+	}
+	out = append(out, evs...)
+	enc := json.NewEncoder(w)
+	return enc.Encode(traceFile{TraceEvents: out, DisplayTimeUnit: "ms"})
+}
+
+// Len returns the number of spans recorded so far (0 on nil tracers).
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.evs)
+}

@@ -53,6 +53,11 @@ type AttemptOutcome struct {
 	Status sat.Status
 	Stats  sat.Stats
 	Wall   time.Duration
+	// Wait is how long the attempt sat in the work queue before a worker
+	// slot picked it up (zero for attempts that start immediately). Start
+	// of solving is therefore RaceResult.Start + Wait, which is how the
+	// tracer reconstructs per-racer spans after the race joins.
+	Wait time.Duration
 	// Canceled marks racers that were stopped because another attempt won
 	// (their Status is Interrupted).
 	Canceled bool
@@ -71,8 +76,10 @@ type RaceResult struct {
 	Result sat.Result
 	// Outcomes has one entry per attempt, in input order.
 	Outcomes []AttemptOutcome
-	// Wall is the wall-clock time of the whole race.
-	Wall time.Duration
+	// Start is when the race began; Wall the wall-clock time of the whole
+	// race.
+	Start time.Time
+	Wall  time.Duration
 }
 
 // WinnerName returns the winning attempt's label, or "" when no attempt won.
@@ -162,7 +169,7 @@ func RaceLive(attempts []LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan 
 // outcome bookkeeping. solveOne runs attempt idx to rest, polling cancel.
 func runRace(names []string, jobs int, stop <-chan struct{}, solveOne func(idx int, cancel <-chan struct{}) sat.Result) RaceResult {
 	start := time.Now()
-	res := RaceResult{Winner: -1, Outcomes: make([]AttemptOutcome, len(names))}
+	res := RaceResult{Winner: -1, Start: start, Outcomes: make([]AttemptOutcome, len(names))}
 	for i := range names {
 		res.Outcomes[i] = AttemptOutcome{Name: names[i], Skipped: true}
 	}
@@ -220,6 +227,7 @@ func runRace(names []string, jobs int, stop <-chan struct{}, solveOne func(idx i
 				o.Status = r.Status
 				o.Stats = r.Stats
 				o.Wall = wall
+				o.Wait = t0.Sub(start)
 				if r.Status.Decided() && atomic.CompareAndSwapInt32(&winner, -1, int32(idx)) {
 					mu.Lock()
 					winnerResult = r

@@ -312,17 +312,20 @@ func TestParseSetReportsAllUnknowns(t *testing.T) {
 
 func TestTelemetryExchange(t *testing.T) {
 	tel := NewTelemetry()
-	tel.ObserveExchange(map[string]int64{"vsids": 5}, map[string]int64{"static": 7}, true, true)
-	tel.ObserveExchange(map[string]int64{"vsids": 2}, nil, true, false)
+	tel.ObserveExchange(map[string]int64{"vsids": 5}, map[string]int64{"static": 7}, map[string]int64{"static": 3}, true, true)
+	tel.ObserveExchange(map[string]int64{"vsids": 2}, nil, nil, true, false)
 	if tel.ExportedClauses["vsids"] != 7 || tel.ImportedClauses["static"] != 7 {
 		t.Fatalf("exchange totals: %v / %v", tel.ExportedClauses, tel.ImportedClauses)
+	}
+	if tel.DedupDropped["static"] != 3 {
+		t.Fatalf("dedup drops: %v", tel.DedupDropped)
 	}
 	if tel.WarmWins != 2 || tel.SharedWins != 1 {
 		t.Fatalf("attribution: warm=%d shared=%d", tel.WarmWins, tel.SharedWins)
 	}
 	var buf strings.Builder
 	tel.WriteSummary(&buf)
-	for _, want := range []string{"exported", "imported", "warm pool:"} {
+	for _, want := range []string{"exported", "imported", "dropped", "warm pool:", "duplicate clauses dropped"} {
 		if !strings.Contains(buf.String(), want) {
 			t.Fatalf("summary missing %q:\n%s", want, buf.String())
 		}
@@ -352,5 +355,11 @@ func TestTelemetryObserveAborted(t *testing.T) {
 	tel.WriteSummary(&buf)
 	if !strings.Contains(buf.String(), "aborted: 1 races") {
 		t.Fatalf("summary missing aborted line:\n%s", buf.String())
+	}
+	// The totals line must reconcile with lifetime solver stats: the
+	// aborted races' conflicts are excluded from the per-strategy columns,
+	// so they appear explicitly up top.
+	if !strings.Contains(buf.String(), "42 in aborted races") {
+		t.Fatalf("totals line missing aborted conflicts:\n%s", buf.String())
 	}
 }

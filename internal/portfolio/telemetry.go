@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sat"
 )
 
@@ -39,9 +40,12 @@ type Telemetry struct {
 
 	// Clause-bus telemetry, fed by the warm racer pool through
 	// ObserveExchange (all zero for cold portfolios): how many learned
-	// clauses each strategy's solver put on / took off the exchange bus.
+	// clauses each strategy's solver put on / took off the exchange bus,
+	// and how many inbound clauses each strategy's solver rejected as
+	// duplicates it already held (the bus's dedup drops).
 	ExportedClauses map[string]int64
 	ImportedClauses map[string]int64
+	DedupDropped    map[string]int64
 	// Warm-vs-cold win attribution. WarmWins counts depth wins by a racer
 	// whose solver carried learned clauses from earlier depths (any depth
 	// > 0 winner in a warm pool); SharedWins the subset whose solver had
@@ -59,6 +63,11 @@ type Telemetry struct {
 	// skew the per-strategy win rates.
 	AbortedRaces     int
 	AbortedConflicts int64
+
+	// obs wiring (SetMetrics); all nil-safe, so an unwired telemetry
+	// records maps only.
+	reg   *obs.Registry
+	query string
 }
 
 // NewTelemetry returns an empty telemetry accumulator.
@@ -70,7 +79,23 @@ func NewTelemetry() *Telemetry {
 		ConflictsSpent:  map[string]int64{},
 		ExportedClauses: map[string]int64{},
 		ImportedClauses: map[string]int64{},
+		DedupDropped:    map[string]int64{},
 	}
+}
+
+// SetMetrics mirrors every Observe* call into reg under the given query
+// label ("bmc", "base", "step"): race counts, per-strategy wins, aborted
+// races, and a queue-wait histogram. A nil registry leaves the telemetry
+// map-only.
+func (t *Telemetry) SetMetrics(reg *obs.Registry, query string) {
+	t.reg = reg
+	t.query = query
+}
+
+// metric resolves a handle under the telemetry's query label plus any
+// extra label pairs. Nil-safe: an unwired telemetry gets nil handles.
+func (t *Telemetry) metric(base string, labels ...string) *obs.Counter {
+	return t.reg.Counter(obs.Name(base, append([]string{"query", t.query}, labels...)...))
 }
 
 // Observe folds the race of depth k into the totals.
@@ -93,6 +118,20 @@ func (t *Telemetry) Observe(k int, r *RaceResult) {
 		t.ConflictsSpent[o.Name] += o.Stats.Conflicts
 	}
 	t.Depths = append(t.Depths, dw)
+
+	if t.reg != nil {
+		t.metric("portfolio_races_total").Inc()
+		if dw.Winner != "" {
+			t.metric("portfolio_wins_total", "strategy", dw.Winner).Inc()
+		}
+		t.metric("portfolio_loser_conflicts_total").Add(dw.LoserConflicts)
+		wait := t.reg.Histogram(obs.Name("portfolio_queue_wait_nanos", "query", t.query))
+		for _, o := range r.Outcomes {
+			if !o.Skipped {
+				wait.Observe(int64(o.Wait))
+			}
+		}
+	}
 }
 
 // ObserveAborted records a race the caller cancelled deliberately
@@ -105,18 +144,25 @@ func (t *Telemetry) ObserveAborted(k int, r *RaceResult) {
 	for _, o := range r.Outcomes {
 		t.AbortedConflicts += o.Stats.Conflicts
 	}
+	if t.reg != nil {
+		t.metric("portfolio_aborted_races_total").Inc()
+	}
 }
 
 // ObserveExchange folds one depth's clause-bus traffic and win
-// attribution into the totals. exported/imported map strategy names to
-// the clauses that depth moved; winnerWarm/winnerShared describe the
+// attribution into the totals. exported/imported/dropped map strategy
+// names to the clauses that depth moved (dropped counts inbound clauses a
+// recipient rejected as duplicates); winnerWarm/winnerShared describe the
 // depth's winning racer (both false when the race was undecided).
-func (t *Telemetry) ObserveExchange(exported, imported map[string]int64, winnerWarm, winnerShared bool) {
+func (t *Telemetry) ObserveExchange(exported, imported, dropped map[string]int64, winnerWarm, winnerShared bool) {
 	for name, n := range exported {
 		t.ExportedClauses[name] += n
 	}
 	for name, n := range imported {
 		t.ImportedClauses[name] += n
+	}
+	for name, n := range dropped {
+		t.DedupDropped[name] += n
 	}
 	if winnerWarm {
 		t.WarmWins++
@@ -124,6 +170,15 @@ func (t *Telemetry) ObserveExchange(exported, imported map[string]int64, winnerW
 	if winnerShared {
 		t.SharedWins++
 	}
+}
+
+// dedupTotal sums the bus's duplicate drops across strategies.
+func (t *Telemetry) dedupTotal() int64 {
+	var n int64
+	for _, d := range t.DedupDropped {
+		n += d
+	}
+	return n
 }
 
 // exchangeActive reports whether any clause-bus traffic was recorded.
@@ -172,19 +227,30 @@ func (t *Telemetry) Strategies() []string {
 // pool's clause bus was active the table gains exported/imported columns
 // and a warm-vs-cold attribution line.
 func (t *Telemetry) WriteSummary(w io.Writer) {
-	fmt.Fprintf(w, "portfolio: %d races, %d conflicts spent by losers\n",
+	// The totals line carries every conflict bucket — losers, and conflicts
+	// burned in deliberately aborted races (excluded from the per-strategy
+	// columns) — plus the bus's duplicate drops, so this line reconciles
+	// with lifetime solver stats.
+	fmt.Fprintf(w, "portfolio: %d races, %d conflicts spent by losers",
 		len(t.Depths), t.WastedConflicts)
+	if t.AbortedConflicts > 0 {
+		fmt.Fprintf(w, ", %d in aborted races", t.AbortedConflicts)
+	}
+	if drops := t.dedupTotal(); drops > 0 {
+		fmt.Fprintf(w, ", %d duplicate clauses dropped by the bus", drops)
+	}
+	fmt.Fprintln(w)
 	exchange := t.exchangeActive()
 	fmt.Fprintf(w, "%-12s %6s %9s %8s %12s", "strategy", "wins", "cancelled", "skipped", "conflicts")
 	if exchange {
-		fmt.Fprintf(w, " %9s %9s", "exported", "imported")
+		fmt.Fprintf(w, " %9s %9s %8s", "exported", "imported", "dropped")
 	}
 	fmt.Fprintln(w)
 	for _, name := range t.Strategies() {
 		fmt.Fprintf(w, "%-12s %6d %9d %8d %12d",
 			name, t.Wins[name], t.CancelledRuns[name], t.SkippedRuns[name], t.ConflictsSpent[name])
 		if exchange {
-			fmt.Fprintf(w, " %9d %9d", t.ExportedClauses[name], t.ImportedClauses[name])
+			fmt.Fprintf(w, " %9d %9d %8d", t.ExportedClauses[name], t.ImportedClauses[name], t.DedupDropped[name])
 		}
 		fmt.Fprintln(w)
 	}

@@ -96,23 +96,36 @@ func (p *Pool) exchange(out *DepthOutcome, k int) {
 		}
 		from.exported += int64(len(clauses))
 		out.Exported[from.name] += int64(len(clauses))
+		if p.cfg.Metrics != nil {
+			p.cfg.Metrics.Counter(p.name("bus_exported_total", "from", from.name)).Add(int64(len(clauses)))
+		}
 		for j, to := range p.racers {
 			if j == i || (ex.ReserveFirst && j == 0) {
 				continue
 			}
+			var accepted, dropped int64
 			for _, cl := range clauses {
 				id, ok := to.solver.ImportClause(cl)
 				if !ok {
+					dropped++
 					continue
 				}
+				accepted++
 				to.imported++
-				out.Imported[to.name]++
 				if to.rec != nil {
 					// Imported IDs are core leaves for the incremental
 					// CDG; register the literals so core extraction can
 					// resolve them.
 					to.clausesByID[id] = cl
 				}
+			}
+			out.Imported[to.name] += accepted
+			out.DedupDropped[to.name] += dropped
+			if p.cfg.Metrics != nil {
+				// Per-link series: the wire-visible health signal of each
+				// from→to edge of the bus mesh.
+				p.cfg.Metrics.Counter(p.name("bus_imported_total", "from", from.name, "to", to.name)).Add(accepted)
+				p.cfg.Metrics.Counter(p.name("bus_dedup_dropped_total", "from", from.name, "to", to.name)).Add(dropped)
 			}
 		}
 	}

@@ -34,6 +34,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/core"
 	"repro/internal/lits"
+	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/sat"
 )
@@ -82,6 +83,13 @@ type Config struct {
 	// in-process goroutine pool). engine.LocalExecutor injects itself
 	// here so the Executor seam covers warm races too.
 	Race RaceFunc
+	// Metrics, when non-nil, receives the pool's instrumentation: each
+	// racer's solver counters (via sat.Options.Metrics), per-racer
+	// warm/cold conflict attribution, and per-link clause-bus traffic.
+	// Query labels every series ("bmc", "base", "step"; empty means the
+	// query label is omitted).
+	Metrics *obs.Registry
+	Query   string
 }
 
 // racerState is one persistent racer: a named strategy, its live solver,
@@ -102,6 +110,12 @@ type racerState struct {
 	// exported/imported are lifetime bus counters (telemetry and the
 	// sharing half of win attribution).
 	exported, imported int64
+	// obs handles (nil when Config.Metrics is off). Warm/cold split the
+	// racer's conflicts by whether its solver carried state from earlier
+	// depths into the solve.
+	mWarmConflicts *obs.Counter
+	mColdConflicts *obs.Counter
+	mWins          *obs.Counter
 }
 
 // Pool owns the racers for one BMC run: it manages their lifecycle
@@ -171,10 +185,29 @@ func NewPool(src Source, cfg Config) *Pool {
 			solverOpts.Recorder = r.rec
 			r.clausesByID = make(map[sat.ClauseID]cnf.Clause)
 		}
+		if cfg.Metrics != nil {
+			solverOpts.Metrics = sat.NewMetrics(cfg.Metrics, p.labels("strategy", r.name)...)
+			r.mWarmConflicts = cfg.Metrics.Counter(p.name("racer_conflicts_total", "strategy", r.name, "state", "warm"))
+			r.mColdConflicts = cfg.Metrics.Counter(p.name("racer_conflicts_total", "strategy", r.name, "state", "cold"))
+			r.mWins = cfg.Metrics.Counter(p.name("racer_wins_total", "strategy", r.name))
+		}
 		r.solver = sat.New(cnf.New(0), solverOpts)
 		p.racers = append(p.racers, r)
 	}
 	return p
+}
+
+// labels prepends the pool's query label (when set) to the given pairs.
+func (p *Pool) labels(pairs ...string) []string {
+	if p.cfg.Query == "" {
+		return pairs
+	}
+	return append([]string{"query", p.cfg.Query}, pairs...)
+}
+
+// name composes a pool metric name carrying the query label.
+func (p *Pool) name(base string, pairs ...string) string {
+	return obs.Name(base, p.labels(pairs...)...)
 }
 
 // Strategies returns the raced strategy names in set order.
@@ -199,9 +232,15 @@ type DepthOutcome struct {
 	TotalClauses int
 	TotalLits    int
 	// Exported/Imported count this depth's clause-bus traffic per
-	// strategy (empty maps when the bus is off or idle).
-	Exported map[string]int64
-	Imported map[string]int64
+	// strategy (empty maps when the bus is off or idle); DedupDropped
+	// counts, per recipient strategy, inbound clauses its solver rejected
+	// as duplicates it already held.
+	Exported     map[string]int64
+	Imported     map[string]int64
+	DedupDropped map[string]int64
+	// EncodeWall is the time spent feeding this depth's frame into every
+	// racer (the depth's encode cost; the race's solve cost is Race.Wall).
+	EncodeWall time.Duration
 	// WinnerWarm reports that the winning racer had searched at earlier
 	// depths (its solver carried learned clauses in); WinnerShared that
 	// it had additionally imported foreign clauses before this solve.
@@ -224,6 +263,7 @@ func (p *Pool) RaceDepth(k int) DepthOutcome { return p.RaceDepthStop(k, nil) }
 // core folding and the clause bus — still runs after the race joins, so a
 // cancelled depth's conflicts are not thrown away.
 func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
+	encodeStart := time.Now()
 	frame := p.src.Frame(k)
 	for _, r := range p.racers {
 		r.solver.AddVars(frame.NumVars)
@@ -236,6 +276,7 @@ func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
 	}
 	p.totalClauses += frame.NumClauses()
 	p.totalLits += frame.NumLiterals()
+	encodeWall := time.Since(encodeStart)
 
 	attempts := make([]portfolio.LiveAttempt, len(p.racers))
 	warm := make([]bool, len(p.racers))
@@ -254,11 +295,30 @@ func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
 		TotalLits:    p.totalLits,
 		Exported:     map[string]int64{},
 		Imported:     map[string]int64{},
+		DedupDropped: map[string]int64{},
+		EncodeWall:   encodeWall,
+	}
+
+	if p.cfg.Metrics != nil {
+		// Attribute each racer's conflicts to its warm/cold state going
+		// into this depth (its solver's own counters were already flushed
+		// by SolveAssuming; this split is pool-level knowledge).
+		for i, o := range out.Race.Outcomes {
+			if o.Skipped {
+				continue
+			}
+			if warm[i] {
+				p.racers[i].mWarmConflicts.Add(o.Stats.Conflicts)
+			} else {
+				p.racers[i].mColdConflicts.Add(o.Stats.Conflicts)
+			}
+		}
 	}
 
 	if w := out.Race.Winner; w >= 0 {
 		out.WinnerWarm = warm[w]
 		out.WinnerShared = sharedState[w]
+		p.racers[w].mWins.Inc()
 		if out.Race.Result.Status == sat.Unsat {
 			p.foldWinnerCore(&out, p.racers[w], frame.NumVars, k)
 		}

@@ -1,0 +1,60 @@
+package sat
+
+import "repro/internal/obs"
+
+// Metrics is the solver's bundle of obs counter handles. It is flushed
+// once per Solve/SolveAssuming call from the Stats the search already
+// maintains — the search loop itself is untouched, time-in-solve reuses
+// the per-call SolveTime measurement, and no new clock syscalls or
+// atomic operations happen per propagation. A nil *Metrics costs one
+// branch per Solve call.
+type Metrics struct {
+	Decisions    *obs.Counter // branching assignments
+	Propagations *obs.Counter // BCP implications
+	Conflicts    *obs.Counter
+	Restarts     *obs.Counter
+	Learned      *obs.Counter
+	Deleted      *obs.Counter
+	Solves       *obs.Counter // Solve/SolveAssuming calls completed
+	SolveNanos   *obs.Counter // wall time inside solve calls
+
+	// ConflictsPerSolve distributes each call's conflict count — the
+	// shape distinguishes "many easy queries" from "few hard ones" at
+	// equal totals.
+	ConflictsPerSolve *obs.Histogram
+}
+
+// NewMetrics registers the solver metric family under reg with the
+// given label pairs (e.g. "strategy", "vsids", "query", "bmc") baked
+// into every series. A nil registry yields a *Metrics full of nil
+// handles, which flushes as a no-op.
+func NewMetrics(reg *obs.Registry, labels ...string) *Metrics {
+	n := func(base string) string { return obs.Name(base, labels...) }
+	return &Metrics{
+		Decisions:         reg.Counter(n("solver_decisions_total")),
+		Propagations:      reg.Counter(n("solver_propagations_total")),
+		Conflicts:         reg.Counter(n("solver_conflicts_total")),
+		Restarts:          reg.Counter(n("solver_restarts_total")),
+		Learned:           reg.Counter(n("solver_learned_total")),
+		Deleted:           reg.Counter(n("solver_deleted_total")),
+		Solves:            reg.Counter(n("solver_solves_total")),
+		SolveNanos:        reg.Counter(n("solver_solve_nanos_total")),
+		ConflictsPerSolve: reg.Histogram(n("solver_conflicts_per_solve")),
+	}
+}
+
+// flush folds one call's Stats into the counters.
+func (m *Metrics) flush(st Stats) {
+	if m == nil {
+		return
+	}
+	m.Decisions.Add(st.Decisions)
+	m.Propagations.Add(st.Implications)
+	m.Conflicts.Add(st.Conflicts)
+	m.Restarts.Add(st.Restarts)
+	m.Learned.Add(st.Learned)
+	m.Deleted.Add(st.Deleted)
+	m.Solves.Inc()
+	m.SolveNanos.Add(int64(st.SolveTime))
+	m.ConflictsPerSolve.Observe(st.Conflicts)
+}

@@ -139,6 +139,11 @@ type Options struct {
 	// Recorder receives proof events; nil disables recording.
 	Recorder ProofRecorder
 
+	// Metrics, when non-nil, receives each call's Stats flushed into obs
+	// counters at the end of Solve/SolveAssuming (one branch per call;
+	// the search loop is not instrumented per step).
+	Metrics *Metrics
+
 	// Budgets. Zero means unlimited.
 	MaxConflicts int64
 	MaxDecisions int64

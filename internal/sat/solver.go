@@ -835,6 +835,7 @@ func (s *Solver) SolveAssuming(assumptions []lits.Lit) Result {
 	s.sinceDeadlinePoll = 0
 	res := s.solve()
 	res.Stats.SolveTime = time.Since(start)
+	s.opts.Metrics.flush(res.Stats)
 	// Fold this call into the lifetime totals and reset the per-call
 	// counters; enqueues made by New/AddClause before a call count toward
 	// the call that propagates them.

@@ -2,6 +2,7 @@ package unroll
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
@@ -31,8 +32,9 @@ import (
 // across depths exactly as with Formula, and the variable range stays dense
 // (no gaps for the decision heap to branch on).
 type Delta struct {
-	u      *Unroller
-	stride int // node slots plus one activation slot per frame
+	u       *Unroller
+	stride  int // node slots plus one activation slot per frame
+	metrics *Metrics
 }
 
 // Delta returns the incremental view of the unroller.
@@ -92,6 +94,10 @@ func (d *Delta) Frame(k int) *cnf.Formula {
 	if k < 0 {
 		panic(fmt.Sprintf("unroll: negative depth %d", k))
 	}
+	var buildStart time.Time
+	if d.metrics != nil {
+		buildStart = time.Now()
+	}
 	c := d.u.c
 	f := cnf.New(d.NumVars(k))
 
@@ -142,6 +148,7 @@ func (d *Delta) Frame(k int) *cnf.Formula {
 	default:
 		f.AddClause(cnf.Clause{d.ActLit(k).Neg(), d.LitFor(bad, k)})
 	}
+	d.metrics.observe(buildStart, f)
 	return f
 }
 

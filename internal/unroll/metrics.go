@@ -1,0 +1,61 @@
+package unroll
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/obs"
+)
+
+// Metrics is the unroller's bundle of obs handles, observed once per
+// Frame build (encode cost is per depth, not per clause, so nothing here
+// is hot). A nil *Metrics — the default on Delta and StepDelta — skips
+// even the clock read.
+type Metrics struct {
+	Frames     *obs.Counter // Frame(k) calls
+	BuildNanos *obs.Counter // wall time inside Frame builds
+	Clauses    *obs.Counter // clauses emitted across all frames
+	Literals   *obs.Counter // literals across those clauses
+	Vars       *obs.Gauge   // current variable count (grows with depth)
+
+	// FrameClauses distributes per-frame clause counts — the growth
+	// shape per depth (step frames grow quadratically with the simple
+	// path, delta frames stay flat).
+	FrameClauses *obs.Histogram
+}
+
+// NewMetrics registers the unroll metric family under reg with the given
+// label pairs (e.g. "query", "bmc") baked into every series. A nil
+// registry yields no-op handles.
+func NewMetrics(reg *obs.Registry, labels ...string) *Metrics {
+	n := func(base string) string { return obs.Name(base, labels...) }
+	return &Metrics{
+		Frames:       reg.Counter(n("unroll_frames_total")),
+		BuildNanos:   reg.Counter(n("unroll_build_nanos_total")),
+		Clauses:      reg.Counter(n("unroll_clauses_total")),
+		Literals:     reg.Counter(n("unroll_literals_total")),
+		Vars:         reg.Gauge(n("unroll_vars")),
+		FrameClauses: reg.Histogram(n("unroll_frame_clauses")),
+	}
+}
+
+// observe records one built frame.
+func (m *Metrics) observe(start time.Time, f *cnf.Formula) {
+	if m == nil {
+		return
+	}
+	m.Frames.Inc()
+	m.BuildNanos.Add(int64(time.Since(start)))
+	m.Clauses.Add(int64(f.NumClauses()))
+	m.Literals.Add(int64(f.NumLiterals()))
+	m.Vars.Set(int64(f.NumVars))
+	m.FrameClauses.Observe(int64(f.NumClauses()))
+}
+
+// SetMetrics attaches frame-build instrumentation to the delta view
+// (nil detaches it).
+func (d *Delta) SetMetrics(m *Metrics) { d.metrics = m }
+
+// SetMetrics attaches frame-build instrumentation to the step delta view
+// (nil detaches it).
+func (sd *StepDelta) SetMetrics(m *Metrics) { sd.metrics = m }

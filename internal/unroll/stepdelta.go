@@ -2,6 +2,7 @@ package unroll
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/circuit"
 	"repro/internal/cnf"
@@ -40,9 +41,10 @@ import (
 // variables, the depth's activation variable, and the simple-path
 // auxiliary (per-latch disequality) variables of the k new frame pairs.
 type StepDelta struct {
-	u      *Unroller
-	stride int // node variables per frame (no activation slot here)
-	nl     int // latches, i.e. aux variables per frame pair
+	u       *Unroller
+	stride  int // node variables per frame (no activation slot here)
+	nl      int // latches, i.e. aux variables per frame pair
+	metrics *Metrics
 }
 
 // StepDelta returns the incremental view of the unroller's induction step
@@ -165,6 +167,10 @@ func (sd *StepDelta) Frame(k int) *cnf.Formula {
 	if k < 0 {
 		panic(fmt.Sprintf("unroll: negative depth %d", k))
 	}
+	var buildStart time.Time
+	if sd.metrics != nil {
+		buildStart = time.Now()
+	}
 	c := sd.u.c
 	f := cnf.New(sd.NumVars(k))
 	bad := c.Properties()[sd.u.propIdx].Bad
@@ -251,5 +257,6 @@ func (sd *StepDelta) Frame(k int) *cnf.Formula {
 	default:
 		f.AddClause(cnf.Clause{sd.ActLit(k).Neg(), sd.LitFor(bad, k+1)})
 	}
+	sd.metrics.observe(buildStart, f)
 	return f
 }
