@@ -53,6 +53,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/aiger"
@@ -169,28 +170,58 @@ func printWitness(w io.Writer, tr *unroll.Trace) {
 }
 
 // progressPrinter renders the session's event stream as per-depth rows —
-// the -v view, printed live as depths finish.
+// the -v view, printed live as depths finish. The switch is exhaustive
+// over engine.EventKind (bmclint/eventexhaustive): a new event kind must
+// decide its -v rendering here rather than vanish silently.
 func progressPrinter(w io.Writer) func(engine.Event) {
 	headerDone := false
 	return func(e engine.Event) {
-		if e.Kind != engine.DepthFinished {
-			return
+		switch e.Kind {
+		case engine.DepthStarted:
+			// Quiet: the finished row carries everything worth a line.
+		case engine.DepthFinished:
+			if !headerDone {
+				fmt.Fprintf(w, "%-4s %-5s %-8s %-10s %10s %12s %12s %10s %10s %9s %9s\n",
+					"k", "query", "status", "winner", "decisions", "implications", "conflicts", "coreCls", "coreVars", "encode", "solve")
+				headerDone = true
+			}
+			d := e.Depth
+			winner := d.Winner
+			if winner == "" {
+				winner = "-"
+			}
+			fmt.Fprintf(w, "%-4d %-5s %-8s %-10s %10d %12d %12d %10d %10d %9s %9s\n",
+				e.K, e.Query, d.Status, winner, d.Stats.Decisions, d.Stats.Implications,
+				d.Stats.Conflicts, d.CoreClauses, d.CoreVars,
+				d.EncodeWall.Round(10*time.Microsecond), d.SolveWall.Round(10*time.Microsecond))
+		case engine.RaceFinished:
+			fmt.Fprintf(w, "     race  k=%-4d %-5s %s\n", e.K, e.Query, raceSummary(e.Racers))
+		case engine.ExchangeFlushed:
+			for _, x := range e.Exchange {
+				fmt.Fprintf(w, "     bus   k=%-4d %-10s exported=%d imported=%d dedup_dropped=%d\n",
+					e.K, x.Strategy, x.Exported, x.Imported, x.DedupDropped)
+			}
 		}
-		if !headerDone {
-			fmt.Fprintf(w, "%-4s %-5s %-8s %-10s %10s %12s %12s %10s %10s %9s %9s\n",
-				"k", "query", "status", "winner", "decisions", "implications", "conflicts", "coreCls", "coreVars", "encode", "solve")
-			headerDone = true
-		}
-		d := e.Depth
-		winner := d.Winner
-		if winner == "" {
-			winner = "-"
-		}
-		fmt.Fprintf(w, "%-4d %-5s %-8s %-10s %10d %12d %12d %10d %10d %9s %9s\n",
-			e.K, e.Query, d.Status, winner, d.Stats.Decisions, d.Stats.Implications,
-			d.Stats.Conflicts, d.CoreClauses, d.CoreVars,
-			d.EncodeWall.Round(10*time.Microsecond), d.SolveWall.Round(10*time.Microsecond))
 	}
+}
+
+// raceSummary renders one joined race as a single line: each racer's
+// status and conflict spend, with the winner starred.
+func raceSummary(rows []engine.RacerRow) string {
+	var b strings.Builder
+	for i, r := range rows {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		switch {
+		case r.Winner:
+			b.WriteByte('*')
+		case r.Skipped:
+			b.WriteByte('~')
+		}
+		fmt.Fprintf(&b, "%s=%s/%d", r.Name, r.Status, r.Conflicts)
+	}
+	return b.String()
 }
 
 func main() {
@@ -309,6 +340,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//bmclint:ignore ctxflow debug/metrics server is deliberately process-lifetime; it dies with the process
 		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
 		if !*jsonOut {
 			fmt.Fprintf(stdout, "serving /metrics and /debug/pprof/ on %s\n", ln.Addr())

@@ -1,0 +1,93 @@
+// Command bmclint is the repo's custom static-analysis suite. It runs
+// in two modes:
+//
+//	bmclint ./...                      # standalone, from the module root
+//	go vet -vettool=$(which bmclint) ./...   # as a vet tool
+//
+// The vet-tool mode speaks cmd/go's unitchecker protocol (-V=full,
+// -flags, and per-package vet.cfg invocations), so findings integrate
+// with go vet's caching and output. See internal/lint for the
+// analyzers.
+package main
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	analyzers := lint.All()
+
+	// cmd/go probes vet tools for identity and flags before use.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Fprintf(stdout, "bmclint version devel buildID=%s\n", selfID())
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Fprintln(stdout, "[]")
+			return 0
+		}
+	}
+
+	if len(args) > 0 && args[0] == "-list" {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	// Vet mode: the final argument is the per-package config file.
+	if n := len(args); n > 0 && strings.HasSuffix(args[n-1], ".cfg") {
+		return lint.RunVetTool(stderr, args[n-1], analyzers)
+	}
+
+	// Standalone mode: treat args as package patterns under the cwd.
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "bmclint: %v\n", err)
+		return 1
+	}
+	count, err := lint.RunDir(stdout, dir, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "bmclint: %v\n", err)
+		return 1
+	}
+	if count > 0 {
+		return 2
+	}
+	return 0
+}
+
+// selfID hashes the executable so go vet's build cache invalidates
+// cached results whenever the tool binary changes.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	sum := h.Sum(nil)
+	return fmt.Sprintf("%x/%x", sum[:16], sum[16:])
+}

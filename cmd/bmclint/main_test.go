@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestAllAnalyzersRegistered pins the roster: every analyzer the issue
+// demands must be present in the registry the multichecker serves, so
+// a future refactor cannot silently drop one from the gate.
+func TestAllAnalyzersRegistered(t *testing.T) {
+	want := []string{"litsafe", "hotpath", "ctxflow", "metricname", "nodeprecated", "eventexhaustive"}
+	got := map[string]bool{}
+	for _, a := range lint.All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q is missing a name, doc, or run function", a.Name)
+		}
+		if got[a.Name] {
+			t.Errorf("analyzer %q registered twice", a.Name)
+		}
+		got[a.Name] = true
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("analyzer %q is not registered in lint.All()", name)
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("lint.All() has %d analyzers, want %d; update this test when adding one", len(got), len(want))
+	}
+}
+
+// TestVetToolProbe checks the cmd/go handshake: -V=full must identify
+// the tool in the "name version ..." form vet accepts, and -flags must
+// emit a JSON flag list.
+func TestVetToolProbe(t *testing.T) {
+	var out bytes.Buffer
+	if code := run([]string{"-V=full"}, &out, &out); code != 0 {
+		t.Fatalf("-V=full exited %d: %s", code, out.String())
+	}
+	f := strings.Fields(out.String())
+	if len(f) < 3 || f[0] != "bmclint" || f[1] != "version" {
+		t.Fatalf("-V=full output %q does not match `bmclint version ...`", out.String())
+	}
+	if f[2] == "devel" && !strings.HasPrefix(f[len(f)-1], "buildID=") {
+		t.Fatalf("-V=full devel output %q lacks a buildID= field", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-flags"}, &out, &out); code != 0 {
+		t.Fatalf("-flags exited %d: %s", code, out.String())
+	}
+	if strings.TrimSpace(out.String()) != "[]" {
+		t.Fatalf("-flags output %q, want []", out.String())
+	}
+}
+
+// TestEndToEnd builds the tool and drives both modes over a scratch
+// module containing one clean encoding package and one violating
+// consumer: standalone and `go vet -vettool` must both report the
+// violation and exit nonzero, and a clean package must pass.
+func TestEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and runs go vet")
+	}
+	tmp := t.TempDir()
+	tool := filepath.Join(tmp, "bmclint")
+	build := exec.Command("go", "build", "-o", tool, "repro/cmd/bmclint")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building bmclint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(tmp, "mod")
+	writeFile(t, filepath.Join(mod, "go.mod"), "module scratch\n\ngo 1.24\n")
+	writeFile(t, filepath.Join(mod, "internal", "lits", "lits.go"), `package lits
+
+type Lit int32
+
+func (l Lit) Neg() Lit { return l ^ 1 }
+`)
+	writeFile(t, filepath.Join(mod, "consumer", "consumer.go"), `package consumer
+
+import "scratch/internal/lits"
+
+func Flip(l lits.Lit) lits.Lit { return l ^ 1 }
+`)
+
+	standalone := exec.Command(tool, "./...")
+	standalone.Dir = mod
+	out, err := standalone.CombinedOutput()
+	if code := exitCodeOf(t, err); code != 2 {
+		t.Fatalf("standalone exit %d, want 2\n%s", code, out)
+	}
+	if !strings.Contains(string(out), "bmclint/litsafe") {
+		t.Fatalf("standalone output lacks the litsafe finding:\n%s", out)
+	}
+
+	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	vet.Dir = mod
+	out, err = vet.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool passed on a violating module:\n%s", out)
+	}
+	if !strings.Contains(string(out), "bmclint/litsafe") {
+		t.Fatalf("go vet output lacks the litsafe finding:\n%s", out)
+	}
+
+	vetClean := exec.Command("go", "vet", "-vettool="+tool, "./internal/...")
+	vetClean.Dir = mod
+	if out, err := vetClean.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool failed on the clean package: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o666); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func exitCodeOf(t *testing.T, err error) int {
+	t.Helper()
+	if err == nil {
+		return 0
+	}
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("running tool: %v", err)
+	}
+	return ee.ExitCode()
+}

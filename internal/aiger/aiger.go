@@ -59,6 +59,21 @@ func Read(r io.Reader) (*circuit.Circuit, error) {
 		outputNames: map[int]string{},
 	}
 	nIn, nLatch, nOut, nAnd := nums[1], nums[2], nums[3], nums[4]
+	// The spec requires M >= I+L+A; the slack is unused variable
+	// indices, which tools that delete nodes without renumbering do
+	// emit (and one of our own fixtures exercises). But the header
+	// alone must not size allocations: build() indexes signals by
+	// variable, so an absurd M in a tiny file would demand gigabytes
+	// before a single definition is read. Bound the slack instead of
+	// forbidding it.
+	const maxVarGap = 1 << 20
+	if definable := nIn + nLatch + nAnd; p.maxVar < definable {
+		return nil, fmt.Errorf("aiger: header maxvar %d is less than inputs+latches+ands = %d",
+			p.maxVar, definable)
+	} else if p.maxVar-definable > maxVarGap {
+		return nil, fmt.Errorf("aiger: header maxvar %d leaves %d unused variable indices (limit %d)",
+			p.maxVar, p.maxVar-definable, maxVarGap)
+	}
 
 	readLine := func(what string) (string, error) {
 		if !sc.Scan() {

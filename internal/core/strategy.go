@@ -81,6 +81,10 @@ func (s Strategy) Configure(opts *sat.Options, board *ScoreBoard, f *cnf.Formula
 // (dynamic strategy only; divisor <= 0 disables the switch).
 func (s Strategy) ConfigureWithDivisor(opts *sat.Options, board *ScoreBoard, f *cnf.Formula, divisor int) {
 	switch s {
+	case OrderVSIDS, OrderTimeAxis:
+		// Deliberate no-ops: VSIDS is the solver's own heuristic, and
+		// the time-axis ordering is encoded by the unroller's variable
+		// numbering, not by solver options.
 	case OrderStatic:
 		opts.Guidance = board.Guidance(f.NumVars)
 		opts.SwitchAfterDecisions = 0

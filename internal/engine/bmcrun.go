@@ -371,6 +371,14 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 			res.PerDepth = append(res.PerDepth, ds)
 			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
+		default:
+			// Unknown/Interrupted despite a nominal winner: this depth
+			// is undecided, so deeper unrollings would be too — record
+			// it and stop instead of silently continuing.
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.finishDepth(sp, QueryBMC, ds)
+			return res, nil
 		}
 	}
 	return res, nil
@@ -481,6 +489,14 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 			res.PerDepth = append(res.PerDepth, ds)
 			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
+		default:
+			// Unknown/Interrupted despite a nominal winner: this depth
+			// is undecided, so deeper unrollings would be too — record
+			// it and stop instead of silently continuing.
+			ds.Wall = time.Since(depthStart)
+			res.PerDepth = append(res.PerDepth, ds)
+			s.finishDepth(sp, QueryBMC, ds)
+			return res, nil
 		}
 	}
 	return res, nil

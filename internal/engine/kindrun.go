@@ -240,6 +240,11 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 			return res, nil
 		case sat.Unsat:
 			foldKindCore(baseBoard, baseRecs, &baseRace, base, k, useCores)
+		default:
+			// Unknown/Interrupted with a nominal winner: the base case
+			// is undecided, so running the step query would prove
+			// nothing — end the attempt with the Unknown verdict.
+			return res, nil
 		}
 
 		// Step case: UNSAT closes the proof.

@@ -1,0 +1,193 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxflowSolverPkgs are the packages whose entrypoints block on SAT
+// search: calling into them without propagating the caller's context
+// (or wiring sat.Options.Stop/Deadline) is how the PR 1–5 class of
+// unkillable solves and leaked racer goroutines happened.
+var ctxflowSolverPkgs = []string{
+	"internal/sat",
+	"internal/racer",
+	"internal/portfolio",
+	"internal/engine",
+}
+
+// CtxFlow enforces the cancellation contract around the solver layer.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "enforces the ctx/Stop cancellation contract: a function holding a " +
+		"context.Context must not manufacture context.Background()/TODO() below it, " +
+		"must actually use its ctx when calling into sat/racer/portfolio/engine, and " +
+		"every goroutine launched outside tests must be joinable — its body (or call " +
+		"arguments) must carry a context, a channel, a close, or a sync.WaitGroup hand-off",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					checkCtxParams(pass, x.Type, x.Body)
+				}
+			case *ast.FuncLit:
+				checkCtxParams(pass, x.Type, x.Body)
+			case *ast.GoStmt:
+				checkGoJoinable(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxParamObjs returns the objects of every context.Context parameter
+// of the function type.
+func ctxParamObjs(pass *Pass, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj != nil && isNamedType(obj.Type(), "context", "Context") {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxParams applies the two context rules to one function body:
+// no fresh Background/TODO below a held context, and the held context
+// must be used when the body calls into the solver layer.
+func checkCtxParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
+	ctxs := ctxParamObjs(pass, ft)
+	if len(ctxs) == 0 {
+		return
+	}
+	held := map[types.Object]bool{}
+	for _, o := range ctxs {
+		held[o] = true
+	}
+	ctxUsed := false
+	var solverCall *ast.CallExpr
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			if held[pass.TypesInfo.Uses[x]] {
+				ctxUsed = true
+			}
+		case *ast.CallExpr:
+			callee := calleeFunc(pass.TypesInfo, x)
+			if callee == nil || callee.Pkg() == nil {
+				return true
+			}
+			if callee.Pkg().Path() == "context" && (callee.Name() == "Background" || callee.Name() == "TODO") {
+				pass.Reportf(x.Pos(), "context.%s inside a function that already holds a ctx; propagate the caller's context so cancellation reaches the solvers", callee.Name())
+			}
+			if solverCall == nil {
+				for _, sp := range ctxflowSolverPkgs {
+					if pkgHasSuffix(callee.Pkg(), sp) {
+						solverCall = x
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	if !ctxUsed && solverCall != nil {
+		pass.Reportf(ft.Pos(), "ctx parameter is never used but the body calls into the solver layer (%s); plumb ctx through or set sat.Options.Stop/Deadline", pass.Fset.Position(solverCall.Pos()))
+	}
+}
+
+// checkGoJoinable requires every launched goroutine to be joinable. A
+// func-literal body qualifies when it contains a select, a channel
+// receive/send/close, a context use, or a sync.WaitGroup Done/Wait; a
+// named-function launch qualifies when an argument carries a context or
+// a channel. Everything else is the unjoined-goroutine bug class (or a
+// deliberate fire-and-forget, which must say so with
+// //bmclint:ignore ctxflow <reason>).
+func checkGoJoinable(pass *Pass, g *ast.GoStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		if bodyHasJoinSignal(pass, lit.Body) {
+			return
+		}
+		pass.Reportf(g.Pos(), "goroutine has no join or cancellation signal (no select, channel op, ctx use, or WaitGroup hand-off); races must be joinable so Check can return without leaks")
+		return
+	}
+	for _, arg := range g.Call.Args {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		t := types.Unalias(tv.Type)
+		if isNamedType(t, "context", "Context") {
+			return
+		}
+		if _, isChan := t.(*types.Chan); isChan {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(), "goroutine launched with no context or channel argument; it cannot be joined or cancelled")
+}
+
+// bodyHasJoinSignal scans a goroutine body for any construct that lets
+// the launcher (or a context) end or observe it.
+func bodyHasJoinSignal(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if _, isChan := types.Unalias(pass.TypesInfo.Types[x.X].Type).(*types.Chan); isChan && x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := pass.TypesInfo.Types[x.X]; ok {
+				if _, isChan := types.Unalias(tv.Type).(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[x]; obj != nil && isNamedType(obj.Type(), "context", "Context") {
+				found = true
+			}
+		case *ast.CallExpr:
+			switch fun := ast.Unparen(x.Fun).(type) {
+			case *ast.Ident:
+				if fun.Name == "close" && len(x.Args) == 1 {
+					if _, isChan := types.Unalias(pass.TypesInfo.Types[x.Args[0]].Type).(*types.Chan); isChan {
+						found = true
+					}
+				}
+			case *ast.SelectorExpr:
+				if f, ok := pass.TypesInfo.Uses[fun.Sel].(*types.Func); ok && f.Pkg() != nil && f.Pkg().Path() == "sync" {
+					if (f.Name() == "Done" || f.Name() == "Wait") && f.Signature().Recv() != nil {
+						if n := namedFrom(f.Signature().Recv().Type()); n != nil && n.Obj().Name() == "WaitGroup" {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,71 @@
+// Package lint is the repo's own go/analysis-style checker suite,
+// built on the standard library alone (go/ast, go/types, go/importer)
+// so it carries no module dependencies. cmd/bmclint serves it both as
+// a standalone multichecker (`bmclint ./...`) and as a vet tool
+// (`go vet -vettool=$(which bmclint) ./...`); the CI lint job runs the
+// latter, so a finding gates the build exactly like vet's own.
+//
+// The analyzers mechanize invariants that code review has had to carry
+// by hand:
+//
+//   - litsafe: lits.Lit values are opaque outside the encoding
+//     packages (internal/lits, internal/cnf, internal/sat,
+//     internal/unroll). Arithmetic on a Lit, or an int<->Lit
+//     conversion, anywhere else almost always means someone confused
+//     the literal encoding (var<<1 | sign) with a variable index.
+//
+//   - hotpath: the CDCL inner loop ((*sat.Solver).solve and everything
+//     it reaches inside internal/sat) must not pick up allocation or
+//     clock traps: time.Now/Since/Until, fmt formatting, map
+//     construction, or mutex operations. This is the mechanized form
+//     of the obs-overhead ablation's contract (cmd/tablegen
+//     -experiment=obs-overhead): that experiment measures that
+//     instrumentation keeps near-zero solve-loop cost, and the
+//     analyzer keeps the cost from creeping in between measurements.
+//     The solver's rate-limited deadline poll is the one sanctioned
+//     exception, marked with a //bmclint:ignore directive.
+//
+//   - ctxflow: in the solver layers (internal/sat, internal/racer,
+//     internal/portfolio, internal/engine) a function holding a
+//     context must not mint context.Background/TODO below it or drop
+//     the parameter unused, and goroutines must be joinable — a `go`
+//     statement whose body has no channel, context, or WaitGroup
+//     signal is a leak in a package whose whole point is racing and
+//     cancelling solvers.
+//
+//   - metricname: metric names reaching obs.Name or a Registry
+//     constructor must be snake_case compile-time constants (wrapper
+//     functions are traced to a fixpoint), and obs.Name label keys —
+//     the even positions of its key,value variadic tail — must be
+//     lower_snake identifiers. Keeps the metrics namespace greppable
+//     and the dashboards stable.
+//
+//   - nodeprecated: the pre-session entrypoints (bmc.Run*,
+//     induction.Prove*) are frozen compatibility shims; new code must
+//     go through engine.Session. Any use outside the defining packages
+//     and their tests is flagged, including taking a function value.
+//
+//   - eventexhaustive: switches over engine.EventKind must name every
+//     member — a default clause does not excuse omissions, because
+//     observers silently dropping a new event kind is exactly how the
+//     progress printer rotted before. Switches over sat.Status,
+//     engine.Verdict/Query/Kind, and core.Strategy need only be
+//     exhaustive when they lack a default.
+//
+// False positives are suppressed in place with
+//
+//	//bmclint:ignore <analyzer> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory, and
+// a malformed or unknown-analyzer directive is itself a finding, so
+// suppressions cannot rot silently. `all` suppresses every analyzer.
+//
+// Adding an analyzer: write a run function with the signature
+// func(*Pass) error that walks pass.Files and calls pass.Reportf,
+// declare a *Analyzer for it, append it to All() in registry.go, give
+// it a corpus under testdata/src/<letter>/ with // want comments, a
+// linttest.Run test, and add its name to the roster pin in
+// cmd/bmclint's TestAllAnalyzersRegistered. Both drivers (load.go for
+// directory mode, unitchecker.go for the vet protocol) pick it up from
+// All() with no further wiring.
+package lint

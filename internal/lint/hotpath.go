@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotpathPkg is the solver package; hotpathRoot the method whose static
+// call graph is the search hot path. (*Solver).solve is the CDCL loop
+// entered once per SolveAssuming call: everything reachable from it
+// runs per-decision/per-conflict, where the obs-overhead ablation
+// proved the <2% cost contract — a contract that holds only while no
+// clock syscalls, formatting, map allocation, or lock acquisition
+// creeps onto the path.
+const (
+	hotpathPkg      = "internal/sat"
+	hotpathRootType = "Solver"
+	hotpathRootFunc = "solve"
+)
+
+// HotPath forbids clocks, fmt, map allocation, and mutex acquisition in
+// functions statically reachable from the solver search loop.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc: "forbids time.Now/Since/Until, fmt.*, map allocation, and sync.(RW)Mutex " +
+		"acquisition in functions statically reachable from the solver search loop " +
+		"((*sat.Solver).solve), enforcing the <2% observability-overhead contract " +
+		"the obs ablation measures; justified exceptions (e.g. the rate-limited " +
+		"deadline poll) carry a //bmclint:ignore hotpath <reason>",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *Pass) error {
+	if !pkgHasSuffix(pass.Pkg, hotpathPkg) {
+		return nil
+	}
+
+	// Collect every function/method declared in the package with a body,
+	// keyed by its canonical object.
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+
+	// Same-package static call graph.
+	calls := map[*types.Func][]*types.Func{}
+	for obj, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+				if _, local := decls[callee]; local {
+					calls[obj] = append(calls[obj], callee)
+				}
+			}
+			return true
+		})
+	}
+
+	// BFS from the root.
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for obj := range decls {
+		if obj.Name() != hotpathRootFunc {
+			continue
+		}
+		recv := obj.Signature().Recv()
+		if recv != nil && isNamedType(recv.Type(), hotpathPkg, hotpathRootType) {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range calls[cur] {
+			if !reachable[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	for obj := range reachable {
+		fd := decls[obj]
+		name := obj.Name()
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				callee := calleeFunc(pass.TypesInfo, x)
+				if callee == nil {
+					// make(map[...]) is a builtin, not a *types.Func.
+					if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+						if tv, ok := pass.TypesInfo.Types[x.Args[0]]; ok {
+							if _, isMap := types.Unalias(tv.Type).(*types.Map); isMap {
+								pass.Reportf(x.Pos(), "map allocation in %s, reachable from the solver search loop; preallocate or use a slice keyed by dense index", name)
+							}
+						}
+					}
+					return true
+				}
+				cp := callee.Pkg()
+				if cp == nil {
+					return true
+				}
+				switch {
+				case cp.Path() == "time":
+					switch callee.Name() {
+					case "Now", "Since", "Until":
+						pass.Reportf(x.Pos(), "time.%s in %s, reachable from the solver search loop; clock syscalls are banned on the hot path (measure once per SolveAssuming instead)", callee.Name(), name)
+					}
+				case cp.Path() == "fmt":
+					pass.Reportf(x.Pos(), "fmt.%s in %s, reachable from the solver search loop; formatting allocates — keep it off the hot path", callee.Name(), name)
+				case cp.Path() == "sync":
+					switch callee.Name() {
+					case "Lock", "RLock", "Unlock", "RUnlock":
+						recv := callee.Signature().Recv()
+						if recv != nil {
+							if n := namedFrom(recv.Type()); n != nil && (n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex") {
+								pass.Reportf(x.Pos(), "sync.%s.%s in %s, reachable from the solver search loop; the solver is single-threaded by contract — locking here breaks the cost model", n.Obj().Name(), callee.Name(), name)
+							}
+						}
+					}
+				}
+			case *ast.CompositeLit:
+				if tv, ok := pass.TypesInfo.Types[x]; ok {
+					if _, isMap := types.Unalias(tv.Type).(*types.Map); isMap {
+						pass.Reportf(x.Pos(), "map literal in %s, reachable from the solver search loop; preallocate or use a slice keyed by dense index", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

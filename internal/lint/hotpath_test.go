@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestHotPath(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.HotPath}, "b/internal/sat")
+}
+
+// TestHotPathOtherPackages: the analyzer applies only to the solver
+// package; identical constructs elsewhere are not on the hot path, so
+// a corpus full of litsafe bait must produce zero hotpath findings.
+func TestHotPathOtherPackages(t *testing.T) {
+	pkg, err := linttest.Load(".", "a/use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.HotPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic outside %s: %s", "internal/sat", d)
+	}
+}

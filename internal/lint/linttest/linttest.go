@@ -1,0 +1,208 @@
+// Package linttest is the analysistest-style harness for the bmclint
+// analyzers: it loads a self-contained package corpus from a testdata
+// tree, runs analyzers over it, and checks the diagnostics against
+// // want "regex" comments in the sources.
+//
+// Corpus layout follows golang.org/x/tools/go/analysis/analysistest:
+// testdata/src/<importpath>/*.go, where imports of sibling corpora
+// resolve within the tree and everything else resolves to the standard
+// library (typechecked from GOROOT source, so the harness needs no
+// module cache or network).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// shared loader state: the source importer re-typechecks the stdlib
+// packages it sees, so one instance (and one FileSet) is shared across
+// all tests in the process.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	sourceImp  types.Importer
+	pkgCache   = map[string]*cachedPkg{}
+)
+
+type cachedPkg struct {
+	pkg *lint.Package
+	err error
+}
+
+// testImporter resolves corpus-local import paths against the testdata
+// tree and delegates everything else to the stdlib source importer.
+type testImporter struct {
+	srcRoot string
+}
+
+func (ti *testImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(ti.srcRoot, path); isDir(dir) {
+		p, err := loadLocked(ti.srcRoot, path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	if sourceImp == nil {
+		sourceImp = importer.ForCompiler(sharedFset, "source", nil)
+	}
+	return sourceImp.Import(path)
+}
+
+func isDir(path string) bool {
+	fi, err := os.Stat(path)
+	return err == nil && fi.IsDir()
+}
+
+// Load parses and typechecks the corpus package testdata/src/<path>
+// (testdata relative to dir), resolving sibling corpora recursively.
+func Load(dir, path string) (*lint.Package, error) {
+	loadMu.Lock()
+	defer loadMu.Unlock()
+	return loadLocked(filepath.Join(dir, "testdata", "src"), path)
+}
+
+func loadLocked(srcRoot, path string) (*lint.Package, error) {
+	key := srcRoot + "\x00" + path
+	if c, ok := pkgCache[key]; ok {
+		return c.pkg, c.err
+	}
+	// Mark in-progress to fail fast on import cycles instead of
+	// recursing forever.
+	pkgCache[key] = &cachedPkg{err: fmt.Errorf("import cycle through %q", path)}
+	pkg, err := loadUncached(srcRoot, path)
+	pkgCache[key] = &cachedPkg{pkg: pkg, err: err}
+	return pkg, err
+}
+
+func loadUncached(srcRoot, path string) (*lint.Package, error) {
+	dir := filepath.Join(srcRoot, path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := lint.NewTypesInfo()
+	conf := types.Config{Importer: &testImporter{srcRoot: srcRoot}}
+	tpkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	return &lint.Package{Fset: sharedFset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// wantStartRe locates a want marker inside a comment (line or block);
+// wantRe then extracts its quoted or backquoted regexes.
+var (
+	wantStartRe = regexp.MustCompile("\\bwant\\s+[\"`]")
+	wantRe      = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// collectWants parses every `// want "re" ["re" ...]` comment in the
+// package into line-keyed expectations.
+func collectWants(pkg *lint.Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				loc := wantStartRe.FindStringIndex(c.Text)
+				if loc == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[loc[0]:], -1) {
+					pat := m[1]
+					if pat == "" {
+						pat = m[2]
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Run loads the corpus package at testdata/src/<path> (testdata under
+// dir, conventionally the analyzer package's own directory), runs the
+// analyzers, and reports any mismatch between diagnostics and the
+// corpus's // want comments as test errors.
+func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, path string) {
+	t.Helper()
+	pkg, err := Load(dir, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants, err := collectWants(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// litsafePkg identifies the literal-defining package and the type name
+// policed.
+const (
+	litsafePkg  = "internal/lits"
+	litsafeType = "Lit"
+)
+
+// litsafeAllowed are the encoding packages that legitimately manipulate
+// the packed literal representation (2v / 2v+1 bit tricks, dense
+// indexing). Everyone else must go through the lits API — MkLit,
+// FromDimacs, Neg, XorSign, Var, Index — so a polarity slip like the
+// PR 4 StepFormula prop-index unsoundness cannot be re-introduced as
+// innocent-looking integer arithmetic.
+var litsafeAllowed = []string{
+	"internal/lits",
+	"internal/cnf",
+	"internal/sat",
+	"internal/unroll",
+}
+
+// LitSafe flags raw integer arithmetic on lits.Lit values and
+// int<->Lit conversions outside the encoding packages.
+var LitSafe = &Analyzer{
+	Name: "litsafe",
+	Doc: "flags raw-int arithmetic on lits.Lit and int<->Lit conversions outside the " +
+		"encoding packages (lits, cnf, sat, unroll); use the lits API (MkLit, FromDimacs, " +
+		"Neg, XorSign, Var, Index) instead of bit tricks on the packed representation",
+	Run: runLitSafe,
+}
+
+// litsafeArithOps are the operators that treat a Lit as a plain
+// integer. Comparisons are fine: literal order is part of the public
+// contract (canonical clause form sorts literals).
+var litsafeArithOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+	token.REM: true, token.AND: true, token.OR: true, token.XOR: true,
+	token.SHL: true, token.SHR: true, token.AND_NOT: true,
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true, token.MUL_ASSIGN: true,
+	token.QUO_ASSIGN: true, token.REM_ASSIGN: true, token.AND_ASSIGN: true,
+	token.OR_ASSIGN: true, token.XOR_ASSIGN: true, token.SHL_ASSIGN: true,
+	token.SHR_ASSIGN: true, token.AND_NOT_ASSIGN: true,
+}
+
+func runLitSafe(pass *Pass) error {
+	for _, allowed := range litsafeAllowed {
+		if pkgHasSuffix(pass.Pkg, allowed) {
+			return nil
+		}
+	}
+	isLit := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		return ok && isNamedType(tv.Type, litsafePkg, litsafeType)
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if litsafeArithOps[x.Op] && (isLit(x.X) || isLit(x.Y)) {
+					pass.Reportf(x.OpPos, "raw %s arithmetic on lits.Lit outside the encoding packages; use the lits API (Neg, XorSign, MkLit, Index)", x.Op)
+				}
+			case *ast.UnaryExpr:
+				if (x.Op == token.SUB || x.Op == token.XOR) && isLit(x.X) {
+					pass.Reportf(x.OpPos, "raw %s arithmetic on lits.Lit outside the encoding packages; use lits.Lit.Neg to flip polarity", x.Op)
+				}
+			case *ast.IncDecStmt:
+				if isLit(x.X) {
+					pass.Reportf(x.TokPos, "raw %s on lits.Lit outside the encoding packages; literals are not counters", x.Tok)
+				}
+			case *ast.AssignStmt:
+				if litsafeArithOps[x.Tok] {
+					for _, lhs := range x.Lhs {
+						if isLit(lhs) {
+							pass.Reportf(x.TokPos, "raw %s arithmetic on lits.Lit outside the encoding packages; use the lits API", x.Tok)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				target, ok := isConversion(pass.TypesInfo, x)
+				if !ok || len(x.Args) != 1 {
+					return true
+				}
+				argT := pass.TypesInfo.Types[x.Args[0]].Type
+				if argT == nil {
+					return true
+				}
+				switch {
+				case isNamedType(target, litsafePkg, litsafeType) && isIntegerType(argT):
+					pass.Reportf(x.Pos(), "int-to-lits.Lit conversion outside the encoding packages; construct literals with lits.MkLit/PosLit/NegLit/FromDimacs")
+				case isIntegerType(target) && isNamedType(argT, litsafePkg, litsafeType):
+					pass.Reportf(x.Pos(), "lits.Lit-to-%s conversion outside the encoding packages; use Lit.Index, Lit.Dimacs, or Lit.Var", types.Unalias(target))
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

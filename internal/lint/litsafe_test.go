@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestLitSafe(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.LitSafe}, "a/use")
+}
+
+// TestLitSafeAllowedPackages: the encoding packages own the packed
+// representation, so raw arithmetic there is legal.
+func TestLitSafeAllowedPackages(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.LitSafe}, "a/internal/sat")
+	linttest.Run(t, ".", []*lint.Analyzer{lint.LitSafe}, "a/internal/lits")
+}

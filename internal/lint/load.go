@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+)
+
+// Standalone loader: drives `go list -export -json -deps` to obtain
+// syntax plus gc export data for every dependency, then type-checks the
+// target packages with the compiler importer. This is what lets bmclint
+// run offline with zero module dependencies — the toolchain already
+// ships everything needed to typecheck the repo.
+
+// listPackage is the subset of `go list -json` output the loader
+// consumes.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	GoFiles    []string
+	CgoFiles   []string
+	Error      *struct{ Err string }
+}
+
+// goList runs the go tool and decodes the JSON stream.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-export", "-json", "-deps"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(out)
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	return pkgs, nil
+}
+
+// LoadPackages loads and type-checks the packages matched by patterns
+// (relative to dir), skipping dependencies that were pulled in only for
+// export data.
+func LoadPackages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	// Export-data lookup for the importer, keyed by import path.
+	exports := map[string]string{}
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 {
+			continue // cgo packages need the full build pipeline; none exist in this repo
+		}
+		pkg, err := typecheckDir(fset, imp, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// typecheckDir parses and type-checks one listed package.
+func typecheckDir(fset *token.FileSet, imp types.Importer, p *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		path := filepath.Join(p.Dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(error) {}, // collect via the returned error below
+	}
+	tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", p.ImportPath, err)
+	}
+	return &Package{Fset: fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// RunDir loads the packages matched by patterns under dir, runs the
+// analyzers, and writes diagnostics to w. It returns the number of
+// findings.
+func RunDir(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
+	pkgs, err := LoadPackages(dir, patterns)
+	if err != nil {
+		return 0, err
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			return total, err
+		}
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+			total++
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,334 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// metricnameObsPkg is the metrics registry package. Its registration
+// entrypoints (Registry.Counter/Gauge/Histogram) and the label helper
+// obs.Name seed the sink set; anything in the analyzed package that
+// forwards its first string parameter into a sink becomes a sink
+// itself (racer's p.name, portfolio's t.metric, the n := func(base
+// string) closures in per-package metrics files).
+const metricnameObsPkg = "internal/obs"
+
+// metricNameRe is the family_metric convention: lowercase snake_case
+// with at least two segments, so every name sorts by subsystem in
+// /metrics output and grep stays trivial.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+)+$`)
+
+// metricLabelRe is the lighter convention for label keys.
+var metricLabelRe = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// MetricName requires metric base names passed to the obs registry to
+// be package-level const identifiers matching family_metric.
+var MetricName = &Analyzer{
+	Name: "metricname",
+	Doc: "requires every metric base name reaching obs (Registry.Counter/Gauge/Histogram, " +
+		"obs.Name, and any intra-package wrapper that forwards into them) to be a declared " +
+		"const whose value matches ^[a-z][a-z0-9]*(_[a-z0-9]+)+$ — string literals at call " +
+		"sites drift and typo silently; consts are greppable and rename-safe",
+	Run: runMetricName,
+}
+
+// metricSinkParam returns which parameter index of the callee is a
+// metric base name, or -1. Seeds: obs.Name param 0 and the Registry
+// registration methods' param 0. extra maps additional (wrapper)
+// functions discovered by the fixpoint.
+func metricSinkParam(callee *types.Func, extra map[*types.Func]int) int {
+	if callee == nil {
+		return -1
+	}
+	if idx, ok := extra[callee]; ok {
+		return idx
+	}
+	if !pkgHasSuffix(callee.Pkg(), metricnameObsPkg) {
+		return -1
+	}
+	switch callee.Name() {
+	case "Name":
+		if callee.Signature().Recv() == nil {
+			return 0
+		}
+	case "Counter", "Gauge", "Histogram":
+		if recv := callee.Signature().Recv(); recv != nil {
+			if n := namedFrom(recv.Type()); n != nil && n.Obj().Name() == "Registry" {
+				return 0
+			}
+		}
+	}
+	return -1
+}
+
+func runMetricName(pass *Pass) error {
+	// The obs package itself builds names from parts; the convention is
+	// enforced at its callers.
+	if pkgHasSuffix(pass.Pkg, metricnameObsPkg) {
+		return nil
+	}
+
+	wrappers := findMetricWrappers(pass)
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			idx := metricSinkParam(callee, wrappers)
+			if idx < 0 || idx >= len(call.Args) {
+				return true
+			}
+			checkMetricArg(pass, call.Args[idx])
+			// obs.Name's variadic tail carries alternating key, value
+			// labels; keys at even offsets must be constant snake_case.
+			// A labels... slice pass-through cannot be inspected here.
+			if callee.Name() == "Name" && callee.Signature().Recv() == nil && !call.Ellipsis.IsValid() {
+				for i, lab := range call.Args[idx+1:] {
+					if i%2 == 0 {
+						checkMetricLabelKey(pass, lab)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// findMetricWrappers computes, by intra-package fixpoint, the set of
+// functions (incl. methods and func-literal values bound to variables)
+// that forward a string parameter into a known metric sink, mapping
+// each to the forwarded parameter's index.
+func findMetricWrappers(pass *Pass) map[*types.Func]int {
+	wrappers := map[*types.Func]int{}
+
+	// Bodies to scan: declared funcs and func literals assigned to
+	// identifiers (n := func(base string) string {...}).
+	type fnBody struct {
+		obj   types.Object // *types.Func or *types.Var (closure binding)
+		ftype *ast.FuncType
+		body  *ast.BlockStmt
+	}
+	var fns []fnBody
+	closureWrappers := map[types.Object]int{}
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body != nil {
+					if obj := pass.TypesInfo.Defs[x.Name]; obj != nil {
+						fns = append(fns, fnBody{obj, x.Type, x.Body})
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range x.Rhs {
+					lit, ok := rhs.(*ast.FuncLit)
+					if !ok || i >= len(x.Lhs) {
+						continue
+					}
+					id, ok := x.Lhs[i].(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[id]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[id]
+					}
+					if obj != nil {
+						fns = append(fns, fnBody{obj, lit.Type, lit.Body})
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	paramIndex := func(ft *ast.FuncType, target types.Object) int {
+		idx := 0
+		for _, field := range ft.Params.List {
+			for _, name := range field.Names {
+				if pass.TypesInfo.Defs[name] == target {
+					return idx
+				}
+				idx++
+			}
+			if len(field.Names) == 0 {
+				idx++
+			}
+		}
+		return -1
+	}
+
+	// Fixpoint: a function is a wrapper if some string parameter flows
+	// (directly as an argument identifier) into a sink parameter.
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range fns {
+			if _, done := wrapperIndexOf(fn.obj, wrappers, closureWrappers); done {
+				continue
+			}
+			found := -1
+			ast.Inspect(fn.body, func(n ast.Node) bool {
+				if found >= 0 {
+					return false
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sinkIdx := -1
+				if callee := calleeFunc(pass.TypesInfo, call); callee != nil {
+					sinkIdx = metricSinkParam(callee, wrappers)
+				}
+				if sinkIdx < 0 {
+					// Call through a closure variable?
+					if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if idx, ok := closureWrappers[pass.TypesInfo.Uses[id]]; ok {
+							sinkIdx = idx
+						}
+					}
+				}
+				if sinkIdx < 0 || sinkIdx >= len(call.Args) {
+					return true
+				}
+				id, ok := ast.Unparen(call.Args[sinkIdx]).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				argObj := pass.TypesInfo.Uses[id]
+				if argObj == nil {
+					return true
+				}
+				if pi := paramIndex(fn.ftype, argObj); pi >= 0 {
+					found = pi
+				}
+				return true
+			})
+			if found >= 0 {
+				if f, ok := fn.obj.(*types.Func); ok {
+					wrappers[f] = found
+				} else {
+					closureWrappers[fn.obj] = found
+				}
+				changed = true
+			}
+		}
+	}
+
+	// Closure wrappers can't be resolved through calleeFunc (the callee
+	// is a *types.Var); surface them by scanning calls directly here.
+	if len(closureWrappers) > 0 {
+		for _, f := range pass.Files {
+			if pass.InTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+				if !ok {
+					return true
+				}
+				idx, ok := closureWrappers[pass.TypesInfo.Uses[id]]
+				if !ok || idx >= len(call.Args) {
+					return true
+				}
+				checkMetricArg(pass, call.Args[idx])
+				return true
+			})
+		}
+	}
+	return wrappers
+}
+
+func wrapperIndexOf(obj types.Object, wrappers map[*types.Func]int, closures map[types.Object]int) (int, bool) {
+	if f, ok := obj.(*types.Func); ok {
+		idx, ok := wrappers[f]
+		return idx, ok
+	}
+	idx, ok := closures[obj]
+	return idx, ok
+}
+
+// checkMetricArg enforces the rule on one metric-name argument: it must
+// be a const identifier whose value matches the convention. A plain
+// parameter identifier is fine (it is the wrapper's own forwarding),
+// as is a variadic slice pass-through.
+func checkMetricArg(pass *Pass, arg ast.Expr) {
+	arg = ast.Unparen(arg)
+	switch x := arg.(type) {
+	case *ast.BasicLit:
+		pass.Reportf(arg.Pos(), "metric name is a string literal; declare it as a package-level const matching family_metric so names are greppable and rename-safe")
+		return
+	case *ast.Ident, *ast.SelectorExpr:
+		if c := constOf(pass.TypesInfo, x); c != nil {
+			if v := constant.StringVal(c.Val()); !metricNameRe.MatchString(v) {
+				pass.Reportf(arg.Pos(), "metric name const %s = %q does not match the family_metric convention (%s)", c.Name(), v, metricNameRe)
+			}
+			return
+		}
+		// A bare identifier that is a parameter or variable: allowed
+		// only if it is a wrapper's own parameter — but we cannot see
+		// that from here, so accept identifiers (the wrapper's call
+		// sites are checked instead) and reject everything below.
+		if id, ok := x.(*ast.Ident); ok {
+			if _, isVar := pass.TypesInfo.Uses[id].(*types.Var); isVar {
+				return
+			}
+		}
+		if sel, ok := x.(*ast.SelectorExpr); ok {
+			if _, isVar := pass.TypesInfo.Uses[sel.Sel].(*types.Var); isVar {
+				return
+			}
+		}
+		pass.Reportf(arg.Pos(), "metric name must be a declared const matching family_metric")
+	case *ast.CallExpr:
+		// Nested calls: allowed when the callee is itself obs.Name or a
+		// known wrapper (its own arguments get checked at that call);
+		// anything else is computing a name dynamically.
+		if callee := calleeFunc(pass.TypesInfo, x); callee != nil {
+			if pkgHasSuffix(callee.Pkg(), metricnameObsPkg) && callee.Name() == "Name" {
+				return
+			}
+			if callee.Pkg() == pass.Pkg {
+				return // intra-package helper; its body is under the same analysis
+			}
+		}
+		if _, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+			return // closure wrapper call; checked via closureWrappers scan
+		}
+		pass.Reportf(arg.Pos(), "metric name is computed by a call; pass a declared const (compose labels with obs.Name)")
+	case *ast.BinaryExpr:
+		pass.Reportf(arg.Pos(), "metric name is built by string concatenation; declare the full name as a const and put variable parts in labels via obs.Name")
+	default:
+		pass.Reportf(arg.Pos(), "metric name must be a declared const matching family_metric")
+	}
+}
+
+// checkMetricLabelKey validates one obs.Name label key (the even
+// positions of the variadic key, value, key, value... tail) when it is
+// a compile-time constant. Label values are free-form and often
+// dynamic (strategy names); keys must be stable snake_case.
+func checkMetricLabelKey(pass *Pass, arg ast.Expr) {
+	tv, ok := pass.TypesInfo.Types[ast.Unparen(arg)]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	if key := constant.StringVal(tv.Value); !metricLabelRe.MatchString(key) {
+		pass.Reportf(arg.Pos(), "metric label key %q does not match %s", key, metricLabelRe)
+	}
+}

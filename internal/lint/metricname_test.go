@@ -1,0 +1,18 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestMetricName(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.MetricName}, "d/use")
+}
+
+// TestMetricNameObsPackage: the registry package composes names from
+// parts by design; the convention binds its callers.
+func TestMetricNameObsPackage(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.MetricName}, "d/internal/obs")
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// deprecatedEntrypoints are the legacy top-level functions kept only
+// for external compatibility since the unified engine session API
+// landed. Internal code must construct an engine.Session (or use
+// engine.Check) instead, so option plumbing and observability are not
+// forked across two code paths.
+var deprecatedEntrypoints = map[string][]string{
+	"internal/bmc": {
+		"Run",
+		"RunIncremental",
+		"RunPortfolio",
+		"RunPortfolioIncremental",
+	},
+	"internal/induction": {
+		"Prove",
+		"ProvePortfolio",
+		"ProvePortfolioIncremental",
+	},
+}
+
+// NoDeprecated flags internal use of the deprecated legacy entrypoints.
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc: "flags internal references to the deprecated legacy entrypoints (bmc.Run*, " +
+		"induction.Prove*) superseded by the engine session API; they remain only for " +
+		"external callers, and new internal code must go through engine.NewSession/Check",
+	Run: runNoDeprecated,
+}
+
+func runNoDeprecated(pass *Pass) error {
+	// The defining packages may reference their own wrappers (one
+	// forwards to another), and tests exercise them on purpose.
+	for pkgSuffix := range deprecatedEntrypoints {
+		if pkgHasSuffix(pass.Pkg, pkgSuffix) {
+			return nil
+		}
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Signature().Recv() != nil {
+				return true
+			}
+			for pkgSuffix, names := range deprecatedEntrypoints {
+				if !pkgHasSuffix(fn.Pkg(), pkgSuffix) {
+					continue
+				}
+				for _, name := range names {
+					if fn.Name() == name {
+						pass.Reportf(id.Pos(), "%s.%s is deprecated; use the engine session API (engine.NewSession / engine.Check) so options and observability stay on one path", fn.Pkg().Name(), name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestNoDeprecated(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.NoDeprecated}, "e/use")
+}
+
+// TestNoDeprecatedDefiningPackage: the wrappers may forward to each
+// other inside their own package.
+func TestNoDeprecatedDefiningPackage(t *testing.T) {
+	linttest.Run(t, ".", []*lint.Analyzer{lint.NoDeprecated}, "e/internal/bmc")
+	linttest.Run(t, ".", []*lint.Analyzer{lint.NoDeprecated}, "e/internal/induction")
+}

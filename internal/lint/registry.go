@@ -1,0 +1,16 @@
+package lint
+
+// All returns every analyzer in the suite, in stable order. The
+// cmd/bmclint multichecker, the vet-tool driver, and the meta-test that
+// pins the roster all consume this single registry — adding an analyzer
+// here is the one required registration step.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LitSafe,
+		HotPath,
+		CtxFlow,
+		MetricName,
+		NoDeprecated,
+		EventExhaustive,
+	}
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+
+	"repro/internal/lint"
+)
+
+// TestSuppression runs the full suite over the suppression corpus: the
+// directives must silence exactly the findings they name, and bad
+// directives (malformed, unknown analyzer) must themselves be reported.
+func TestSuppression(t *testing.T) {
+	linttest.Run(t, ".", lint.All(), "g/use")
+}

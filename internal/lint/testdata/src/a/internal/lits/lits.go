@@ -1,0 +1,26 @@
+// Package lits is the corpus stand-in for the real literal package:
+// just enough API for the litsafe analyzer's positive and negative
+// cases to typecheck.
+package lits
+
+type Var int32
+
+type Lit int32
+
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return Lit(2*v + 1)
+	}
+	return Lit(2 * v)
+}
+
+func (l Lit) Neg() Lit   { return l ^ 1 }
+func (l Lit) Var() Var   { return Var(l >> 1) }
+func (l Lit) Index() int { return int(l) }
+func (l Lit) Sign() bool { return l&1 == 1 }
+func (l Lit) Dimacs() int {
+	if l.Sign() {
+		return -int(l.Var()) - 1
+	}
+	return int(l.Var()) + 1
+}

@@ -1,0 +1,7 @@
+// Package sat is an allowed encoding package: raw literal arithmetic
+// here is the point, so litsafe must stay silent.
+package sat
+
+import "a/internal/lits"
+
+func WatchIndex(l lits.Lit) int { return int(l ^ 1) }

@@ -1,0 +1,31 @@
+// Package use exercises litsafe outside the encoding packages: every
+// raw manipulation of the packed literal representation must be
+// flagged, while the lits API and plain comparisons stay legal.
+package use
+
+import "a/internal/lits"
+
+func Bad(l lits.Lit, i int) {
+	_ = l + 1       // want `raw \+ arithmetic on lits\.Lit`
+	_ = l ^ 1       // want `raw \^ arithmetic on lits\.Lit`
+	_ = 2 * l       // want `raw \* arithmetic on lits\.Lit`
+	_ = -l          // want `raw - arithmetic on lits\.Lit`
+	_ = lits.Lit(i) // want `int-to-lits\.Lit conversion`
+	_ = int(l)      // want `lits\.Lit-to-int conversion`
+	_ = int32(l)    // want `lits\.Lit-to-int32 conversion`
+	l++             // want `raw \+\+ on lits\.Lit`
+	l += 2          // want `raw \+= arithmetic on lits\.Lit`
+	_ = l
+}
+
+func Good(a, b lits.Lit, v lits.Var) {
+	_ = a.Neg()
+	_ = lits.MkLit(v, true)
+	_ = a.Index()
+	_ = a.Dimacs()
+	if a < b { // comparisons are part of the canonical-order contract
+		_ = a
+	}
+	_ = lits.Var(3) // Var is the dense-index idiom, not policed
+	_ = int(v)
+}

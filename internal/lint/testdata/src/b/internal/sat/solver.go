@@ -1,0 +1,49 @@
+// Package sat is the hotpath corpus: a miniature solver whose solve
+// method reaches helpers both clean and dirty. Only code statically
+// reachable from (*Solver).solve may be flagged.
+package sat
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+type Solver struct {
+	mu    sync.Mutex
+	seen  map[int]bool
+	count int64
+}
+
+func (s *Solver) solve() int {
+	for i := 0; i < 4; i++ {
+		s.propagate(i)
+		s.analyze(i)
+	}
+	_ = time.Now() // want `time\.Now in solve, reachable from the solver search loop`
+	return 0
+}
+
+func (s *Solver) propagate(i int) {
+	s.count++
+	s.mu.Lock()              // want `sync\.Mutex\.Lock in propagate, reachable from the solver search loop`
+	s.mu.Unlock()            // want `sync\.Mutex\.Unlock in propagate, reachable from the solver search loop`
+	_ = fmt.Sprintf("%d", i) // want `fmt\.Sprintf in propagate, reachable from the solver search loop`
+}
+
+func (s *Solver) analyze(i int) {
+	s.deep(i)
+}
+
+// deep is two hops from solve: still on the hot path.
+func (s *Solver) deep(i int) {
+	m := make(map[int]bool) // want `map allocation in deep, reachable from the solver search loop`
+	m[i] = true
+	_ = map[string]int{"a": 1} // want `map literal in deep, reachable from the solver search loop`
+}
+
+// Report is NOT reachable from solve: clocks and fmt are fine here.
+func (s *Solver) Report() string {
+	start := time.Now()
+	return fmt.Sprintf("elapsed %v count %d", time.Since(start), s.count)
+}

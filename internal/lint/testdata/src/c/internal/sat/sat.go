@@ -1,0 +1,9 @@
+// Package sat is the ctxflow corpus's stand-in solver layer: calls
+// into it from a ctx-holding function must use the ctx.
+package sat
+
+type Options struct {
+	Stop <-chan struct{}
+}
+
+func Solve(n int, opts Options) int { return n }

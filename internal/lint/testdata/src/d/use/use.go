@@ -1,0 +1,54 @@
+// Package use exercises metricname: literal names, malformed consts,
+// concatenation, label keys, and the three wrapper shapes used by the
+// real tree (closure, method, plain function).
+package use
+
+import "d/internal/obs"
+
+const (
+	goodName = "solver_decisions_total"
+	badName  = "SolverDecisions" // not snake_case
+	oneWord  = "solver"          // fewer than two segments
+	goodWait = "portfolio_queue_wait_nanos"
+)
+
+func Direct(reg *obs.Registry) {
+	reg.Counter(goodName)
+	reg.Counter("solver_conflicts_total") // want `metric name is a string literal`
+	reg.Gauge(badName)                    // want `does not match the family_metric convention`
+	reg.Histogram(oneWord)                // want `does not match the family_metric convention`
+	reg.Counter(goodName + "_x")          // want `string concatenation`
+	reg.Counter(obs.Name(goodWait, "query", "bmc"))
+	reg.Counter(obs.Name(goodWait, "Bad-Key", "bmc")) // want `metric label key "Bad-Key" does not match`
+	reg.Counter(obs.Name("portfolio_wins_total"))     // want `metric name is a string literal`
+}
+
+// metricT mirrors portfolio.Telemetry's t.metric wrapper method.
+type metricT struct {
+	reg *obs.Registry
+}
+
+func (t *metricT) metric(base string, labels ...string) *obs.Counter {
+	return t.reg.Counter(obs.Name(base, labels...))
+}
+
+func Methods(t *metricT) {
+	t.metric(goodName).Inc()
+	t.metric("portfolio_races_total").Inc() // want `metric name is a string literal`
+}
+
+// Closure mirrors sat.NewMetrics' n := func(base string) wrapper.
+func Closure(reg *obs.Registry, labels []string) {
+	n := func(base string) string { return obs.Name(base, labels...) }
+	reg.Counter(n(goodName))
+	reg.Counter(n("unroll_frames_total")) // want `metric name is a string literal`
+}
+
+// forward is a plain-function wrapper one hop deeper: the fixpoint must
+// find it through the method wrapper.
+func forward(t *metricT, base string) *obs.Counter { return t.metric(base) }
+
+func Deep(t *metricT) {
+	forward(t, goodName).Inc()
+	forward(t, "bus_exported_total").Inc() // want `metric name is a string literal`
+}

@@ -1,0 +1,12 @@
+// Package bmc declares the corpus's deprecated legacy entrypoints.
+// Cross-references inside the defining package are allowed (wrappers
+// forward to each other).
+package bmc
+
+func Run(depth int) int                     { return RunIncremental(depth) }
+func RunIncremental(depth int) int          { return depth }
+func RunPortfolio(depth int) int            { return depth }
+func RunPortfolioIncremental(depth int) int { return depth }
+
+// Check is the corpus stand-in for the supported path.
+func Check(depth int) int { return depth }

@@ -1,0 +1,6 @@
+// Package induction declares the corpus's deprecated proof wrappers.
+package induction
+
+func Prove(depth int) int                     { return depth }
+func ProvePortfolio(depth int) int            { return depth }
+func ProvePortfolioIncremental(depth int) int { return depth }

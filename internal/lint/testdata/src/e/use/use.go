@@ -1,0 +1,22 @@
+// Package use exercises nodeprecated: internal references to the
+// legacy entrypoints are flagged, including mentions that are not
+// direct calls (a function value still re-exports the legacy path).
+package use
+
+import (
+	"e/internal/bmc"
+	"e/internal/induction"
+)
+
+func Legacy(depth int) int {
+	a := bmc.Run(depth)                     // want `bmc\.Run is deprecated`
+	b := bmc.RunPortfolioIncremental(depth) // want `bmc\.RunPortfolioIncremental is deprecated`
+	c := induction.Prove(depth)             // want `induction\.Prove is deprecated`
+	d := induction.ProvePortfolio(depth)    // want `induction\.ProvePortfolio is deprecated`
+	f := bmc.RunIncremental                 // want `bmc\.RunIncremental is deprecated`
+	return a + b + c + d + f(depth)
+}
+
+func Supported(depth int) int {
+	return bmc.Check(depth)
+}

@@ -1,0 +1,21 @@
+// Package engine declares the corpus's enum types: EventKind (strict —
+// a default clause does not excuse missing members) and Verdict (lax).
+package engine
+
+type EventKind int
+
+const (
+	DepthStarted EventKind = iota
+	DepthFinished
+	RaceFinished
+	ExchangeFlushed
+)
+
+type Verdict int
+
+const (
+	Unknown Verdict = iota
+	Falsified
+	Holds
+	Proved
+)

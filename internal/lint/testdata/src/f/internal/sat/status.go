@@ -1,0 +1,11 @@
+// Package sat declares the corpus's solver Status enum (lax).
+package sat
+
+type Status int8
+
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+	Interrupted
+)

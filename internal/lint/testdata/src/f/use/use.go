@@ -1,0 +1,81 @@
+// Package use exercises eventexhaustive over strict (EventKind) and
+// lax (Status, Verdict) enum types.
+package use
+
+import (
+	"f/internal/engine"
+	"f/internal/sat"
+)
+
+func StrictMissing(k engine.EventKind) int {
+	switch k { // want `switch over engine\.EventKind does not handle ExchangeFlushed and RaceFinished`
+	case engine.DepthStarted:
+		return 1
+	case engine.DepthFinished:
+		return 2
+	}
+	return 0
+}
+
+// StrictDefaultNoExcuse: for EventKind even a default clause does not
+// excuse missing members — the event stream must be consumed knowingly.
+func StrictDefaultNoExcuse(k engine.EventKind) int {
+	switch k { // want `default clause does not excuse missing members of this strict type.*does not handle RaceFinished`
+	case engine.DepthStarted, engine.DepthFinished, engine.ExchangeFlushed:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func StrictComplete(k engine.EventKind) int {
+	switch k {
+	case engine.DepthStarted:
+		return 1
+	case engine.DepthFinished:
+		return 2
+	case engine.RaceFinished:
+		return 3
+	case engine.ExchangeFlushed:
+		return 4
+	}
+	return 0
+}
+
+func LaxMissing(s sat.Status) int {
+	switch s { // want `switch over sat\.Status does not handle Interrupted and Unknown`
+	case sat.Sat:
+		return 1
+	case sat.Unsat:
+		return 2
+	}
+	return 0
+}
+
+// LaxDefaultOK: for lax types a default clause is the remainder handler.
+func LaxDefaultOK(s sat.Status) int {
+	switch s {
+	case sat.Sat:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func LaxVerdict(v engine.Verdict) int {
+	switch v { // want `switch over engine\.Verdict does not handle Falsified`
+	case engine.Unknown, engine.Holds, engine.Proved:
+		return 1
+	}
+	return 0
+}
+
+// NonConstantCase: coverage cannot be reasoned about, so the analyzer
+// must stay silent.
+func NonConstantCase(s sat.Status, dynamic sat.Status) int {
+	switch s {
+	case dynamic:
+		return 1
+	}
+	return 0
+}

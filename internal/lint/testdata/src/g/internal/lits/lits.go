@@ -1,0 +1,6 @@
+// Package lits is the suppression corpus's literal package.
+package lits
+
+type Lit int32
+
+func (l Lit) Neg() Lit { return l ^ 1 }

@@ -1,0 +1,31 @@
+// Package use exercises //bmclint:ignore handling: same-line and
+// line-above suppressions, the "all" wildcard, malformed directives,
+// and directives naming unknown analyzers.
+package use
+
+import "g/internal/lits"
+
+func Suppressed(l lits.Lit) {
+	_ = l + 1 //bmclint:ignore litsafe corpus demonstrates the packed encoding on purpose
+
+	//bmclint:ignore litsafe line-above form also suppresses
+	_ = l ^ 1
+
+	_ = l * 2 //bmclint:ignore all wildcard suppresses every analyzer
+}
+
+func NotSuppressed(l lits.Lit) {
+	_ = l + 1 // want `raw \+ arithmetic on lits\.Lit`
+
+	_ = l - 1 //bmclint:ignore hotpath wrong analyzer name does not suppress litsafe // want `raw - arithmetic on lits\.Lit`
+}
+
+func BadDirectives(l lits.Lit) {
+	// A directive with no reason is itself a finding: exceptions must
+	// be justified in place.
+	/* want `malformed suppression` */ //bmclint:ignore litsafe
+	_ = l.Neg()
+
+	//bmclint:ignore nosuchanalyzer a typo must not silently disable nothing -- want `suppression names unknown analyzer`
+	_ = l.Neg()
+}

@@ -1,0 +1,145 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+)
+
+// Vet-tool driver. `go vet -vettool=bmclint ./...` invokes the tool
+// once per package with a JSON config file describing the sources,
+// the import map, and where every dependency's export data lives —
+// the same contract golang.org/x/tools/go/analysis/unitchecker
+// implements, reproduced here on the stdlib only.
+
+// vetConfig mirrors the JSON written by cmd/go for vet tools.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunVetTool executes one vet invocation: reads the config, typechecks
+// the package, runs the analyzers, and prints diagnostics to w in the
+// format cmd/go expects (it parses "file:line:col: message" lines from
+// the tool's stderr). It returns the process exit code: 0 for clean,
+// 2 for findings, 1 for operational errors.
+func RunVetTool(w io.Writer, cfgPath string, analyzers []*Analyzer) int {
+	cfg, err := readVetConfig(cfgPath)
+	if err != nil {
+		fmt.Fprintf(w, "bmclint: %v\n", err)
+		return 1
+	}
+
+	// cmd/go asks dependencies to produce "vetx" facts before the
+	// target. This suite is fact-free, so dependency runs just emit an
+	// empty vetx file and succeed.
+	if err := writeVetx(cfg.VetxOutput); err != nil {
+		fmt.Fprintf(w, "bmclint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	pkg, err := typecheckVetConfig(cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(w, "bmclint: %v\n", err)
+		return 1
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(w, "bmclint: %v\n", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		// go vet prefixes the package; emit position and message only.
+		fmt.Fprintf(w, "%s: %s (bmclint/%s)\n", d.Pos, d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+func readVetConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// writeVetx writes the (empty) facts file cmd/go caches for this
+// package. A missing VetxOutput (older toolchains running with
+// -vettool on a leaf invocation) is not an error.
+func writeVetx(path string) error {
+	if path == "" {
+		return nil
+	}
+	return os.WriteFile(path, nil, 0o666)
+}
+
+// typecheckVetConfig parses and typechecks the package described by the
+// vet config, resolving imports through its ImportMap/PackageFile
+// tables.
+func typecheckVetConfig(cfg *vetConfig) (*Package, error) {
+	if cfg.Compiler != "gc" && cfg.Compiler != "" {
+		return nil, fmt.Errorf("unsupported compiler %q", cfg.Compiler)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: cfg.GoVersion,
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", cfg.ImportPath, err)
+	}
+	return &Package{Fset: fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
+}

@@ -10,6 +10,16 @@ import (
 	"repro/internal/sat"
 )
 
+// Portfolio metric base names (family_metric convention, enforced by
+// bmclint/metricname).
+const (
+	metricPortfolioRaces          = "portfolio_races_total"
+	metricPortfolioWins           = "portfolio_wins_total"
+	metricPortfolioLoserConflicts = "portfolio_loser_conflicts_total"
+	metricPortfolioQueueWait      = "portfolio_queue_wait_nanos"
+	metricPortfolioAbortedRaces   = "portfolio_aborted_races_total"
+)
+
 // DepthWin records who won one depth's race and what the race cost.
 type DepthWin struct {
 	K      int
@@ -120,12 +130,12 @@ func (t *Telemetry) Observe(k int, r *RaceResult) {
 	t.Depths = append(t.Depths, dw)
 
 	if t.reg != nil {
-		t.metric("portfolio_races_total").Inc()
+		t.metric(metricPortfolioRaces).Inc()
 		if dw.Winner != "" {
-			t.metric("portfolio_wins_total", "strategy", dw.Winner).Inc()
+			t.metric(metricPortfolioWins, "strategy", dw.Winner).Inc()
 		}
-		t.metric("portfolio_loser_conflicts_total").Add(dw.LoserConflicts)
-		wait := t.reg.Histogram(obs.Name("portfolio_queue_wait_nanos", "query", t.query))
+		t.metric(metricPortfolioLoserConflicts).Add(dw.LoserConflicts)
+		wait := t.reg.Histogram(obs.Name(metricPortfolioQueueWait, "query", t.query))
 		for _, o := range r.Outcomes {
 			if !o.Skipped {
 				wait.Observe(int64(o.Wait))
@@ -145,7 +155,7 @@ func (t *Telemetry) ObserveAborted(k int, r *RaceResult) {
 		t.AbortedConflicts += o.Stats.Conflicts
 	}
 	if t.reg != nil {
-		t.metric("portfolio_aborted_races_total").Inc()
+		t.metric(metricPortfolioAbortedRaces).Inc()
 	}
 }
 

@@ -97,7 +97,7 @@ func (p *Pool) exchange(out *DepthOutcome, k int) {
 		from.exported += int64(len(clauses))
 		out.Exported[from.name] += int64(len(clauses))
 		if p.cfg.Metrics != nil {
-			p.cfg.Metrics.Counter(p.name("bus_exported_total", "from", from.name)).Add(int64(len(clauses)))
+			p.cfg.Metrics.Counter(p.name(metricBusExported, "from", from.name)).Add(int64(len(clauses)))
 		}
 		for j, to := range p.racers {
 			if j == i || (ex.ReserveFirst && j == 0) {
@@ -124,8 +124,8 @@ func (p *Pool) exchange(out *DepthOutcome, k int) {
 			if p.cfg.Metrics != nil {
 				// Per-link series: the wire-visible health signal of each
 				// from→to edge of the bus mesh.
-				p.cfg.Metrics.Counter(p.name("bus_imported_total", "from", from.name, "to", to.name)).Add(accepted)
-				p.cfg.Metrics.Counter(p.name("bus_dedup_dropped_total", "from", from.name, "to", to.name)).Add(dropped)
+				p.cfg.Metrics.Counter(p.name(metricBusImported, "from", from.name, "to", to.name)).Add(accepted)
+				p.cfg.Metrics.Counter(p.name(metricBusDedupDropped, "from", from.name, "to", to.name)).Add(dropped)
 			}
 		}
 	}

@@ -39,6 +39,16 @@ import (
 	"repro/internal/sat"
 )
 
+// Racer and clause-bus metric base names (family_metric convention,
+// enforced by bmclint/metricname).
+const (
+	metricRacerConflicts  = "racer_conflicts_total"
+	metricRacerWins       = "racer_wins_total"
+	metricBusExported     = "bus_exported_total"
+	metricBusImported     = "bus_imported_total"
+	metricBusDedupDropped = "bus_dedup_dropped_total"
+)
+
 // RaceFunc races a set of live solvers under an assumption list and
 // returns the first verdict, cancelling the rest — the signature of
 // portfolio.RaceLive. The pool calls it for every depth; injecting a
@@ -187,9 +197,9 @@ func NewPool(src Source, cfg Config) *Pool {
 		}
 		if cfg.Metrics != nil {
 			solverOpts.Metrics = sat.NewMetrics(cfg.Metrics, p.labels("strategy", r.name)...)
-			r.mWarmConflicts = cfg.Metrics.Counter(p.name("racer_conflicts_total", "strategy", r.name, "state", "warm"))
-			r.mColdConflicts = cfg.Metrics.Counter(p.name("racer_conflicts_total", "strategy", r.name, "state", "cold"))
-			r.mWins = cfg.Metrics.Counter(p.name("racer_wins_total", "strategy", r.name))
+			r.mWarmConflicts = cfg.Metrics.Counter(p.name(metricRacerConflicts, "strategy", r.name, "state", "warm"))
+			r.mColdConflicts = cfg.Metrics.Counter(p.name(metricRacerConflicts, "strategy", r.name, "state", "cold"))
+			r.mWins = cfg.Metrics.Counter(p.name(metricRacerWins, "strategy", r.name))
 		}
 		r.solver = sat.New(cnf.New(0), solverOpts)
 		p.racers = append(p.racers, r)

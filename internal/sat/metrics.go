@@ -24,6 +24,20 @@ type Metrics struct {
 	ConflictsPerSolve *obs.Histogram
 }
 
+// Solver metric base names (family_metric convention, enforced by
+// bmclint/metricname).
+const (
+	metricSolverDecisions         = "solver_decisions_total"
+	metricSolverPropagations      = "solver_propagations_total"
+	metricSolverConflicts         = "solver_conflicts_total"
+	metricSolverRestarts          = "solver_restarts_total"
+	metricSolverLearned           = "solver_learned_total"
+	metricSolverDeleted           = "solver_deleted_total"
+	metricSolverSolves            = "solver_solves_total"
+	metricSolverSolveNanos        = "solver_solve_nanos_total"
+	metricSolverConflictsPerSolve = "solver_conflicts_per_solve"
+)
+
 // NewMetrics registers the solver metric family under reg with the
 // given label pairs (e.g. "strategy", "vsids", "query", "bmc") baked
 // into every series. A nil registry yields a *Metrics full of nil
@@ -31,15 +45,15 @@ type Metrics struct {
 func NewMetrics(reg *obs.Registry, labels ...string) *Metrics {
 	n := func(base string) string { return obs.Name(base, labels...) }
 	return &Metrics{
-		Decisions:         reg.Counter(n("solver_decisions_total")),
-		Propagations:      reg.Counter(n("solver_propagations_total")),
-		Conflicts:         reg.Counter(n("solver_conflicts_total")),
-		Restarts:          reg.Counter(n("solver_restarts_total")),
-		Learned:           reg.Counter(n("solver_learned_total")),
-		Deleted:           reg.Counter(n("solver_deleted_total")),
-		Solves:            reg.Counter(n("solver_solves_total")),
-		SolveNanos:        reg.Counter(n("solver_solve_nanos_total")),
-		ConflictsPerSolve: reg.Histogram(n("solver_conflicts_per_solve")),
+		Decisions:         reg.Counter(n(metricSolverDecisions)),
+		Propagations:      reg.Counter(n(metricSolverPropagations)),
+		Conflicts:         reg.Counter(n(metricSolverConflicts)),
+		Restarts:          reg.Counter(n(metricSolverRestarts)),
+		Learned:           reg.Counter(n(metricSolverLearned)),
+		Deleted:           reg.Counter(n(metricSolverDeleted)),
+		Solves:            reg.Counter(n(metricSolverSolves)),
+		SolveNanos:        reg.Counter(n(metricSolverSolveNanos)),
+		ConflictsPerSolve: reg.Histogram(n(metricSolverConflictsPerSolve)),
 	}
 }
 

@@ -884,6 +884,7 @@ func (s *Solver) pollDeadline() bool {
 		return false
 	}
 	s.sinceDeadlinePoll = 0
+	//bmclint:ignore hotpath rate-limited to one clock read per StopCheckEvery conflicts; this is the sanctioned deadline poll
 	return time.Now().After(s.opts.Deadline)
 }
 

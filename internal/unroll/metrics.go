@@ -24,18 +24,29 @@ type Metrics struct {
 	FrameClauses *obs.Histogram
 }
 
+// Unroller metric base names (family_metric convention, enforced by
+// bmclint/metricname).
+const (
+	metricUnrollFrames       = "unroll_frames_total"
+	metricUnrollBuildNanos   = "unroll_build_nanos_total"
+	metricUnrollClauses      = "unroll_clauses_total"
+	metricUnrollLiterals     = "unroll_literals_total"
+	metricUnrollVars         = "unroll_vars"
+	metricUnrollFrameClauses = "unroll_frame_clauses"
+)
+
 // NewMetrics registers the unroll metric family under reg with the given
 // label pairs (e.g. "query", "bmc") baked into every series. A nil
 // registry yields no-op handles.
 func NewMetrics(reg *obs.Registry, labels ...string) *Metrics {
 	n := func(base string) string { return obs.Name(base, labels...) }
 	return &Metrics{
-		Frames:       reg.Counter(n("unroll_frames_total")),
-		BuildNanos:   reg.Counter(n("unroll_build_nanos_total")),
-		Clauses:      reg.Counter(n("unroll_clauses_total")),
-		Literals:     reg.Counter(n("unroll_literals_total")),
-		Vars:         reg.Gauge(n("unroll_vars")),
-		FrameClauses: reg.Histogram(n("unroll_frame_clauses")),
+		Frames:       reg.Counter(n(metricUnrollFrames)),
+		BuildNanos:   reg.Counter(n(metricUnrollBuildNanos)),
+		Clauses:      reg.Counter(n(metricUnrollClauses)),
+		Literals:     reg.Counter(n(metricUnrollLiterals)),
+		Vars:         reg.Gauge(n(metricUnrollVars)),
+		FrameClauses: reg.Histogram(n(metricUnrollFrameClauses)),
 	}
 }
 
