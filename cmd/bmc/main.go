@@ -329,7 +329,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "bmc:", err)
 			return 2
 		}
-		defer ln.Close()
 		mux := http.NewServeMux()
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -340,8 +339,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		//bmclint:ignore ctxflow debug/metrics server is deliberately process-lifetime; it dies with the process
-		go http.Serve(ln, mux) //nolint:errcheck // dies with the process
+		// The debug server lives exactly as long as the check: once run
+		// returns (verdict, SIGINT, timeout — all funnel through the
+		// check's context), the deferred Close tears the listener down
+		// and the join channel waits for the serve goroutine to exit, so
+		// nothing leaks past the run boundary.
+		srv := &http.Server{Handler: mux}
+		srvDone := make(chan struct{})
+		go func() {
+			defer close(srvDone)
+			srv.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+		}()
+		defer func() {
+			srv.Close() //nolint:errcheck // best-effort teardown
+			<-srvDone
+		}()
 		if !*jsonOut {
 			fmt.Fprintf(stdout, "serving /metrics and /debug/pprof/ on %s\n", ln.Addr())
 		}

@@ -17,18 +17,48 @@
 // -csv switches the output to machine-readable CSV where available, -quick
 // caps depths and budgets for a fast smoke run, and -budget sets the
 // per-model wall-clock cap (the analogue of the paper's 2-hour timeout).
+// For the engine-shape ablations (portfolio, incremental, warm),
+// -bench-json additionally writes the result as a perfbench artifact —
+// the same schema-versioned JSON cmd/bmcbench emits — so ablation trends
+// feed the same baseline/Compare machinery as the bench observatory.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/perfbench"
 )
+
+// validExperiments is the single source of the -experiment vocabulary:
+// the flag's usage string and the unknown-name error both render it, the
+// same ValidNames discipline portfolio.ParseSet applies to strategy sets.
+func validExperiments() []string {
+	return []string{
+		"table1", "fig6", "fig7", "overhead", "obs-overhead", "cdgmemory",
+		"ablation", "threshold", "timeaxis", "portfolio", "incremental",
+		"warm", "all",
+	}
+}
+
+// kindPath derives the k-induction half's artifact path from the BMC
+// one: BENCH_warm.json -> BENCH_warm-kind.json. Empty stays empty
+// (-bench-json unset).
+func kindPath(path string) string {
+	if path == "" {
+		return ""
+	}
+	if strings.HasSuffix(path, ".json") {
+		return strings.TrimSuffix(path, ".json") + "-kind.json"
+	}
+	return path + "-kind"
+}
 
 func main() {
 	os.Exit(run())
@@ -36,11 +66,12 @@ func main() {
 
 func run() int {
 	var (
-		exp    = flag.String("experiment", "table1", "table1|fig6|fig7|overhead|obs-overhead|cdgmemory|ablation|threshold|timeaxis|portfolio|incremental|warm|all")
-		budget = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
-		quick  = flag.Bool("quick", false, "cap depths for a fast smoke run")
-		csv    = flag.Bool("csv", false, "emit CSV instead of the text table")
-		model  = flag.String("model", bench.Fig7Model, "model for -experiment=fig7")
+		exp       = flag.String("experiment", "table1", "one of "+strings.Join(validExperiments(), "|"))
+		budget    = flag.Duration("budget", 20*time.Second, "per-(model,strategy) wall-clock budget")
+		quick     = flag.Bool("quick", false, "cap depths for a fast smoke run")
+		csv       = flag.Bool("csv", false, "emit CSV instead of the text table")
+		model     = flag.String("model", bench.Fig7Model, "model for -experiment=fig7")
+		benchJSON = flag.String("bench-json", "", "also write the ablation as a perfbench artifact (schema-versioned JSON) to this path; applies to portfolio|incremental|warm (warm writes a second *-kind file)")
 	)
 	flag.Parse()
 
@@ -146,13 +177,34 @@ func run() int {
 		res.Write(os.Stdout)
 		return nil
 	}
+	// writeBenchJSON persists a converted ablation artifact when
+	// -bench-json asks for one; the path lands on stderr so it never
+	// disturbs piped table/CSV output.
+	writeBenchJSON := func(path string, art *perfbench.Artifact) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := art.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "tablegen: wrote %s (%d cells)\n", path, len(art.Cells))
+		return nil
+	}
 	runPortfolio := func() error {
 		res, err := experiments.RunPortfolioAblation(ablationCfg)
 		if err != nil {
 			return err
 		}
 		res.Write(os.Stdout)
-		return nil
+		return writeBenchJSON(*benchJSON, perfbench.FromPortfolioAblation(res))
 	}
 	runIncremental := func() error {
 		res, err := experiments.RunIncrementalAblation(ablationCfg, core.OrderDynamic)
@@ -160,7 +212,7 @@ func run() int {
 			return err
 		}
 		res.Write(os.Stdout)
-		return nil
+		return writeBenchJSON(*benchJSON, perfbench.FromIncrementalAblation(res))
 	}
 	runWarm := func() error {
 		res, err := experiments.RunWarmAblation(ablationCfg)
@@ -168,6 +220,9 @@ func run() int {
 			return err
 		}
 		res.Write(os.Stdout)
+		if err := writeBenchJSON(*benchJSON, perfbench.FromWarmAblation(res)); err != nil {
+			return err
+		}
 		// The k-induction half of the warm story: the same persistent
 		// pools over the base and step query sequences. The per-instance
 		// conflict cap never binds a race winner (hundreds of conflicts on
@@ -185,7 +240,10 @@ func run() int {
 		}
 		fmt.Println()
 		kres.Write(os.Stdout)
-		return nil
+		// The two warm halves share model names and cold/warm/shared shapes,
+		// so they cannot share one artifact (duplicate cell keys); the
+		// k-induction half goes to a sibling *-kind file.
+		return writeBenchJSON(kindPath(*benchJSON), perfbench.FromWarmKindAblation(kres))
 	}
 
 	var err error
@@ -222,7 +280,8 @@ func run() int {
 			fmt.Println()
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "tablegen: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "tablegen: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(validExperiments(), ", "))
 		return 2
 	}
 	if err != nil {

@@ -124,8 +124,8 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 		switch r.Status {
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = u.ExtractTrace(r.Model, k)
@@ -147,13 +147,13 @@ func (s *Session) runBMCScratch(ctx context.Context, u *unroll.Unroller) (*Resul
 				}
 			}
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		default: // Unknown/Interrupted: budget exhausted or cancelled mid-instance
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -228,8 +228,8 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 		switch r.Status {
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = d.ExtractTrace(r.Model, k)
@@ -250,13 +250,13 @@ func (s *Session) runBMCIncremental(ctx context.Context, u *unroll.Unroller) (*R
 				rec.ResetFinal()
 			}
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		default: // Unknown/Interrupted
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -333,8 +333,8 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 			// Every racer exhausted its budget, or the race was cancelled.
 			ds.Status = sat.Unknown
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -348,8 +348,8 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 		switch r.Status {
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = u.ExtractTrace(r.Model, k)
@@ -368,16 +368,16 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 				board.Update(coreVars, k+1)
 			}
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		default:
 			// Unknown/Interrupted despite a nominal winner: this depth
 			// is undecided, so deeper unrollings would be too — record
 			// it and stop instead of silently continuing.
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			return res, nil
 		}
 	}
@@ -459,8 +459,8 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 		if race.Winner < 0 {
 			ds.Status = sat.Unknown
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Unknown
 			res.K = k
 			return res, nil
@@ -474,8 +474,8 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 		switch r.Status {
 		case sat.Sat:
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.Verdict = Falsified
 			res.K = k
 			res.Trace = d.ExtractTrace(r.Model, k)
@@ -486,16 +486,16 @@ func (s *Session) runBMCWarm(ctx context.Context, u *unroll.Unroller) (*Result, 
 			return res, nil
 		case sat.Unsat:
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			res.K = k
 		default:
 			// Unknown/Interrupted despite a nominal winner: this depth
 			// is undecided, so deeper unrollings would be too — record
 			// it and stop instead of silently continuing.
 			ds.Wall = time.Since(depthStart)
+			s.finishDepth(sp, QueryBMC, &ds)
 			res.PerDepth = append(res.PerDepth, ds)
-			s.finishDepth(sp, QueryBMC, ds)
 			return res, nil
 		}
 	}

@@ -117,6 +117,16 @@ type DepthStats struct {
 	CoreVars    int `json:"core_vars"`
 	// RecorderBytes approximates the CDG memory footprint.
 	RecorderBytes int64 `json:"recorder_bytes"`
+	// HeapAllocBytes/TotalAllocBytes/GCCount are runtime memory readings
+	// (runtime.ReadMemStats) sampled as the depth finished — instrumented
+	// (WithMetrics) sessions only, zero otherwise. HeapAllocBytes is the
+	// live heap at that instant; TotalAllocBytes and GCCount count bytes
+	// allocated and GC cycles since the check started, so they grow
+	// monotonically over depths and consecutive depths subtract to
+	// per-depth figures.
+	HeapAllocBytes  int64 `json:"heap_alloc_bytes,omitempty"`
+	TotalAllocBytes int64 `json:"total_alloc_bytes,omitempty"`
+	GCCount         int64 `json:"gc_count,omitempty"`
 }
 
 // Result is the unified outcome of Session.Check: one struct covers
@@ -162,6 +172,15 @@ type Result struct {
 	// Metrics is the session registry's snapshot at the end of the check
 	// (WithMetrics sessions only).
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// HeapAllocBytes/TotalAllocBytes/GCCount are the check's final memory
+	// telemetry (WithMetrics sessions only; the instantaneous readings
+	// behind them are the mem_* gauges in Metrics): the live heap as the
+	// check ended, and the bytes allocated / GC cycles spent by this
+	// check (deltas from the check's start, so repeated Checks in one
+	// process stay comparable).
+	HeapAllocBytes  int64 `json:"heap_alloc_bytes,omitempty"`
+	TotalAllocBytes int64 `json:"total_alloc_bytes,omitempty"`
+	GCCount         int64 `json:"gc_count,omitempty"`
 }
 
 // Session is one configured check of one property: circuit, property
@@ -171,6 +190,12 @@ type Session struct {
 	circ    *circuit.Circuit
 	propIdx int
 	cfg     Config
+	// mem publishes depth-boundary memory readings into the session
+	// registry; nil (no-op) without WithMetrics. memBase is the reading
+	// taken as the current Check started — the zero point of the
+	// cumulative columns (TotalAllocBytes, GCCount).
+	mem     *obs.MemSampler
+	memBase obs.MemSample
 }
 
 // New builds a session for property propIdx of the circuit. The
@@ -192,7 +217,7 @@ func New(c *circuit.Circuit, propIdx int, opts ...Option) (*Session, error) {
 	if _, err := unroll.New(c, propIdx); err != nil {
 		return nil, err
 	}
-	return &Session{circ: c, propIdx: propIdx, cfg: cfg}, nil
+	return &Session{circ: c, propIdx: propIdx, cfg: cfg, mem: obs.NewMemSampler(cfg.Metrics)}, nil
 }
 
 // Config returns a copy of the session's effective configuration.
@@ -213,6 +238,9 @@ func (s *Session) Check(ctx context.Context) (*Result, error) {
 		return nil, err
 	}
 	start := time.Now()
+	if s.mem != nil {
+		s.memBase = s.mem.Sample()
+	}
 	root := s.cfg.Tracer.Begin("engine", "check")
 	root.SetArg("engine", s.cfg.Kind.String())
 	var res *Result
@@ -244,6 +272,12 @@ func (s *Session) Check(ctx context.Context) (*Result, error) {
 	}
 	res.Engine = s.cfg.Kind
 	res.TotalTime = time.Since(start)
+	if s.mem != nil {
+		m := s.mem.Sample()
+		res.HeapAllocBytes = m.HeapAlloc
+		res.TotalAllocBytes = m.TotalAlloc - s.memBase.TotalAlloc
+		res.GCCount = m.GCCount - s.memBase.GCCount
+	}
 	if s.cfg.Metrics != nil {
 		snap := s.cfg.Metrics.Snapshot()
 		res.Metrics = &snap

@@ -53,8 +53,9 @@ func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*R
 		baseEncode := time.Since(depthStart)
 		r, rec := s.solveKindQuery(ctx, base, baseBoard, useCores, baseMetrics)
 		res.BaseStats.Add(r.Stats)
-		s.finishDepth(baseSpan, QueryBase, DepthStats{K: k, Status: r.Status, Stats: r.Stats,
-			EncodeWall: baseEncode, SolveWall: r.Stats.SolveTime, Wall: time.Since(depthStart)})
+		baseDS := DepthStats{K: k, Status: r.Status, Stats: r.Stats,
+			EncodeWall: baseEncode, SolveWall: r.Stats.SolveTime, Wall: time.Since(depthStart)}
+		s.finishDepth(baseSpan, QueryBase, &baseDS)
 		switch r.Status {
 		case sat.Sat:
 			res.Verdict = Falsified
@@ -80,8 +81,9 @@ func (s *Session) runKindSequential(ctx context.Context, u *unroll.Unroller) (*R
 		stepEncode := time.Since(stepStart)
 		r, rec = s.solveKindQuery(ctx, step, stepBoard, useCores, stepMetrics)
 		res.StepStats.Add(r.Stats)
-		s.finishDepth(stepSpan, QueryStep, DepthStats{K: k, Status: r.Status, Stats: r.Stats,
-			EncodeWall: stepEncode, SolveWall: r.Stats.SolveTime, Wall: time.Since(stepStart)})
+		stepDS := DepthStats{K: k, Status: r.Status, Stats: r.Stats,
+			EncodeWall: stepEncode, SolveWall: r.Stats.SolveTime, Wall: time.Since(stepStart)}
+		s.finishDepth(stepSpan, QueryStep, &stepDS)
 		switch r.Status {
 		case sat.Unsat:
 			res.Verdict = Proved
@@ -220,8 +222,8 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 		baseDS.EncodeWall, baseDS.SolveWall = encodeWall, baseRace.Wall
 		stepDS := kindRaceStats(k, &stepRace, depthStart)
 		stepDS.SolveWall = stepRace.Wall
-		s.finishDepth(baseSpan, QueryBase, baseDS)
-		s.finishDepth(stepSpan, QueryStep, stepDS)
+		s.finishDepth(baseSpan, QueryBase, &baseDS)
+		s.finishDepth(stepSpan, QueryStep, &stepDS)
 
 		// Base case first: a counter-example ends everything; an
 		// undecided base (budget or cancellation) ends the attempt as
@@ -423,8 +425,8 @@ func (s *Session) runKindWarm(ctx context.Context, u *unroll.Unroller) (*Result,
 		baseDS.EncodeWall, baseDS.SolveWall = baseOut.EncodeWall, baseRace.Wall
 		stepDS := kindRaceStats(k, stepRace, depthStart)
 		stepDS.EncodeWall, stepDS.SolveWall = stepOut.EncodeWall, stepRace.Wall
-		s.finishDepth(baseSpan, QueryBase, baseDS)
-		s.finishDepth(stepSpan, QueryStep, stepDS)
+		s.finishDepth(baseSpan, QueryBase, &baseDS)
+		s.finishDepth(stepSpan, QueryStep, &stepDS)
 
 		// Base case first: a counter-example ends everything; an
 		// undecided base (budget or cancellation) ends the attempt as

@@ -1,0 +1,85 @@
+package engine_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/obs"
+)
+
+// TestMemoryTelemetry: an instrumented session must surface the mem_*
+// gauges in Result.Metrics, stamp the memory columns on every PerDepth
+// row and on the Result, and publish the solver clause-database gauges;
+// an un-instrumented session must leave all of it at zero.
+func TestMemoryTelemetry(t *testing.T) {
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+
+	reg := obs.NewRegistry()
+	sess, err := engine.New(m.Build(), 0,
+		engine.WithBudgets(m.MaxDepth, 0), engine.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Check(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != engine.Falsified {
+		t.Fatalf("verdict = %v, want falsified", res.Verdict)
+	}
+	if res.HeapAllocBytes <= 0 || res.TotalAllocBytes <= 0 {
+		t.Errorf("result memory columns not stamped: heap=%d total=%d",
+			res.HeapAllocBytes, res.TotalAllocBytes)
+	}
+	if len(res.PerDepth) == 0 {
+		t.Fatal("no per-depth rows")
+	}
+	for _, ds := range res.PerDepth {
+		if ds.HeapAllocBytes <= 0 || ds.TotalAllocBytes <= 0 {
+			t.Errorf("depth %d memory columns not stamped: heap=%d total=%d",
+				ds.K, ds.HeapAllocBytes, ds.TotalAllocBytes)
+		}
+	}
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics missing")
+	}
+	for _, want := range []string{"mem_heap_alloc", "mem_total_alloc", "mem_gc_count"} {
+		if _, ok := res.Metrics.Gauges[want]; !ok {
+			t.Errorf("gauge %s missing from Result.Metrics", want)
+		}
+	}
+	foundClauses := false
+	for name := range res.Metrics.Gauges {
+		if strings.HasPrefix(name, "solver_clauses_bytes_est{") {
+			foundClauses = true
+		}
+	}
+	if !foundClauses {
+		t.Errorf("no solver_clauses_bytes_est series in Result.Metrics gauges: %v",
+			res.Metrics.Gauges)
+	}
+
+	// Off must be free: no registry, no memory sampling.
+	plain, err := engine.New(m.Build(), 0, engine.WithBudgets(m.MaxDepth, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pres, err := plain.Check(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.HeapAllocBytes != 0 || pres.TotalAllocBytes != 0 || pres.GCCount != 0 {
+		t.Errorf("un-instrumented result carries memory columns: %+v", pres)
+	}
+	for _, ds := range pres.PerDepth {
+		if ds.HeapAllocBytes != 0 {
+			t.Errorf("un-instrumented depth %d carries memory columns", ds.K)
+		}
+	}
+}

@@ -32,7 +32,16 @@ func (s *Session) beginDepth(query Query, k int) *obs.Span {
 
 // finishDepth closes the depth span with the depth's outcome and emits
 // the DepthFinished event — the single exit point of every depth branch.
-func (s *Session) finishDepth(sp *obs.Span, query Query, ds DepthStats) {
+// Instrumented sessions also stamp the depth's memory columns here: one
+// ReadMemStats per depth boundary, far from any solver loop, which is
+// why the call sites pass ds before appending it to Result.PerDepth.
+func (s *Session) finishDepth(sp *obs.Span, query Query, ds *DepthStats) {
+	if s.mem != nil {
+		m := s.mem.Sample()
+		ds.HeapAllocBytes = m.HeapAlloc
+		ds.TotalAllocBytes = m.TotalAlloc - s.memBase.TotalAlloc
+		ds.GCCount = m.GCCount - s.memBase.GCCount
+	}
 	if sp != nil {
 		sp.SetArg("status", ds.Status.String())
 		sp.SetArg("conflicts", ds.Stats.Conflicts)
@@ -41,7 +50,7 @@ func (s *Session) finishDepth(sp *obs.Span, query Query, ds DepthStats) {
 		}
 		sp.End()
 	}
-	s.emit(Event{Kind: DepthFinished, Query: query, K: ds.K, Depth: ds})
+	s.emit(Event{Kind: DepthFinished, Query: query, K: ds.K, Depth: *ds})
 }
 
 // observeRace records a joined race: one race span on the query's lane,

@@ -147,3 +147,15 @@ func seriesASCII(w io.Writer, title string, depths []int, a, b []int64, aName, b
 func writeRule(w io.Writer, width int) {
 	fmt.Fprintln(w, strings.Repeat("-", width))
 }
+
+// FmtDuration renders a duration in seconds with millisecond resolution,
+// matching the paper's CPU-seconds columns — the exported form of the
+// tables' duration formatting, shared with the perfbench regression
+// renderer.
+func FmtDuration(d time.Duration) string { return fmtDuration(d) }
+
+// Ratio renders b/a as a percentage string ("62%"); "-" when a is zero.
+func Ratio(a, b time.Duration) string { return ratio(a, b) }
+
+// WriteRule prints a horizontal rule of the given width.
+func WriteRule(w io.Writer, width int) { writeRule(w, width) }

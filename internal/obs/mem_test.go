@@ -1,0 +1,37 @@
+package obs
+
+import "testing"
+
+func TestMemSamplerNil(t *testing.T) {
+	if s := NewMemSampler(nil); s != nil {
+		t.Fatalf("NewMemSampler(nil) = %v, want nil", s)
+	}
+	var m *MemSampler
+	if got := m.Sample(); got != (MemSample{}) {
+		t.Fatalf("nil sampler sample = %+v, want zero", got)
+	}
+}
+
+func TestMemSamplerPublishesGauges(t *testing.T) {
+	reg := NewRegistry()
+	m := NewMemSampler(reg)
+	s := m.Sample()
+	if s.HeapAlloc <= 0 || s.TotalAlloc <= 0 {
+		t.Fatalf("implausible sample %+v", s)
+	}
+	g := reg.Snapshot().Gauges
+	if g[metricMemHeapAlloc] != s.HeapAlloc {
+		t.Errorf("%s gauge = %d, want %d", metricMemHeapAlloc, g[metricMemHeapAlloc], s.HeapAlloc)
+	}
+	if g[metricMemTotalAlloc] != s.TotalAlloc {
+		t.Errorf("%s gauge = %d, want %d", metricMemTotalAlloc, g[metricMemTotalAlloc], s.TotalAlloc)
+	}
+	if g[metricMemGCCount] != s.GCCount {
+		t.Errorf("%s gauge = %d, want %d", metricMemGCCount, g[metricMemGCCount], s.GCCount)
+	}
+
+	// TotalAlloc is monotone; a second sample can only grow it.
+	if s2 := m.Sample(); s2.TotalAlloc < s.TotalAlloc {
+		t.Errorf("TotalAlloc went backwards: %d -> %d", s.TotalAlloc, s2.TotalAlloc)
+	}
+}

@@ -79,6 +79,11 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
+// labelEscaper rewrites the characters the Prometheus text exposition
+// format requires escaping inside quoted label values: backslash, the
+// double quote, and line feed.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // Name composes a metric name from a base and label key/value pairs in
 // the Prometheus inline-label convention:
 //
@@ -86,7 +91,10 @@ func (r *Registry) Histogram(name string) *Histogram {
 //	  == `bus_imported_total{from="vsids",to="static"}`
 //
 // Labels are emitted in the order given; callers should keep that order
-// stable so the same series always maps to the same handle.
+// stable so the same series always maps to the same handle. Label values
+// are escaped per the exposition format (`\` → `\\`, `"` → `\"`, newline
+// → `\n`), so the composed name is always a single well-formed line and
+// WritePrometheus can emit it verbatim.
 func Name(base string, labels ...string) string {
 	if len(labels) == 0 {
 		return base
@@ -100,7 +108,7 @@ func Name(base string, labels ...string) string {
 		}
 		b.WriteString(labels[i])
 		b.WriteString(`="`)
-		b.WriteString(labels[i+1])
+		labelEscaper.WriteString(&b, labels[i+1])
 		b.WriteString(`"`)
 	}
 	b.WriteByte('}')
@@ -150,11 +158,18 @@ func (r *Registry) Snapshot() Snapshot {
 // count/sum/bucket values subtract (series absent from prev pass
 // through); gauges keep their current value (an instantaneous reading
 // has no meaningful difference). Zero-valued counter series are dropped,
-// so a delta over an idle interval comes back empty.
+// so a delta over an idle interval comes back empty. A counter or
+// histogram that moved backwards — a reset, e.g. a registry swapped
+// underneath a long-lived consumer — reports its current value, the
+// Prometheus reset convention, rather than a negative delta.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d := Snapshot{}
 	for name, v := range s.Counters {
-		if dv := v - prev.Counters[name]; dv != 0 {
+		dv := v - prev.Counters[name]
+		if v < prev.Counters[name] {
+			dv = v
+		}
+		if dv != 0 {
 			if d.Counters == nil {
 				d.Counters = map[string]int64{}
 			}
@@ -169,6 +184,9 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	}
 	for name, h := range s.Histograms {
 		p := prev.Histograms[name]
+		if h.Count < p.Count {
+			p = HistogramSnapshot{}
+		}
 		dh := HistogramSnapshot{Count: h.Count - p.Count, Sum: h.Sum - p.Sum}
 		if dh.Count == 0 && dh.Sum == 0 {
 			continue

@@ -1,0 +1,140 @@
+package perfbench
+
+import (
+	"runtime"
+
+	"repro/internal/experiments"
+)
+
+// Converters from the four internal/experiments ablations to the bench
+// artifact schema, so tablegen -bench-json emits the same versioned JSON
+// the observatory writes and the same Compare/baseline machinery applies
+// to ablation trend lines.
+//
+// The BMC ablation rows carry no verdict of their own — their harnesses
+// assert cross-engine agreement instead — so those cells record the
+// agreement state ("agreed"/"disagreed") as the verdict; the k-induction
+// ablation keeps its real verdict and closing depth.
+
+// ablationArtifact stamps a converted artifact's envelope.
+func ablationArtifact(suite string) *Artifact {
+	return &Artifact{
+		Schema:    SchemaVersion,
+		Suite:     suite,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+}
+
+// agreement renders a row's agreement flag as the cell verdict.
+func agreement(agreed bool) string {
+	if agreed {
+		return "agreed"
+	}
+	return "disagreed"
+}
+
+// FromPortfolioAblation converts the cold-portfolio ablation: one cell
+// per (model, single strategy) plus the portfolio cell with its wasted
+// conflicts.
+func FromPortfolioAblation(r *experiments.PortfolioAblationResult) *Artifact {
+	art := ablationArtifact("ablation-portfolio")
+	for _, row := range r.Rows {
+		for i, name := range r.Strategies {
+			art.Cells = append(art.Cells, CellResult{
+				Model: row.Name, Shape: "single-" + name, Deterministic: true,
+				Verdict:   agreement(row.Agreed),
+				Counters:  map[string]int64{},
+				WallNanos: int64(row.Single[i]),
+			})
+		}
+		art.Cells = append(art.Cells, CellResult{
+			Model: row.Name, Shape: "portfolio",
+			Verdict:   agreement(row.Agreed),
+			Counters:  map[string]int64{"wasted_conflicts": row.WastedConflicts},
+			WallNanos: int64(row.Portfolio),
+		})
+	}
+	return art
+}
+
+// FromIncrementalAblation converts the scratch-vs-incremental ablation:
+// two deterministic cells per model.
+func FromIncrementalAblation(r *experiments.IncrementalResult) *Artifact {
+	art := ablationArtifact("ablation-incremental")
+	for _, row := range r.Rows {
+		art.Cells = append(art.Cells,
+			CellResult{
+				Model: row.Name, Shape: "scratch", Deterministic: true,
+				Verdict:   agreement(row.Agreed),
+				Counters:  map[string]int64{"conflicts": row.ConflictsScratch},
+				WallNanos: int64(row.TimeScratch),
+			},
+			CellResult{
+				Model: row.Name, Shape: "incremental", Deterministic: true,
+				Verdict:   agreement(row.Agreed),
+				Counters:  map[string]int64{"conflicts": row.ConflictsIncremental},
+				WallNanos: int64(row.TimeIncremental),
+			})
+	}
+	return art
+}
+
+// FromWarmAblation converts the BMC cold/warm/shared ablation; the
+// shared cell carries the bus volume.
+func FromWarmAblation(r *experiments.WarmResult) *Artifact {
+	art := ablationArtifact("ablation-warm")
+	for _, row := range r.Rows {
+		art.Cells = append(art.Cells,
+			CellResult{
+				Model: row.Name, Shape: "cold",
+				Verdict:   agreement(row.Agreed),
+				Counters:  map[string]int64{"conflicts": row.ConfCold},
+				WallNanos: int64(row.TimeCold),
+			},
+			CellResult{
+				Model: row.Name, Shape: "warm",
+				Verdict:   agreement(row.Agreed),
+				Counters:  map[string]int64{"conflicts": row.ConfWarm},
+				WallNanos: int64(row.TimeWarm),
+			},
+			CellResult{
+				Model: row.Name, Shape: "shared",
+				Verdict: agreement(row.Agreed),
+				Counters: map[string]int64{
+					"conflicts":    row.ConfShared,
+					"bus_exported": row.Exported,
+					"bus_imported": row.Imported,
+				},
+				WallNanos: int64(row.TimeShared),
+			})
+	}
+	return art
+}
+
+// FromWarmKindAblation converts the k-induction cold/warm/shared
+// ablation, keeping the real verdict and closing depth.
+func FromWarmKindAblation(r *experiments.WarmKindResult) *Artifact {
+	art := ablationArtifact("ablation-warm-kind")
+	for _, row := range r.Rows {
+		for _, c := range []struct {
+			shape string
+			conf  int64
+			wall  int64
+		}{
+			{"cold", row.ConfCold, int64(row.TimeCold)},
+			{"warm", row.ConfWarm, int64(row.TimeWarm)},
+			{"shared", row.ConfShared, int64(row.TimeShared)},
+		} {
+			art.Cells = append(art.Cells, CellResult{
+				Model: row.Name, Shape: c.shape,
+				Verdict:   row.Status.String(),
+				K:         row.K,
+				Counters:  map[string]int64{"conflicts": c.conf},
+				WallNanos: c.wall,
+			})
+		}
+	}
+	return art
+}

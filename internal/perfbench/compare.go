@@ -1,0 +1,208 @@
+package perfbench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// Policy is the per-metric noise policy of a baseline comparison.
+// Verdict and K always compare exactly, as do the search counters of
+// cells both sides mark deterministic; wall time and memory — noisy by
+// nature — compare against percentage tolerances and default to
+// warnings, which is how CI runs the gate (fail on counter regressions,
+// warn on drift).
+type Policy struct {
+	// WallTolerancePct flags wall-time growth beyond this percentage of
+	// the baseline (<= 0 disables wall comparison).
+	WallTolerancePct float64
+	// MemTolerancePct is the same for the memory figures that track the
+	// run itself (mem_total_alloc, solver_clauses_bytes_est);
+	// mem_heap_alloc and mem_gc_count are GC-timing artifacts, recorded
+	// but never compared.
+	MemTolerancePct float64
+	// FailOnWall/FailOnMem escalate tolerance breaches from warnings to
+	// failures.
+	FailOnWall bool
+	FailOnMem  bool
+}
+
+// DefaultPolicy is the CI gate's policy: exact counters, generous
+// wall/memory tolerances, drift warns without failing.
+func DefaultPolicy() Policy {
+	return Policy{WallTolerancePct: 50, MemTolerancePct: 75}
+}
+
+// Finding is one divergence between baseline and current.
+type Finding struct {
+	Cell     string `json:"cell"`
+	Metric   string `json:"metric"`
+	Baseline int64  `json:"baseline"`
+	Current  int64  `json:"current"`
+	// Fail marks findings that make the comparison exit nonzero;
+	// non-fail findings are warnings.
+	Fail   bool   `json:"fail"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Compare diffs current against baseline under the policy. Findings come
+// back sorted: failures first, then by cell and metric.
+func Compare(baseline, current *Artifact, pol Policy) []Finding {
+	var fs []Finding
+	cur := map[string]*CellResult{}
+	for i := range current.Cells {
+		cur[current.Cells[i].Key()] = &current.Cells[i]
+	}
+	seen := map[string]bool{}
+	for i := range baseline.Cells {
+		b := &baseline.Cells[i]
+		seen[b.Key()] = true
+		c, ok := cur[b.Key()]
+		if !ok {
+			fs = append(fs, Finding{Cell: b.Key(), Metric: "cell", Fail: true,
+				Detail: "cell present in baseline but missing from this run"})
+			continue
+		}
+		fs = append(fs, compareCell(b, c, pol)...)
+	}
+	for i := range current.Cells {
+		if c := &current.Cells[i]; !seen[c.Key()] {
+			fs = append(fs, Finding{Cell: c.Key(), Metric: "cell",
+				Detail: "new cell, absent from baseline (refresh it to start tracking)"})
+		}
+	}
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Fail != fs[j].Fail {
+			return fs[i].Fail
+		}
+		if fs[i].Cell != fs[j].Cell {
+			return fs[i].Cell < fs[j].Cell
+		}
+		return fs[i].Metric < fs[j].Metric
+	})
+	return fs
+}
+
+// compareCell diffs one cell pair.
+func compareCell(b, c *CellResult, pol Policy) []Finding {
+	var fs []Finding
+	key := b.Key()
+	if b.Verdict != c.Verdict {
+		fs = append(fs, Finding{Cell: key, Metric: "verdict", Fail: true,
+			Detail: fmt.Sprintf("verdict %s -> %s", b.Verdict, c.Verdict)})
+	}
+	if b.K != c.K {
+		fs = append(fs, Finding{Cell: key, Metric: "k",
+			Baseline: int64(b.K), Current: int64(c.K), Fail: true,
+			Detail: fmt.Sprintf("depth %d -> %d", b.K, c.K)})
+	}
+	if b.Deterministic && c.Deterministic {
+		for _, name := range sortedCounterNames(b.Counters) {
+			bv := b.Counters[name]
+			cv, ok := c.Counters[name]
+			if !ok {
+				fs = append(fs, Finding{Cell: key, Metric: name, Baseline: bv, Fail: true,
+					Detail: "counter missing from this run"})
+				continue
+			}
+			if cv != bv {
+				fs = append(fs, Finding{Cell: key, Metric: name, Baseline: bv, Current: cv, Fail: true,
+					Detail: fmt.Sprintf("deterministic counter changed by %+d", cv-bv)})
+			}
+		}
+	}
+	if pol.WallTolerancePct > 0 && b.WallNanos > 0 {
+		if over, pct := overTolerance(b.WallNanos, c.WallNanos, pol.WallTolerancePct); over {
+			fs = append(fs, Finding{Cell: key, Metric: "wall_nanos",
+				Baseline: b.WallNanos, Current: c.WallNanos, Fail: pol.FailOnWall,
+				Detail: fmt.Sprintf("wall time %s -> %s (+%.0f%%, tolerance %.0f%%)",
+					experiments.FmtDuration(time.Duration(b.WallNanos)),
+					experiments.FmtDuration(time.Duration(c.WallNanos)), pct, pol.WallTolerancePct)})
+		}
+	}
+	if pol.MemTolerancePct > 0 {
+		for _, name := range sortedCounterNames(b.Memory) {
+			switch name {
+			case "mem_gc_count", "solver_clauses_learnt", "mem_heap_alloc":
+				// Cycle/clause counts and the live-heap level are
+				// informational: the first two are sizes of nothing, the
+				// last is a GC-timing artifact.
+				continue
+			case "solver_clauses_bytes_est":
+				// The clause database tracks the search; on
+				// nondeterministic cells (portfolio races) its size rides
+				// on race timing and can legitimately double run to run.
+				if !b.Deterministic || !c.Deterministic {
+					continue
+				}
+			}
+			bv := b.Memory[name]
+			if bv <= 0 {
+				continue
+			}
+			if over, pct := overTolerance(bv, c.Memory[name], pol.MemTolerancePct); over {
+				fs = append(fs, Finding{Cell: key, Metric: name,
+					Baseline: bv, Current: c.Memory[name], Fail: pol.FailOnMem,
+					Detail: fmt.Sprintf("memory +%.0f%% over the %.0f%% tolerance", pct, pol.MemTolerancePct)})
+			}
+		}
+	}
+	return fs
+}
+
+// overTolerance reports whether cur exceeds base by more than tolPct
+// percent, and by how much. Improvements never flag.
+func overTolerance(base, cur int64, tolPct float64) (bool, float64) {
+	if cur <= base {
+		return false, 0
+	}
+	pct := 100 * float64(cur-base) / float64(base)
+	return pct > tolPct, pct
+}
+
+// HasFailure reports whether any finding is a failure.
+func HasFailure(fs []Finding) bool {
+	for _, f := range fs {
+		if f.Fail {
+			return true
+		}
+	}
+	return false
+}
+
+// WriteFindings renders the regression table: one row per finding,
+// failures marked FAIL, warnings warn.
+func WriteFindings(w io.Writer, fs []Finding) {
+	if len(fs) == 0 {
+		fmt.Fprintln(w, "no divergence from baseline")
+		return
+	}
+	const width = 78
+	experiments.WriteRule(w, width)
+	fmt.Fprintf(w, "%-4s  %-28s %-24s %12s %12s\n", "", "cell", "metric", "baseline", "current")
+	experiments.WriteRule(w, width)
+	for _, f := range fs {
+		sev := "warn"
+		if f.Fail {
+			sev = "FAIL"
+		}
+		fmt.Fprintf(w, "%-4s  %-28s %-24s %12d %12d\n", sev, f.Cell, f.Metric, f.Baseline, f.Current)
+		if f.Detail != "" {
+			fmt.Fprintf(w, "      %s\n", f.Detail)
+		}
+	}
+	experiments.WriteRule(w, width)
+}
+
+// sortedCounterNames returns the map's keys sorted.
+func sortedCounterNames(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

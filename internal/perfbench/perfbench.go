@@ -1,0 +1,282 @@
+// Package perfbench is the repository's benchmark observatory: it runs a
+// declarative matrix of (model × engine shape) cells through the engine
+// session API with an obs registry attached and reduces each run to a
+// versioned, diffable artifact (BENCH_<suite>.json) — deterministic
+// search counters, wall-time splits, and memory telemetry — which the
+// compare side (Compare, cmd/bmcbench -baseline) diffs against a
+// committed baseline under a per-metric noise policy: exact equality for
+// verdict/depth and for the search counters of deterministic cells,
+// percentage tolerances for wall time and memory. CI runs the quick
+// suite against baselines/BENCH_quick.json, so a performance claim that
+// regresses fails the build instead of rotting in prose.
+package perfbench
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/racer"
+)
+
+// Shape is one engine configuration of the benchmark matrix, named so
+// cells stay stable across runs. Deterministic marks shapes whose search
+// counters are reproducible run to run (single-strategy, no racing):
+// those cells are compared exactly, while portfolio/warm cells — whose
+// stats depend on race timing — only pin verdict and depth.
+type Shape struct {
+	Name          string
+	Deterministic bool
+	Options       func() []engine.Option
+}
+
+// Shapes returns the benchmark matrix's engine shapes in a fixed order.
+func Shapes() []Shape {
+	return []Shape{
+		{Name: "bmc-dynamic", Deterministic: true, Options: func() []engine.Option {
+			return nil // the session defaults: BMC, refined dynamic ordering
+		}},
+		{Name: "bmc-vsids", Deterministic: true, Options: func() []engine.Option {
+			return []engine.Option{engine.WithOrdering(core.OrderVSIDS)}
+		}},
+		{Name: "bmc-incremental", Deterministic: true, Options: func() []engine.Option {
+			return []engine.Option{engine.WithIncremental()}
+		}},
+		{Name: "kind-sequential", Deterministic: true, Options: func() []engine.Option {
+			return []engine.Option{engine.WithEngine(engine.KInduction)}
+		}},
+		{Name: "bmc-warm-shared", Deterministic: false, Options: func() []engine.Option {
+			return []engine.Option{
+				engine.WithPortfolio(nil, 0),
+				engine.WithIncremental(),
+				engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+			}
+		}},
+		{Name: "kind-warm", Deterministic: false, Options: func() []engine.Option {
+			return []engine.Option{
+				engine.WithEngine(engine.KInduction),
+				engine.WithPortfolio(nil, 0),
+				engine.WithIncremental(),
+			}
+		}},
+	}
+}
+
+// ShapeByName resolves a shape by name.
+func ShapeByName(name string) (Shape, bool) {
+	for _, s := range Shapes() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Shape{}, false
+}
+
+// Cell is one benchmark run: a model from internal/bench checked under
+// one engine shape.
+type Cell struct {
+	// Model names an internal/bench model.
+	Model string
+	// Shape names an entry of Shapes().
+	Shape string
+	// MaxDepth caps the depth bound below the model's own MaxDepth
+	// (0 keeps the model's).
+	MaxDepth int
+	// Conflicts bounds each SAT call (0 = unlimited). Budget-exhausted
+	// cells record Unknown verdicts, deterministically so on
+	// deterministic shapes.
+	Conflicts int64
+}
+
+// Suite is a named, ordered cell list.
+type Suite struct {
+	Name  string
+	Cells []Cell
+}
+
+// Suites returns the predefined suites:
+//
+//   - smoke: two sub-second cells, for tests of the harness itself.
+//   - quick: the CI regression gate — small models across all six
+//     shapes, a few seconds total.
+//   - full: the quick suite plus larger models, for local trend runs.
+func Suites() []Suite {
+	quick := []Cell{
+		{Model: "cnt_w4_t9", Shape: "bmc-dynamic"},
+		{Model: "cnt_w4_t9", Shape: "bmc-incremental"},
+		{Model: "cnt_w5_t13", Shape: "bmc-incremental"},
+		{Model: "tlc_bug", Shape: "bmc-vsids"},
+		{Model: "mix_w5", Shape: "bmc-dynamic"},
+		{Model: "twin_w8", Shape: "kind-sequential", MaxDepth: 8},
+		{Model: "twin_w8", Shape: "bmc-warm-shared", MaxDepth: 6},
+		{Model: "twin_w8", Shape: "kind-warm", MaxDepth: 8},
+	}
+	full := append(append([]Cell{}, quick...),
+		Cell{Model: "mix_w6", Shape: "bmc-incremental"},
+		Cell{Model: "add_w8", Shape: "bmc-dynamic"},
+		Cell{Model: "add_w8", Shape: "bmc-vsids"},
+		Cell{Model: "lock_s8", Shape: "bmc-incremental"},
+		Cell{Model: "fifo_c6_bug", Shape: "bmc-dynamic"},
+		Cell{Model: "gcnt_m10", Shape: "bmc-warm-shared", MaxDepth: 8},
+		Cell{Model: "twin_w10", Shape: "kind-warm", MaxDepth: 10},
+	)
+	return []Suite{
+		{Name: "smoke", Cells: []Cell{
+			{Model: "tlc_bug", Shape: "bmc-dynamic"},
+			{Model: "cnt_w4_t9", Shape: "bmc-incremental"},
+		}},
+		{Name: "quick", Cells: quick},
+		{Name: "full", Cells: full},
+	}
+}
+
+// SuiteNames lists the predefined suite names in order.
+func SuiteNames() []string {
+	var names []string
+	for _, s := range Suites() {
+		names = append(names, s.Name)
+	}
+	return names
+}
+
+// SuiteByName resolves a predefined suite.
+func SuiteByName(name string) (Suite, bool) {
+	for _, s := range Suites() {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Suite{}, false
+}
+
+// Run executes every cell of the suite in order and reduces the results
+// to an artifact. Cells run sequentially, each with its own registry, so
+// one cell's racing never perturbs another's counters. Progress, when
+// non-nil, is called with each finished cell.
+func Run(ctx context.Context, suite Suite, progress func(CellResult)) (*Artifact, error) {
+	art := &Artifact{
+		Schema:    SchemaVersion,
+		Suite:     suite.Name,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, cell := range suite.Cells {
+		cr, err := runCell(ctx, cell)
+		if err != nil {
+			return nil, fmt.Errorf("cell %s/%s: %w", cell.Model, cell.Shape, err)
+		}
+		art.Cells = append(art.Cells, *cr)
+		if progress != nil {
+			progress(*cr)
+		}
+	}
+	return art, nil
+}
+
+// runCell checks one cell's model under its shape with a fresh registry.
+func runCell(ctx context.Context, cell Cell) (*CellResult, error) {
+	m, ok := bench.ByName(cell.Model)
+	if !ok {
+		return nil, fmt.Errorf("unknown model (see internal/bench)")
+	}
+	shape, ok := ShapeByName(cell.Shape)
+	if !ok {
+		return nil, fmt.Errorf("unknown shape (valid: %s)", strings.Join(shapeNames(), ", "))
+	}
+	depth := m.MaxDepth
+	if cell.MaxDepth > 0 && cell.MaxDepth < depth {
+		depth = cell.MaxDepth
+	}
+	reg := obs.NewRegistry()
+	opts := append(shape.Options(),
+		engine.WithBudgets(depth, cell.Conflicts),
+		engine.WithMetrics(reg))
+	sess, err := engine.New(m.Build(), 0, opts...)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.Check(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return reduce(cell, shape, res), nil
+}
+
+// reduce folds one engine result into the cell's artifact row.
+func reduce(cell Cell, shape Shape, res *engine.Result) *CellResult {
+	st := res.Total
+	if res.Engine == engine.KInduction {
+		st.Add(res.BaseStats)
+		st.Add(res.StepStats)
+	}
+	cr := &CellResult{
+		Model:         cell.Model,
+		Shape:         cell.Shape,
+		Deterministic: shape.Deterministic,
+		Verdict:       res.Verdict.String(),
+		K:             res.K,
+		Counters: map[string]int64{
+			"conflicts":    st.Conflicts,
+			"decisions":    st.Decisions,
+			"propagations": st.Implications,
+			"learned":      st.Learned,
+			"restarts":     st.Restarts,
+		},
+		WallNanos: int64(res.TotalTime),
+	}
+	var encode, solve time.Duration
+	for _, ds := range res.PerDepth {
+		encode += ds.EncodeWall
+		solve += ds.SolveWall
+	}
+	cr.EncodeWallNanos = int64(encode)
+	cr.SolveWallNanos = int64(solve)
+	if res.Metrics != nil {
+		// Per-link clause-bus traffic (warm shapes with the bus on):
+		// nondeterministic volumes, recorded for trend lines.
+		for name, v := range res.Metrics.Counters {
+			if strings.HasPrefix(name, "bus_") {
+				cr.Counters[name] = v
+			}
+		}
+		cr.Memory = map[string]int64{
+			"mem_heap_alloc":  res.HeapAllocBytes,
+			"mem_total_alloc": res.TotalAllocBytes,
+			"mem_gc_count":    res.GCCount,
+		}
+		// The clause-database gauges are per query/strategy series; their
+		// sum is the pool-wide database footprint at rest.
+		var learnt, bytesEst int64
+		for name, v := range res.Metrics.Gauges {
+			base := name
+			if i := strings.IndexByte(base, '{'); i >= 0 {
+				base = base[:i]
+			}
+			switch base {
+			case "solver_clauses_learnt":
+				learnt += v
+			case "solver_clauses_bytes_est":
+				bytesEst += v
+			}
+		}
+		cr.Memory["solver_clauses_learnt"] = learnt
+		cr.Memory["solver_clauses_bytes_est"] = bytesEst
+	}
+	return cr
+}
+
+// shapeNames lists the matrix's shape names in order.
+func shapeNames() []string {
+	var names []string
+	for _, s := range Shapes() {
+		names = append(names, s.Name)
+	}
+	return names
+}

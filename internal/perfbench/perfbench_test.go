@@ -1,0 +1,219 @@
+package perfbench
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func runSmoke(t *testing.T) *Artifact {
+	t.Helper()
+	suite, ok := SuiteByName("smoke")
+	if !ok {
+		t.Fatal("smoke suite missing")
+	}
+	art, err := Run(context.Background(), suite, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return art
+}
+
+func TestRunSmokeSuite(t *testing.T) {
+	art := runSmoke(t)
+	if err := art.Validate(); err != nil {
+		t.Fatalf("artifact invalid: %v", err)
+	}
+	if art.Suite != "smoke" || len(art.Cells) != 2 {
+		t.Fatalf("unexpected artifact envelope: %+v", art)
+	}
+	want := map[string]struct {
+		verdict string
+		k       int
+	}{
+		"tlc_bug/bmc-dynamic":       {"falsified", 1},
+		"cnt_w4_t9/bmc-incremental": {"falsified", 9},
+	}
+	for i := range art.Cells {
+		c := &art.Cells[i]
+		w, ok := want[c.Key()]
+		if !ok {
+			t.Fatalf("unexpected cell %s", c.Key())
+		}
+		if c.Verdict != w.verdict || c.K != w.k {
+			t.Errorf("%s: verdict %s@%d, want %s@%d", c.Key(), c.Verdict, c.K, w.verdict, w.k)
+		}
+		if !c.Deterministic {
+			t.Errorf("%s: smoke shapes are single-strategy, must be deterministic", c.Key())
+		}
+		if c.Counters["decisions"] <= 0 || c.Counters["propagations"] <= 0 {
+			t.Errorf("%s: empty search counters %v", c.Key(), c.Counters)
+		}
+		if c.WallNanos <= 0 {
+			t.Errorf("%s: no wall time", c.Key())
+		}
+		if c.Memory["mem_heap_alloc"] <= 0 || c.Memory["mem_total_alloc"] <= 0 {
+			t.Errorf("%s: memory telemetry missing: %v", c.Key(), c.Memory)
+		}
+		if c.Memory["solver_clauses_bytes_est"] <= 0 {
+			t.Errorf("%s: clause-database estimate missing: %v", c.Key(), c.Memory)
+		}
+	}
+}
+
+// TestRunDeterministicCounters pins the contract the exact-compare side
+// relies on: two runs of a deterministic cell agree on every search
+// counter.
+func TestRunDeterministicCounters(t *testing.T) {
+	a, b := runSmoke(t), runSmoke(t)
+	for i := range a.Cells {
+		ca, cb := &a.Cells[i], &b.Cells[i]
+		for _, name := range []string{"conflicts", "decisions", "propagations", "learned", "restarts"} {
+			if ca.Counters[name] != cb.Counters[name] {
+				t.Errorf("%s: %s differs across runs: %d vs %d",
+					ca.Key(), name, ca.Counters[name], cb.Counters[name])
+			}
+		}
+	}
+}
+
+func TestArtifactRoundTripAndCompare(t *testing.T) {
+	art := runSmoke(t)
+	path := filepath.Join(t.TempDir(), "BENCH_smoke.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := art.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := ReadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Self-comparison is clean.
+	if fs := Compare(loaded, art, DefaultPolicy()); len(fs) != 0 {
+		t.Fatalf("self-compare found %d findings: %+v", len(fs), fs)
+	}
+
+	// A perturbed conflict count on a deterministic cell is a failure
+	// naming the cell and metric.
+	perturbed := *loaded
+	perturbed.Cells = append([]CellResult{}, loaded.Cells...)
+	perturbed.Cells[0].Counters = map[string]int64{}
+	for k, v := range loaded.Cells[0].Counters {
+		perturbed.Cells[0].Counters[k] = v
+	}
+	perturbed.Cells[0].Counters["conflicts"] += 5
+	fs := Compare(&perturbed, art, DefaultPolicy())
+	if !HasFailure(fs) {
+		t.Fatalf("perturbed baseline produced no failure: %+v", fs)
+	}
+	found := false
+	for _, f := range fs {
+		if f.Cell == perturbed.Cells[0].Key() && f.Metric == "conflicts" && f.Fail {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no failure names %s/conflicts: %+v", perturbed.Cells[0].Key(), fs)
+	}
+	var buf bytes.Buffer
+	WriteFindings(&buf, fs)
+	if !strings.Contains(buf.String(), "FAIL") || !strings.Contains(buf.String(), "conflicts") {
+		t.Errorf("findings table does not name the regression:\n%s", buf.String())
+	}
+}
+
+func TestCompareCellSetChanges(t *testing.T) {
+	base := &Artifact{Schema: SchemaVersion, Suite: "s", Cells: []CellResult{
+		{Model: "m1", Shape: "bmc-dynamic", Verdict: "holds", Counters: map[string]int64{}},
+	}}
+	cur := &Artifact{Schema: SchemaVersion, Suite: "s", Cells: []CellResult{
+		{Model: "m2", Shape: "bmc-dynamic", Verdict: "holds", Counters: map[string]int64{}},
+	}}
+	fs := Compare(base, cur, DefaultPolicy())
+	if len(fs) != 2 {
+		t.Fatalf("want missing-cell failure + new-cell warning, got %+v", fs)
+	}
+	if !fs[0].Fail || fs[0].Cell != "m1/bmc-dynamic" {
+		t.Errorf("missing cell must fail first: %+v", fs[0])
+	}
+	if fs[1].Fail || fs[1].Cell != "m2/bmc-dynamic" {
+		t.Errorf("new cell must warn: %+v", fs[1])
+	}
+}
+
+func TestCompareWallTolerance(t *testing.T) {
+	base := &Artifact{Schema: SchemaVersion, Suite: "s", Cells: []CellResult{
+		{Model: "m", Shape: "bmc-dynamic", Verdict: "holds", WallNanos: int64(time.Second)},
+	}}
+	cur := &Artifact{Schema: SchemaVersion, Suite: "s", Cells: []CellResult{
+		{Model: "m", Shape: "bmc-dynamic", Verdict: "holds", WallNanos: int64(2 * time.Second)},
+	}}
+	fs := Compare(base, cur, Policy{WallTolerancePct: 50})
+	if len(fs) != 1 || fs[0].Metric != "wall_nanos" || fs[0].Fail {
+		t.Fatalf("want one wall warning, got %+v", fs)
+	}
+	if fs := Compare(base, cur, Policy{WallTolerancePct: 50, FailOnWall: true}); !HasFailure(fs) {
+		t.Fatalf("FailOnWall must escalate: %+v", fs)
+	}
+	// Improvements never flag.
+	if fs := Compare(cur, base, Policy{WallTolerancePct: 50}); len(fs) != 0 {
+		t.Fatalf("faster run flagged: %+v", fs)
+	}
+}
+
+func TestSchemaVersionRejected(t *testing.T) {
+	art := &Artifact{Schema: SchemaVersion + 1, Suite: "s",
+		Cells: []CellResult{{Model: "m", Shape: "x", Verdict: "holds"}}}
+	if err := art.Validate(); err == nil {
+		t.Fatal("future schema version accepted")
+	}
+}
+
+func TestAblationConverters(t *testing.T) {
+	warm := FromWarmAblation(&experiments.WarmResult{Rows: []experiments.WarmRow{{
+		Name: "m", TimeCold: time.Second, TimeWarm: time.Second, TimeShared: time.Second,
+		ConfCold: 10, ConfWarm: 8, ConfShared: 6, Exported: 4, Imported: 3, Agreed: true,
+	}}})
+	if err := warm.Validate(); err != nil {
+		t.Fatalf("warm artifact invalid: %v", err)
+	}
+	if len(warm.Cells) != 3 || warm.Cells[2].Counters["bus_imported"] != 3 {
+		t.Fatalf("warm conversion wrong: %+v", warm.Cells)
+	}
+
+	incr := FromIncrementalAblation(&experiments.IncrementalResult{Rows: []experiments.IncrementalRow{{
+		Name: "m", TimeScratch: time.Second, TimeIncremental: time.Second,
+		ConflictsScratch: 9, ConflictsIncremental: 4, Agreed: true,
+	}}})
+	if err := incr.Validate(); err != nil {
+		t.Fatalf("incremental artifact invalid: %v", err)
+	}
+	if !incr.Cells[0].Deterministic || !incr.Cells[1].Deterministic {
+		t.Error("incremental ablation cells are single-strategy, must be deterministic")
+	}
+
+	pf := FromPortfolioAblation(&experiments.PortfolioAblationResult{
+		Strategies: []string{"vsids", "dynamic"},
+		Rows: []experiments.PortfolioRow{{
+			Name: "m", Single: []time.Duration{time.Second, time.Second},
+			Portfolio: time.Second, WastedConflicts: 7, Agreed: true,
+		}},
+	})
+	if err := pf.Validate(); err != nil {
+		t.Fatalf("portfolio artifact invalid: %v", err)
+	}
+	if len(pf.Cells) != 3 {
+		t.Fatalf("portfolio conversion wrong: %+v", pf.Cells)
+	}
+}

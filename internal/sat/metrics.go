@@ -22,6 +22,13 @@ type Metrics struct {
 	// shape distinguishes "many easy queries" from "few hard ones" at
 	// equal totals.
 	ConflictsPerSolve *obs.Histogram
+
+	// ClausesLearnt and ClausesBytesEst are clause-database gauges: the
+	// learnt clauses currently installed and an estimate of the whole
+	// database's heap footprint, refreshed once per solve call from
+	// flushDB. Gauges, not counters: reduceDB shrinks them.
+	ClausesLearnt   *obs.Gauge
+	ClausesBytesEst *obs.Gauge
 }
 
 // Solver metric base names (family_metric convention, enforced by
@@ -36,6 +43,8 @@ const (
 	metricSolverSolves            = "solver_solves_total"
 	metricSolverSolveNanos        = "solver_solve_nanos_total"
 	metricSolverConflictsPerSolve = "solver_conflicts_per_solve"
+	metricSolverClausesLearnt     = "solver_clauses_learnt"
+	metricSolverClausesBytesEst   = "solver_clauses_bytes_est"
 )
 
 // NewMetrics registers the solver metric family under reg with the
@@ -54,6 +63,8 @@ func NewMetrics(reg *obs.Registry, labels ...string) *Metrics {
 		Solves:            reg.Counter(n(metricSolverSolves)),
 		SolveNanos:        reg.Counter(n(metricSolverSolveNanos)),
 		ConflictsPerSolve: reg.Histogram(n(metricSolverConflictsPerSolve)),
+		ClausesLearnt:     reg.Gauge(n(metricSolverClausesLearnt)),
+		ClausesBytesEst:   reg.Gauge(n(metricSolverClausesBytesEst)),
 	}
 }
 
@@ -71,4 +82,15 @@ func (m *Metrics) flush(st Stats) {
 	m.Solves.Inc()
 	m.SolveNanos.Add(int64(st.SolveTime))
 	m.ConflictsPerSolve.Observe(st.Conflicts)
+}
+
+// flushDB refreshes the clause-database gauges. Called once per solve
+// call, never from the search loop — the O(database) walk behind the
+// bytes estimate stays off the hot path.
+func (m *Metrics) flushDB(learnt int, bytesEst int64) {
+	if m == nil {
+		return
+	}
+	m.ClausesLearnt.Set(int64(learnt))
+	m.ClausesBytesEst.Set(bytesEst)
 }

@@ -29,13 +29,34 @@ func TestMetricsFlush(t *testing.T) {
 	if got := opts.Metrics.ConflictsPerSolve.Count(); got != 1 {
 		t.Errorf("conflicts-per-solve observations = %d, want 1", got)
 	}
+	// The clause-database gauges are flushed alongside the counters: a
+	// pigeonhole refutation must have learnt clauses installed, and the
+	// bytes estimate must at least cover them.
+	learnt := opts.Metrics.ClausesLearnt.Value()
+	if learnt <= 0 {
+		t.Errorf("clauses-learnt gauge = %d, want > 0", learnt)
+	}
+	if est := opts.Metrics.ClausesBytesEst.Value(); est < learnt {
+		t.Errorf("clauses-bytes-est gauge = %d, implausibly small for %d learnts", est, learnt)
+	}
+	names := reg.Snapshot().Gauges
+	for _, want := range []string{
+		`solver_clauses_learnt{strategy="vsids"}`,
+		`solver_clauses_bytes_est{strategy="vsids"}`,
+	} {
+		if _, ok := names[want]; !ok {
+			t.Errorf("gauge %s missing from snapshot (have %v)", want, names)
+		}
+	}
 }
 
 func TestMetricsNilNoop(t *testing.T) {
 	// A nil bundle and a bundle of nil handles must both be safe.
 	var m *Metrics
 	m.flush(Stats{Conflicts: 3})
+	m.flushDB(1, 100)
 	NewMetrics(nil).flush(Stats{Conflicts: 3})
+	NewMetrics(nil).flushDB(1, 100)
 }
 
 // BenchmarkSolverMetricsOverhead compares a full solve of a fixed UNSAT

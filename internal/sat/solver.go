@@ -836,6 +836,9 @@ func (s *Solver) SolveAssuming(assumptions []lits.Lit) Result {
 	res := s.solve()
 	res.Stats.SolveTime = time.Since(start)
 	s.opts.Metrics.flush(res.Stats)
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.flushDB(len(s.learnts), s.approxClauseBytes())
+	}
 	// Fold this call into the lifetime totals and reset the per-call
 	// counters; enqueues made by New/AddClause before a call count toward
 	// the call that propagates them.
@@ -843,6 +846,25 @@ func (s *Solver) SolveAssuming(assumptions []lits.Lit) Result {
 	s.stats = Stats{}
 	s.assumps = nil
 	return res
+}
+
+// approxClauseBytes estimates the clause database's heap footprint:
+// per-clause fixed cost (struct, pointer slot, watcher entries) plus the
+// 4-byte literal payloads, over originals and learnts alike. An estimate,
+// not an accounting — it feeds the solver_clauses_bytes_est gauge, whose
+// job is trend lines across runs, and it is only computed outside the
+// search loop (once per solve call).
+func (s *Solver) approxClauseBytes() int64 {
+	// clause struct (~40B) + *clause slot + two watcher list entries.
+	const perClause = 72
+	n := int64(len(s.clauses)+len(s.learnts)) * perClause
+	for _, c := range s.clauses {
+		n += int64(len(c.lits)) * 4
+	}
+	for _, c := range s.learnts {
+		n += int64(len(c.lits)) * 4
+	}
+	return n
 }
 
 // interrupted polls Options.Stop; it is only called when stopping is set
