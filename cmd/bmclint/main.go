@@ -2,6 +2,7 @@
 // in two modes:
 //
 //	bmclint ./...                      # standalone, from the module root
+//	bmclint -json ./...                # standalone, SARIF 2.1.0 output
 //	go vet -vettool=$(which bmclint) ./...   # as a vet tool
 //
 // The vet-tool mode speaks cmd/go's unitchecker protocol (-V=full,
@@ -51,8 +52,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return lint.RunVetTool(stderr, args[n-1], analyzers)
 	}
 
-	// Standalone mode: treat args as package patterns under the cwd.
-	patterns := args
+	// Standalone mode: treat args as package patterns under the cwd;
+	// -json switches the output to SARIF 2.1.0 for CI ingestion (the
+	// exit code still reports findings).
+	sarif := false
+	var patterns []string
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			sarif = true
+			continue
+		}
+		patterns = append(patterns, a)
+	}
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -60,6 +71,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintf(stderr, "bmclint: %v\n", err)
 		return 1
+	}
+	if sarif {
+		diags, err := lint.AnalyzeDir(dir, patterns, analyzers)
+		if err != nil {
+			fmt.Fprintf(stderr, "bmclint: %v\n", err)
+			return 1
+		}
+		if err := lint.WriteSARIF(stdout, analyzers, diags); err != nil {
+			fmt.Fprintf(stderr, "bmclint: %v\n", err)
+			return 1
+		}
+		if len(diags) > 0 {
+			return 2
+		}
+		return 0
 	}
 	count, err := lint.RunDir(stdout, dir, patterns, analyzers)
 	if err != nil {

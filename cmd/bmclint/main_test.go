@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"os"
 	"os/exec"
@@ -16,7 +17,7 @@ import (
 // demands must be present in the registry the multichecker serves, so
 // a future refactor cannot silently drop one from the gate.
 func TestAllAnalyzersRegistered(t *testing.T) {
-	want := []string{"litsafe", "hotpath", "ctxflow", "metricname", "nodeprecated", "eventexhaustive"}
+	want := []string{"litsafe", "hotpath", "ctxflow", "metricname", "nodeprecated", "eventexhaustive", "lockorder", "atomicsafe"}
 	got := map[string]bool{}
 	for _, a := range lint.All() {
 		if a.Name == "" || a.Doc == "" || a.Run == nil {
@@ -63,9 +64,11 @@ func TestVetToolProbe(t *testing.T) {
 }
 
 // TestEndToEnd builds the tool and drives both modes over a scratch
-// module containing one clean encoding package and one violating
-// consumer: standalone and `go vet -vettool` must both report the
-// violation and exit nonzero, and a clean package must pass.
+// module containing one clean encoding package and two violations —
+// a same-package litsafe one and a cross-package atomicsafe one that
+// only the facts machinery can see: standalone, `go vet -vettool`, and
+// -json (SARIF) must all report both and exit nonzero, and a clean
+// package must pass.
 func TestEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries and runs go vet")
@@ -91,6 +94,24 @@ import "scratch/internal/lits"
 
 func Flip(l lits.Lit) lits.Lit { return l ^ 1 }
 `)
+	// The atomicsafe violation spans a package boundary: only the obs
+	// package knows N is atomic, so the finding in reader exists only
+	// when facts flow — through the shared store (standalone) or the
+	// vetx files (vet mode).
+	writeFile(t, filepath.Join(mod, "internal", "obs", "obs.go"), `package obs
+
+import "sync/atomic"
+
+type Counter struct{ N int64 }
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.N, 1) }
+`)
+	writeFile(t, filepath.Join(mod, "reader", "reader.go"), `package reader
+
+import "scratch/internal/obs"
+
+func Peek(c *obs.Counter) int64 { return c.N }
+`)
 
 	standalone := exec.Command(tool, "./...")
 	standalone.Dir = mod
@@ -98,8 +119,38 @@ func Flip(l lits.Lit) lits.Lit { return l ^ 1 }
 	if code := exitCodeOf(t, err); code != 2 {
 		t.Fatalf("standalone exit %d, want 2\n%s", code, out)
 	}
-	if !strings.Contains(string(out), "bmclint/litsafe") {
-		t.Fatalf("standalone output lacks the litsafe finding:\n%s", out)
+	for _, finding := range []string{"bmclint/litsafe", "bmclint/atomicsafe"} {
+		if !strings.Contains(string(out), finding) {
+			t.Fatalf("standalone output lacks the %s finding:\n%s", finding, out)
+		}
+	}
+
+	sarifRun := exec.Command(tool, "-json", "./...")
+	sarifRun.Dir = mod
+	out, err = sarifRun.CombinedOutput()
+	if code := exitCodeOf(t, err); code != 2 {
+		t.Fatalf("-json exit %d, want 2\n%s", code, out)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []struct {
+				RuleID string `json:"ruleId"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(out, &log); err != nil {
+		t.Fatalf("-json output is not JSON: %v\n%s", err, out)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("-json output is not a single SARIF 2.1.0 run:\n%s", out)
+	}
+	rules := map[string]bool{}
+	for _, r := range log.Runs[0].Results {
+		rules[r.RuleID] = true
+	}
+	if !rules["litsafe"] || !rules["atomicsafe"] {
+		t.Fatalf("SARIF results %v lack litsafe/atomicsafe", rules)
 	}
 
 	vet := exec.Command("go", "vet", "-vettool="+tool, "./...")
@@ -108,14 +159,16 @@ func Flip(l lits.Lit) lits.Lit { return l ^ 1 }
 	if err == nil {
 		t.Fatalf("go vet -vettool passed on a violating module:\n%s", out)
 	}
-	if !strings.Contains(string(out), "bmclint/litsafe") {
-		t.Fatalf("go vet output lacks the litsafe finding:\n%s", out)
+	for _, finding := range []string{"bmclint/litsafe", "bmclint/atomicsafe"} {
+		if !strings.Contains(string(out), finding) {
+			t.Fatalf("go vet output lacks the %s finding:\n%s", finding, out)
+		}
 	}
 
 	vetClean := exec.Command("go", "vet", "-vettool="+tool, "./internal/...")
 	vetClean.Dir = mod
 	if out, err := vetClean.CombinedOutput(); err != nil {
-		t.Fatalf("go vet -vettool failed on the clean package: %v\n%s", err, out)
+		t.Fatalf("go vet -vettool failed on the clean packages: %v\n%s", err, out)
 	}
 }
 

@@ -26,6 +26,11 @@ type Analyzer struct {
 	// Run inspects one type-checked package and reports findings
 	// through the pass.
 	Run func(*Pass) error
+	// FactType, when non-nil, declares that the analyzer produces one
+	// package fact per analyzed package; it returns a pointer to a
+	// fresh zero value of the fact's concrete type, which the fact
+	// store gob-decodes imported facts into. Nil means fact-free.
+	FactType func() any
 }
 
 // Pass carries one package's syntax and type information into an
@@ -38,6 +43,30 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *FactStore
+}
+
+// ExportPackageFact records v as this analyzer's fact for the package
+// under analysis, making it importable by every later-analyzed package.
+func (p *Pass) ExportPackageFact(v any) error {
+	return p.facts.export(p.Pkg.Path(), p.Analyzer.Name, v)
+}
+
+// ImportPackageFact returns the fact this analyzer exported for the
+// package with the given import path, or (nil, false) when the package
+// was not analyzed before this one (outside the module, not yet
+// reached, or fact-free). The returned value is shared — treat it as
+// read-only.
+func (p *Pass) ImportPackageFact(path string) (any, bool) {
+	return p.facts.get(path, p.Analyzer)
+}
+
+// FactPackages returns, sorted, the import paths of every package a
+// fact of this analyzer is available for — the whole-program view for
+// analyzers (like lockorder's cycle detection) that fold every
+// dependency's contribution rather than chasing specific call edges.
+func (p *Pass) FactPackages() []string {
+	return p.facts.packages(p.Analyzer.Name)
 }
 
 // Diagnostic is one finding, positioned and attributed to its analyzer.
@@ -76,6 +105,10 @@ type Package struct {
 	Syntax    []*ast.File
 	Types     *types.Package
 	TypesInfo *types.Info
+
+	// FactsOnly marks a dependency loaded solely so its facts feed the
+	// packages under analysis; its own diagnostics are discarded.
+	FactsOnly bool
 }
 
 // NewTypesInfo allocates the types.Info with every map the analyzers
@@ -147,7 +180,15 @@ func collectIgnores(pkg *Package, diags *[]Diagnostic) map[string]map[int][]*ign
 // returns the surviving diagnostics sorted by position. Unknown
 // analyzer names in directives are reported so a typo cannot silently
 // disable nothing.
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+//
+// facts carries package facts across packages: pass the same store for
+// every package of a run, in dependency order, and cross-package
+// analyzers see their dependencies' facts. A nil store runs the
+// analyzers fact-blind (the pre-facts, package-local view).
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, facts *FactStore) ([]Diagnostic, error) {
+	if facts == nil {
+		facts = NewFactStore()
+	}
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -157,6 +198,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
 			diags:     &raw,
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)

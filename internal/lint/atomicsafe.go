@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicAccess records where one struct field is accessed atomically
+// and where it is accessed plainly, as rendered source positions.
+type AtomicAccess struct {
+	Atomic []string
+	Plain  []string
+}
+
+// AtomicFact is the atomicsafe analyzer's package fact: per-field
+// access records, keyed "pkgpath.Type.field". Atomic positions are
+// exported for every field touched through sync/atomic; plain
+// positions only for exported fields of exported types (the only ones
+// a later package could alias), bounded to keep fact files small.
+type AtomicFact struct {
+	Fields map[string]AtomicAccess
+}
+
+// atomicPlainCap bounds the plain positions exported per field.
+const atomicPlainCap = 4
+
+// AtomicSafe enforces the all-or-nothing atomic-access discipline: a
+// struct field passed to sync/atomic anywhere in the program must be
+// accessed atomically everywhere.
+var AtomicSafe = &Analyzer{
+	Name: "atomicsafe",
+	Doc: "any struct field accessed through sync/atomic anywhere in the program " +
+		"must be accessed atomically everywhere: a plain read of an atomic counter " +
+		"is a data race go test -race only catches when the schedule cooperates; " +
+		"package facts carry each field's atomic-access sites across package " +
+		"boundaries (typed atomics like atomic.Int64 are inherently safe and exempt)",
+	Run:      runAtomicSafe,
+	FactType: func() any { return new(AtomicFact) },
+}
+
+// atomicFieldKey renders the global identity of a struct field accessed
+// through selector sel, or "" when the owner type cannot be named.
+func atomicFieldKey(pass *Pass, sel *ast.SelectorExpr) (string, *types.Var) {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !v.IsField() || v.Pkg() == nil {
+		return "", nil
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", nil
+	}
+	n := namedFrom(tv.Type)
+	if n == nil {
+		return "", nil
+	}
+	return v.Pkg().Path() + "." + n.Obj().Name() + "." + v.Name(), v
+}
+
+func runAtomicSafe(pass *Pass) error {
+	type access struct {
+		pos   string
+		node  ast.Node
+		field *types.Var
+	}
+	atomicUses := map[string][]access{}
+	plainUses := map[string][]access{}
+
+	// Selector positions consumed by an atomic call's &-operand or a
+	// keyed composite-literal initializer are not plain accesses.
+	skip := map[*ast.SelectorExpr]bool{}
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.TypesInfo, call)
+			if callee == nil || callee.Pkg() == nil || callee.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				skip[sel] = true
+				if key, v := atomicFieldKey(pass, sel); key != "" {
+					atomicUses[key] = append(atomicUses[key], access{
+						pos: pass.Fset.Position(u.Pos()).String(), node: u, field: v,
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.UnaryExpr:
+				// &x.f: aliasing, judged at the use of the alias (too
+				// indirect to track soundly here), and the atomic-call
+				// operands were already recorded above.
+				if sel, ok := ast.Unparen(x.X).(*ast.SelectorExpr); ok {
+					skip[sel] = true
+				}
+			case *ast.SelectorExpr:
+				if skip[x] {
+					return true
+				}
+				if key, v := atomicFieldKey(pass, x); key != "" && isIntegerType(v.Type()) {
+					plainUses[key] = append(plainUses[key], access{
+						pos: pass.Fset.Position(x.Pos()).String(), node: x, field: v,
+					})
+				}
+			}
+			return true
+		})
+	}
+
+	// Candidate fields: atomically accessed here or in any dependency.
+	localAtomic := map[string][]string{}
+	for key, uses := range atomicUses {
+		for _, u := range uses {
+			localAtomic[key] = append(localAtomic[key], u.pos)
+		}
+		sort.Strings(localAtomic[key])
+	}
+	importedAtomic := map[string][]string{}
+	importedPlain := map[string][]string{}
+	for _, pkgPath := range pass.FactPackages() {
+		if pkgPath == pass.Pkg.Path() || !sameFactDomain(pass.Pkg.Path(), pkgPath) {
+			continue
+		}
+		v, ok := pass.ImportPackageFact(pkgPath)
+		if !ok {
+			continue
+		}
+		f, ok := v.(*AtomicFact)
+		if !ok {
+			continue
+		}
+		for key, acc := range f.Fields {
+			importedAtomic[key] = append(importedAtomic[key], acc.Atomic...)
+			importedPlain[key] = append(importedPlain[key], acc.Plain...)
+		}
+	}
+	for _, m := range []map[string][]string{importedAtomic, importedPlain} {
+		for key := range m {
+			sort.Strings(m[key])
+		}
+	}
+
+	// Plain access here to a field that is atomic here or anywhere else.
+	for key, uses := range plainUses {
+		cite := ""
+		if p := localAtomic[key]; len(p) > 0 {
+			cite = p[0]
+		} else if p := importedAtomic[key]; len(p) > 0 {
+			cite = p[0]
+		} else {
+			continue
+		}
+		for _, u := range uses {
+			pass.Reportf(u.node.Pos(), "plain access to %s, which is accessed atomically (%s); mixed atomic/plain access is a data race — use sync/atomic for every access", key, cite)
+		}
+	}
+	// Atomic access here to a field a dependency accesses plainly.
+	for key, uses := range atomicUses {
+		if len(plainUses[key]) > 0 {
+			continue // already reported above, at the plain sites
+		}
+		p := importedPlain[key]
+		if len(p) == 0 {
+			continue
+		}
+		for _, u := range uses {
+			pass.Reportf(u.node.Pos(), "%s is accessed atomically here but plainly elsewhere (%s); mixed atomic/plain access is a data race — use sync/atomic for every access", key, p[0])
+		}
+	}
+
+	// Export: every atomic site, plus bounded plain sites for fields a
+	// later package could also touch (exported field of exported type).
+	fact := &AtomicFact{Fields: map[string]AtomicAccess{}}
+	for key, positions := range localAtomic {
+		fact.Fields[key] = AtomicAccess{Atomic: positions}
+	}
+	for key, uses := range plainUses {
+		if len(uses) == 0 || !uses[0].field.Exported() {
+			continue
+		}
+		acc := fact.Fields[key]
+		for _, u := range uses {
+			if len(acc.Plain) >= atomicPlainCap {
+				break
+			}
+			acc.Plain = append(acc.Plain, u.pos)
+		}
+		sort.Strings(acc.Plain)
+		fact.Fields[key] = acc
+	}
+	if len(fact.Fields) > 0 {
+		if err := pass.ExportPackageFact(fact); err != nil {
+			return err
+		}
+	}
+	return nil
+}

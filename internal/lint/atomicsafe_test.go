@@ -1,0 +1,30 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestAtomicSafe(t *testing.T) {
+	linttest.RunDeps(t, ".", []*lint.Analyzer{lint.AtomicSafe},
+		"as/internal/obs", "as/use")
+}
+
+// TestAtomicSafePreFactsMisses proves the cross-package finding is
+// fact-borne: the use package alone has no idea Counter.N is atomic
+// anywhere, so the fact-blind run is clean.
+func TestAtomicSafePreFactsMisses(t *testing.T) {
+	pkg, err := linttest.Load(".", "as/use")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.AtomicSafe}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("fact-blind run produced a finding without the dependency's fact: %s", d)
+	}
+}

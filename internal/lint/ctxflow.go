@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -28,6 +29,7 @@ var CtxFlow = &Analyzer{
 }
 
 func runCtxFlow(pass *Pass) error {
+	res := newGoTargetResolver(pass)
 	for _, f := range pass.Files {
 		if pass.InTestFile(f.Pos()) {
 			continue
@@ -41,10 +43,114 @@ func runCtxFlow(pass *Pass) error {
 			case *ast.FuncLit:
 				checkCtxParams(pass, x.Type, x.Body)
 			case *ast.GoStmt:
-				checkGoJoinable(pass, x)
+				checkGoJoinable(pass, res, x)
 			}
 			return true
 		})
+	}
+	return nil
+}
+
+// goTargetResolver maps a `go` statement's callee expression back to
+// the function body that will actually run, so the join-signal check
+// judges the body rather than falling back to the argument heuristic.
+// It chases named functions, method values, and locals holding a
+// single-assignment function value (`f := run; go f()`) — the shapes
+// that used to evade the check entirely.
+type goTargetResolver struct {
+	pass    *Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	varInit map[*types.Var]ast.Expr
+}
+
+// goResolveDepth caps init-expression chains (f := g; h := f; ...).
+const goResolveDepth = 8
+
+func newGoTargetResolver(pass *Pass) *goTargetResolver {
+	r := &goTargetResolver{
+		pass:    pass,
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		varInit: map[*types.Var]ast.Expr{},
+	}
+	record := func(v *types.Var, init ast.Expr) {
+		if v == nil {
+			return
+		}
+		if _, seen := r.varInit[v]; seen {
+			r.varInit[v] = nil // reassigned: no single init to trust
+			return
+		}
+		r.varInit[v] = init
+	}
+	for _, f := range pass.Files {
+		if pass.InTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Body == nil {
+					break
+				}
+				if obj, ok := pass.TypesInfo.Defs[x.Name].(*types.Func); ok {
+					r.decls[obj] = x
+				}
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					break
+				}
+				for i, lhs := range x.Lhs {
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					var v *types.Var
+					if x.Tok == token.DEFINE {
+						v, _ = pass.TypesInfo.Defs[id].(*types.Var)
+					} else {
+						v, _ = pass.TypesInfo.Uses[id].(*types.Var)
+					}
+					record(v, x.Rhs[i])
+				}
+			case *ast.ValueSpec:
+				for i, id := range x.Names {
+					v, _ := pass.TypesInfo.Defs[id].(*types.Var)
+					if i < len(x.Values) {
+						record(v, x.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return r
+}
+
+// body resolves the function body expr will invoke, or nil.
+func (r *goTargetResolver) body(e ast.Expr, depth int) *ast.BlockStmt {
+	if depth > goResolveDepth {
+		return nil
+	}
+	switch x := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		return x.Body
+	case *ast.Ident:
+		switch obj := r.pass.TypesInfo.Uses[x].(type) {
+		case *types.Func:
+			if fd := r.decls[obj]; fd != nil {
+				return fd.Body
+			}
+		case *types.Var:
+			if init := r.varInit[obj]; init != nil {
+				return r.body(init, depth+1)
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := r.pass.TypesInfo.Uses[x.Sel].(*types.Func); ok {
+			if fd := r.decls[f]; fd != nil {
+				return fd.Body
+			}
+		}
 	}
 	return nil
 }
@@ -111,16 +217,19 @@ func checkCtxParams(pass *Pass, ft *ast.FuncType, body *ast.BlockStmt) {
 	}
 }
 
-// checkGoJoinable requires every launched goroutine to be joinable. A
-// func-literal body qualifies when it contains a select, a channel
-// receive/send/close, a context use, or a sync.WaitGroup Done/Wait; a
-// named-function launch qualifies when an argument carries a context or
-// a channel. Everything else is the unjoined-goroutine bug class (or a
-// deliberate fire-and-forget, which must say so with
-// //bmclint:ignore ctxflow <reason>).
-func checkGoJoinable(pass *Pass, g *ast.GoStmt) {
-	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
-		if bodyHasJoinSignal(pass, lit.Body) {
+// checkGoJoinable requires every launched goroutine to be joinable.
+// When the launched body can be resolved — a func literal, an
+// in-package function or method (`go p.worker()`), or a local holding
+// one (`f := run; go f()`) — it qualifies when it contains a select, a
+// channel receive/send/close, a context use, or a sync.WaitGroup
+// Done/Wait. Only an unresolvable launch (function value from
+// elsewhere, out-of-package callee) falls back to the argument
+// heuristic: a context or channel argument qualifies. Everything else
+// is the unjoined-goroutine bug class (or a deliberate fire-and-forget,
+// which must say so with //bmclint:ignore ctxflow <reason>).
+func checkGoJoinable(pass *Pass, res *goTargetResolver, g *ast.GoStmt) {
+	if body := res.body(g.Call.Fun, 0); body != nil {
+		if bodyHasJoinSignal(pass, body) {
 			return
 		}
 		pass.Reportf(g.Pos(), "goroutine has no join or cancellation signal (no select, channel op, ctx use, or WaitGroup hand-off); races must be joinable so Check can return without leaks")

@@ -1,9 +1,31 @@
 // Package lint is the repo's own go/analysis-style checker suite,
 // built on the standard library alone (go/ast, go/types, go/importer)
 // so it carries no module dependencies. cmd/bmclint serves it both as
-// a standalone multichecker (`bmclint ./...`) and as a vet tool
+// a standalone multichecker (`bmclint ./...`, with -json for SARIF
+// 2.1.0 output) and as a vet tool
 // (`go vet -vettool=$(which bmclint) ./...`); the CI lint job runs the
 // latter, so a finding gates the build exactly like vet's own.
+//
+// # Whole-program analysis via package facts
+//
+// The suite is modular in the x/tools sense: analyzers see one package
+// at a time, but an analyzer that declares a FactType may export one
+// gob-serialized package fact per package (Pass.ExportPackageFact) and
+// import the facts of every dependency analyzed before it
+// (Pass.ImportPackageFact / Pass.FactPackages). Packages are always
+// visited in dependency order — the standalone driver orders the
+// `go list -export` load and threads one FactStore through the run;
+// the vet driver reads each dependency's fact file from the .cfg's
+// PackageVetx table and writes the merged store (dependencies' facts
+// plus its own) to VetxOutput, so cmd/go's build cache gives both
+// modes the same whole-program view. Fact files carry a versioned
+// magic header; a foreign or stale blob degrades to "no facts", never
+// an error, and FuzzUnitcheckerCfg pins that both decoders reject
+// garbage without panicking. Cross-package fact consumption is gated
+// by sameFactDomain (first path segment), which keeps the two modes
+// consistent: the vet driver is handed all of std as fact-only units,
+// the standalone loader never analyzes std, and neither may let that
+// difference change the findings.
 //
 // The analyzers mechanize invariants that code review has had to carry
 // by hand:
@@ -14,16 +36,43 @@
 //     conversion, anywhere else almost always means someone confused
 //     the literal encoding (var<<1 | sign) with a variable index.
 //
-//   - hotpath: the CDCL inner loop ((*sat.Solver).solve and everything
-//     it reaches inside internal/sat) must not pick up allocation or
-//     clock traps: time.Now/Since/Until, fmt formatting, map
-//     construction, or mutex operations. This is the mechanized form
-//     of the obs-overhead ablation's contract (cmd/tablegen
-//     -experiment=obs-overhead): that experiment measures that
-//     instrumentation keeps near-zero solve-loop cost, and the
-//     analyzer keeps the cost from creeping in between measurements.
-//     The solver's rate-limited deadline poll is the one sanctioned
-//     exception, marked with a //bmclint:ignore directive.
+//   - hotpath: nothing statically reachable from the solver hot-path
+//     roots — (*sat.Solver).solve, ImportClause, and analyzeFinal, the
+//     set pinned by HotPathRoots — may call time.Now/Since/Until, any
+//     fmt function, construct a map, take a sync.(RW)Mutex, or hit the
+//     heap-allocation shapes escape analysis cannot save:
+//     &composite literals, slice/map literals returned per call,
+//     append growth on zero-capacity locals in loops (a 3-arg make
+//     exempts), interface boxing at call sites, and capturing
+//     closures. Each package exports a HotPathFact summarizing the
+//     forbidden ops transitively reachable through each of its
+//     functions, so the BFS from the roots follows calls across
+//     package boundaries: a time.Now two packages below internal/sat
+//     is reported at the internal/sat call site that reaches it. This
+//     is the mechanized form of the obs-overhead ablation's contract
+//     (cmd/tablegen -experiment=obs-overhead). The solver's
+//     rate-limited deadline poll and the clause-database insertions
+//     (one long-lived allocation per learned/imported clause is CDCL,
+//     not overhead) carry //bmclint:ignore directives.
+//
+//   - lockorder: the whole-program lock-acquisition graph over
+//     sync.Mutex/RWMutex struct fields must be acyclic — two functions
+//     taking the same two locks in opposite orders deadlock under the
+//     right schedule, which go test -race does not catch. Each
+//     function's held-lock analysis is defer-aware and intraprocedural;
+//     a LockFact carries per-function acquisition summaries and
+//     lock-order edges across packages, cycles are reported once per
+//     lock set at a local closing edge, and channel sends or
+//     sat SolveAssuming calls while holding any lock are flagged
+//     (a send can block indefinitely; a solve runs unbounded search).
+//
+//   - atomicsafe: a struct field accessed through sync/atomic anywhere
+//     in the program must be accessed atomically everywhere. The
+//     AtomicFact carries each field's atomic-access sites (and bounded
+//     plain sites for exported fields) across packages, so a plain
+//     read in a consumer package of a counter its producer increments
+//     atomically is reported at the plain read. Typed atomics
+//     (atomic.Int64 and friends) are inherently safe and exempt.
 //
 //   - ctxflow: in the solver layers (internal/sat, internal/racer,
 //     internal/portfolio, internal/engine) a function holding a
@@ -31,7 +80,10 @@
 //     the parameter unused, and goroutines must be joinable — a `go`
 //     statement whose body has no channel, context, or WaitGroup
 //     signal is a leak in a package whose whole point is racing and
-//     cancelling solvers.
+//     cancelling solvers. The launched body is resolved through
+//     function values, method values, and single-assignment variable
+//     chains before judging; only an unresolvable target falls back to
+//     the argument heuristic.
 //
 //   - metricname: metric names reaching obs.Name or a Registry
 //     constructor must be snake_case compile-time constants (wrapper
@@ -59,13 +111,20 @@
 // on the flagged line or the line above; the reason is mandatory, and
 // a malformed or unknown-analyzer directive is itself a finding, so
 // suppressions cannot rot silently. `all` suppresses every analyzer.
+// Suppression applies where a diagnostic is reported; facts record
+// what code does regardless, so an op in a dependency still surfaces
+// at the hot-path call sites that reach it — the fix for those is
+// changing the dependency (as was done for the fmt.Sprintf that lived
+// in lits.Assignment.Set's panic path), not suppressing.
 //
 // Adding an analyzer: write a run function with the signature
 // func(*Pass) error that walks pass.Files and calls pass.Reportf,
-// declare a *Analyzer for it, append it to All() in registry.go, give
-// it a corpus under testdata/src/<letter>/ with // want comments, a
-// linttest.Run test, and add its name to the roster pin in
-// cmd/bmclint's TestAllAnalyzersRegistered. Both drivers (load.go for
-// directory mode, unitchecker.go for the vet protocol) pick it up from
-// All() with no further wiring.
+// declare a *Analyzer for it (with FactType if it needs cross-package
+// state), append it to All() in registry.go, give it a corpus under
+// testdata/src/<dir>/ with // want comments — multi-package corpora
+// run through linttest.RunDeps, which threads facts in listed order —
+// a linttest test, and add its name to the roster pin in cmd/bmclint's
+// TestAllAnalyzersRegistered. Both drivers (load.go for directory
+// mode, unitchecker.go for the vet protocol) pick it up from All()
+// with no further wiring.
 package lint

@@ -168,17 +168,34 @@ func collectWants(pkg *lint.Package) ([]*expectation, error) {
 // corpus's // want comments as test errors.
 func Run(t *testing.T, dir string, analyzers []*lint.Analyzer, path string) {
 	t.Helper()
-	pkg, err := Load(dir, path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err := lint.RunAnalyzers(pkg, analyzers)
-	if err != nil {
-		t.Fatal(err)
-	}
-	wants, err := collectWants(pkg)
-	if err != nil {
-		t.Fatal(err)
+	RunDeps(t, dir, analyzers, path)
+}
+
+// RunDeps is Run over a multi-package corpus with fact propagation:
+// the packages are analyzed in the order given — dependencies first —
+// sharing one fact store, so a later package's diagnostics may depend
+// on facts its dependencies exported. // want comments are checked in
+// every listed package.
+func RunDeps(t *testing.T, dir string, analyzers []*lint.Analyzer, paths ...string) {
+	t.Helper()
+	facts := lint.NewFactStore()
+	var diags []lint.Diagnostic
+	var wants []*expectation
+	for _, path := range paths {
+		pkg, err := Load(dir, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := lint.RunAnalyzers(pkg, analyzers, facts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags = append(diags, d...)
+		w, err := collectWants(pkg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, w...)
 	}
 
 	for _, d := range diags {

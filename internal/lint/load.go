@@ -67,8 +67,11 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 }
 
 // LoadPackages loads and type-checks the packages matched by patterns
-// (relative to dir), skipping dependencies that were pulled in only for
-// export data.
+// (relative to dir), plus any in-module dependencies pulled in only for
+// export data (marked FactsOnly — they are analyzed for their facts but
+// their diagnostics are not the caller's business). `go list -deps`
+// emits dependencies before dependents, and the returned slice keeps
+// that order, which is exactly the order the fact store needs.
 func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
@@ -94,8 +97,8 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || p.Standard {
-			continue
+		if p.Standard {
+			continue // stdlib dependencies stay fact-free (opaque to the analyzers)
 		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("package %s: %s", p.ImportPath, p.Error.Err)
@@ -107,6 +110,7 @@ func LoadPackages(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = p.DepOnly
 		out = append(out, pkg)
 	}
 	return out, nil
@@ -135,24 +139,39 @@ func typecheckDir(fset *token.FileSet, imp types.Importer, p *listPackage) (*Pac
 	return &Package{Fset: fset, Syntax: files, Types: tpkg, TypesInfo: info}, nil
 }
 
+// AnalyzeDir loads the packages matched by patterns under dir and runs
+// the analyzers over all of them — dependencies first, sharing one fact
+// store, so cross-package analyzers see their dependencies' facts.
+// Diagnostics from FactsOnly dependencies are discarded: those packages
+// are analyzed for the facts they produce, not because the caller asked
+// about them.
+func AnalyzeDir(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := LoadPackages(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	facts := NewFactStore()
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := RunAnalyzers(pkg, analyzers, facts)
+		if err != nil {
+			return out, err
+		}
+		if pkg.FactsOnly {
+			continue
+		}
+		out = append(out, diags...)
+	}
+	return out, nil
+}
+
 // RunDir loads the packages matched by patterns under dir, runs the
 // analyzers, and writes diagnostics to w. It returns the number of
 // findings.
 func RunDir(w io.Writer, dir string, patterns []string, analyzers []*Analyzer) (int, error) {
-	pkgs, err := LoadPackages(dir, patterns)
-	if err != nil {
-		return 0, err
+	diags, err := AnalyzeDir(dir, patterns, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(w, d)
 	}
-	total := 0
-	for _, pkg := range pkgs {
-		diags, err := RunAnalyzers(pkg, analyzers)
-		if err != nil {
-			return total, err
-		}
-		for _, d := range diags {
-			fmt.Fprintln(w, d)
-			total++
-		}
-	}
-	return total, nil
+	return len(diags), err
 }

@@ -12,5 +12,7 @@ func All() []*Analyzer {
 		MetricName,
 		NoDeprecated,
 		EventExhaustive,
+		LockOrder,
+		AtomicSafe,
 	}
 }

@@ -1,0 +1,23 @@
+// Package obs is the fact-producing dependency of the atomicsafe
+// corpus: Counter.N is atomic-only by contract (and the fact records
+// its atomic sites), while Gauge mixes disciplines inside this very
+// package.
+package obs
+
+import "sync/atomic"
+
+// Counter's N must be accessed through sync/atomic everywhere.
+type Counter struct{ N int64 }
+
+func (c *Counter) Inc() { atomic.AddInt64(&c.N, 1) }
+
+func (c *Counter) Load() int64 { return atomic.LoadInt64(&c.N) }
+
+// Gauge mixes atomic and plain access within one package.
+type Gauge struct{ v int64 }
+
+func (g *Gauge) Set(x int64) { atomic.StoreInt64(&g.v, x) }
+
+func (g *Gauge) peek() int64 {
+	return g.v // want `plain access to as/internal/obs\.Gauge\.v`
+}

@@ -1,0 +1,14 @@
+// Package use reads the dependency's atomic counter plainly: a data
+// race detectable only through the obs package's atomic-access fact.
+package use
+
+import "as/internal/obs"
+
+func Snapshot(c *obs.Counter) int64 {
+	return c.N // want `plain access to as/internal/obs\.Counter\.N`
+}
+
+// Adjust writes plainly, which is just as racy as reading.
+func Adjust(c *obs.Counter, d int64) {
+	c.N += d // want `plain access to as/internal/obs\.Counter\.N`
+}

@@ -20,15 +20,15 @@ func (s *Solver) solve() int {
 		s.propagate(i)
 		s.analyze(i)
 	}
-	_ = time.Now() // want `time\.Now in solve, reachable from the solver search loop`
+	_ = time.Now() // want `time\.Now in solve, reachable from the solver hot path`
 	return 0
 }
 
 func (s *Solver) propagate(i int) {
 	s.count++
-	s.mu.Lock()              // want `sync\.Mutex\.Lock in propagate, reachable from the solver search loop`
-	s.mu.Unlock()            // want `sync\.Mutex\.Unlock in propagate, reachable from the solver search loop`
-	_ = fmt.Sprintf("%d", i) // want `fmt\.Sprintf in propagate, reachable from the solver search loop`
+	s.mu.Lock()              // want `sync\.Mutex\.Lock in propagate, reachable from the solver hot path`
+	s.mu.Unlock()            // want `sync\.Mutex\.Unlock in propagate, reachable from the solver hot path`
+	_ = fmt.Sprintf("%d", i) // want `fmt\.Sprintf in propagate, reachable from the solver hot path`
 }
 
 func (s *Solver) analyze(i int) {
@@ -37,9 +37,9 @@ func (s *Solver) analyze(i int) {
 
 // deep is two hops from solve: still on the hot path.
 func (s *Solver) deep(i int) {
-	m := make(map[int]bool) // want `map allocation in deep, reachable from the solver search loop`
+	m := make(map[int]bool) // want `map allocation in deep, reachable from the solver hot path`
 	m[i] = true
-	_ = map[string]int{"a": 1} // want `map literal in deep, reachable from the solver search loop`
+	_ = map[string]int{"a": 1} // want `map literal in deep, reachable from the solver hot path`
 }
 
 // Report is NOT reachable from solve: clocks and fmt are fine here.

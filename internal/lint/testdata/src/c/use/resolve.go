@@ -1,0 +1,42 @@
+// Regression corpus for the goroutine-target resolver: launches
+// through method values and stored function values used to evade the
+// join-signal check (the argument heuristic judged them instead). The
+// body is now resolved and judged directly — in both directions: a
+// joinable method launched with no arguments is clean, a signal-less
+// body is a finding no matter how it was stored.
+package use
+
+type pump struct {
+	ch chan int
+}
+
+// worker joins via the receiver's channel: launching it argument-less
+// is fine, which the argument heuristic used to flag.
+func (p *pump) worker() {
+	for v := range p.ch {
+		_ = v
+	}
+}
+
+// spinner has no join or cancellation signal at all.
+func (p *pump) spinner() {
+	for {
+		_ = len(p.ch)
+	}
+}
+
+func MethodValueLaunches(p *pump) {
+	go p.worker()
+	go p.spinner() // want `goroutine has no join or cancellation signal`
+}
+
+func StoredFuncValueLaunches(p *pump, n int) {
+	f := spin
+	go f(n) // want `goroutine has no join or cancellation signal`
+
+	g := p.worker
+	go g()
+
+	h := func() { <-p.ch }
+	go h()
+}

@@ -32,7 +32,7 @@ func UnjoinedGoroutines(n int) {
 			_ = i * i
 		}
 	}()
-	go spin(n) // want `goroutine launched with no context or channel argument`
+	go spin(n) // want `goroutine has no join or cancellation signal`
 }
 
 func JoinedGoroutines(ctx context.Context, n int) {

@@ -1,0 +1,15 @@
+// Package obs is the fact-producing dependency of the hotpath v2
+// corpus: Tick reaches time.Now two hops deep, so only the flattened
+// transitive summary in this package's fact makes the call site in the
+// solver package reportable.
+package obs
+
+import "time"
+
+// Tick is dirty through a local helper: Tick -> now -> time.Now.
+func Tick() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }
+
+// Count is clean: calling it from the hot path is fine.
+func Count(n int) int { return n + 1 }

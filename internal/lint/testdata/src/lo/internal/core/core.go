@@ -1,0 +1,31 @@
+// Package core is the fact-producing dependency of the lockorder
+// corpus: WithBoth establishes the canonical Board-before-Reg order
+// (exported as an edge), LockBoard and Notify carry their behavior to
+// callers only through their function summaries.
+package core
+
+import "sync"
+
+type Board struct{ Mu sync.Mutex }
+
+type Reg struct{ Mu sync.Mutex }
+
+// WithBoth acquires Board.Mu then Reg.Mu — the canonical order.
+func WithBoth(b *Board, r *Reg) {
+	b.Mu.Lock()
+	r.Mu.Lock()
+	r.Mu.Unlock()
+	b.Mu.Unlock()
+}
+
+// LockBoard's acquisition is visible to callers via its summary.
+func LockBoard(b *Board) {
+	b.Mu.Lock()
+	b.Mu.Unlock()
+}
+
+// Notify performs a channel send; calling it under a held lock is the
+// finding, reported at the caller via this summary.
+func Notify(ch chan int) {
+	ch <- 1
+}

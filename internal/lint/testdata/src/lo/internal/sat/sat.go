@@ -1,0 +1,11 @@
+// Package sat stubs the solver entry point the lockorder analyzer
+// recognizes: Solve/SolveAssuming on a Solver in an internal/sat
+// package must not run under a held lock.
+package sat
+
+type Solver struct{ n int }
+
+func (s *Solver) SolveAssuming(assumptions []int) bool {
+	s.n += len(assumptions)
+	return s.n == 0
+}

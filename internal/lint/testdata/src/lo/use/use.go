@@ -1,0 +1,46 @@
+// Package use closes the lockorder corpus: it acquires locks in the
+// reverse of core's canonical order (a cycle visible only through the
+// imported edge and LockBoard's summary), sends on channels under a
+// held lock both directly and through core.Notify, and calls the
+// solver under a lock.
+package use
+
+import (
+	"lo/internal/core"
+	"lo/internal/sat"
+	"sync"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// Bad holds Reg.Mu while LockBoard acquires Board.Mu — the reverse of
+// core.WithBoth's order. The cycle is detectable only via facts: the
+// Board→Reg edge lives in core's fact, and LockBoard's acquisition is
+// known only from its summary.
+func Bad(r *core.Reg, b *core.Board) {
+	r.Mu.Lock()
+	core.LockBoard(b) // want `lock order cycle`
+	r.Mu.Unlock()
+}
+
+func (s *server) Publish() {
+	s.mu.Lock()
+	core.Notify(s.ch) // want `performs a channel send .* while holding`
+	s.ch <- 2         // want `channel send while holding`
+	s.mu.Unlock()
+}
+
+func (s *server) Run(solver *sat.Solver) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return solver.SolveAssuming(nil) // want `SolveAssuming called while holding`
+}
+
+// Good holds nothing while delegating to the canonical-order helper:
+// no findings.
+func Good(b *core.Board, r *core.Reg) {
+	core.WithBoth(b, r)
+}

@@ -17,6 +17,14 @@ import (
 // the import map, and where every dependency's export data lives —
 // the same contract golang.org/x/tools/go/analysis/unitchecker
 // implements, reproduced here on the stdlib only.
+//
+// Facts ride the same protocol: cmd/go tells us where each dependency's
+// cached fact file lives (PackageVetx) and where to write ours
+// (VetxOutput). Dependencies are visited first — with VetxOnly set when
+// cmd/go only needs their facts — so by the time the target package's
+// invocation runs, the merged dependency stores carry every transitive
+// fact, and the cross-package analyzers see the same whole-program view
+// the standalone driver builds in one process.
 
 // vetConfig mirrors the JSON written by cmd/go for vet tools.
 type vetConfig struct {
@@ -37,44 +45,82 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
-// RunVetTool executes one vet invocation: reads the config, typechecks
-// the package, runs the analyzers, and prints diagnostics to w in the
+// RunVetTool executes one vet invocation: reads the config, merges the
+// dependencies' fact files, typechecks the package, runs the analyzers,
+// writes this package's fact file, and prints diagnostics to w in the
 // format cmd/go expects (it parses "file:line:col: message" lines from
 // the tool's stderr). It returns the process exit code: 0 for clean,
 // 2 for findings, 1 for operational errors.
 func RunVetTool(w io.Writer, cfgPath string, analyzers []*Analyzer) int {
-	cfg, err := readVetConfig(cfgPath)
+	data, err := os.ReadFile(cfgPath)
 	if err != nil {
 		fmt.Fprintf(w, "bmclint: %v\n", err)
 		return 1
 	}
-
-	// cmd/go asks dependencies to produce "vetx" facts before the
-	// target. This suite is fact-free, so dependency runs just emit an
-	// empty vetx file and succeed.
-	if err := writeVetx(cfg.VetxOutput); err != nil {
-		fmt.Fprintf(w, "bmclint: %v\n", err)
+	cfg, err := parseVetConfig(data)
+	if err != nil {
+		fmt.Fprintf(w, "bmclint: parsing vet config %s: %v\n", cfgPath, err)
 		return 1
 	}
-	if cfg.VetxOnly {
+
+	facts := NewFactStore()
+	for path, file := range cfg.PackageVetx {
+		dep, err := readVetx(file)
+		if err != nil {
+			fmt.Fprintf(w, "bmclint: facts of %s: %v\n", path, err)
+			return 1
+		}
+		if dep != nil {
+			facts.Merge(dep)
+		}
+	}
+
+	// bail writes the facts gathered so far and succeeds. Fact-only
+	// dependency invocations cover all of std and every third-party
+	// package; a dependency this loader cannot typecheck (cgo, assembly
+	// quirks) must degrade to "no facts from here" rather than fail the
+	// whole vet run.
+	bail := func() int {
+		if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+			fmt.Fprintf(w, "bmclint: %v\n", err)
+			return 1
+		}
 		return 0
+	}
+
+	// Standard-library dependencies are outside every fact domain (see
+	// sameFactDomain): analyzing them would produce facts no consumer
+	// reads, so skip the work when cmd/go identifies the unit as std.
+	if cfg.VetxOnly && cfg.Standard[cfg.ImportPath] {
+		return bail()
 	}
 
 	pkg, err := typecheckVetConfig(cfg)
 	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
+		if cfg.VetxOnly || cfg.SucceedOnTypecheckFailure {
+			return bail()
 		}
 		fmt.Fprintf(w, "bmclint: %v\n", err)
 		return 1
 	}
 
-	diags, err := RunAnalyzers(pkg, analyzers)
+	diags, err := runAnalyzersGuarded(pkg, analyzers, facts)
 	if err != nil {
+		if cfg.VetxOnly {
+			return bail()
+		}
 		fmt.Fprintf(w, "bmclint: %v\n", err)
 		return 1
 	}
-	if len(diags) == 0 {
+
+	// The vetx is written after analysis so it includes this package's
+	// own facts on top of the merged dependency stores.
+	if err := writeVetx(cfg.VetxOutput, facts); err != nil {
+		fmt.Fprintf(w, "bmclint: %v\n", err)
+		return 1
+	}
+
+	if cfg.VetxOnly || len(diags) == 0 {
 		return 0
 	}
 	for _, d := range diags {
@@ -84,26 +130,56 @@ func RunVetTool(w io.Writer, cfgPath string, analyzers []*Analyzer) int {
 	return 2
 }
 
-func readVetConfig(path string) (*vetConfig, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// runAnalyzersGuarded converts an analyzer panic into an error. The
+// vet driver is handed every transitive dependency, including code this
+// tool was never tuned on — a crash there must degrade to "no facts
+// from here", not kill the whole go vet run.
+func runAnalyzersGuarded(pkg *Package, analyzers []*Analyzer, facts *FactStore) (diags []Diagnostic, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			diags, err = nil, fmt.Errorf("analyzer panic on %s: %v", pkg.Types.Path(), r)
+		}
+	}()
+	return RunAnalyzers(pkg, analyzers, facts)
+}
+
+// parseVetConfig decodes one vet .cfg payload. Split from file I/O so
+// the fuzz target can drive it directly with arbitrary bytes.
+func parseVetConfig(data []byte) (*vetConfig, error) {
 	cfg := new(vetConfig)
 	if err := json.Unmarshal(data, cfg); err != nil {
-		return nil, fmt.Errorf("parsing vet config %s: %v", path, err)
+		return nil, err
 	}
 	return cfg, nil
 }
 
-// writeVetx writes the (empty) facts file cmd/go caches for this
-// package. A missing VetxOutput (older toolchains running with
-// -vettool on a leaf invocation) is not an error.
-func writeVetx(path string) error {
+// readVetx loads one dependency's fact file. Zero-length files are the
+// fact-free marker older bmclint versions wrote — treated as empty, not
+// an error — while a non-empty file with the wrong header is corrupt or
+// foreign and rejected.
+func readVetx(path string) (*FactStore, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) == 0 {
+		return nil, nil
+	}
+	return DecodeFacts(data)
+}
+
+// writeVetx writes the facts file cmd/go caches for this package.
+// A missing VetxOutput (older toolchains running with -vettool on a
+// leaf invocation) is not an error.
+func writeVetx(path string, facts *FactStore) error {
 	if path == "" {
 		return nil
 	}
-	return os.WriteFile(path, nil, 0o666)
+	data, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o666)
 }
 
 // typecheckVetConfig parses and typechecks the package described by the

@@ -10,7 +10,6 @@
 package lits
 
 import (
-	"fmt"
 	"strconv"
 )
 
@@ -195,7 +194,9 @@ func (a Assignment) LitValue(l Lit) TriBool {
 // because that is always a programming error in this codebase.
 func (a Assignment) Set(v Var, t TriBool) {
 	if int(v) >= len(a) || v <= 0 {
-		panic(fmt.Sprintf("lits: Set(%v) out of range (n=%d)", v, len(a)-1))
+		// A constant panic message keeps Set inlinable and fmt off the
+		// solver hot path; the stack trace identifies the bad caller.
+		panic("lits: Set out of range")
 	}
 	a[v] = t
 }

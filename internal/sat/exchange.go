@@ -95,9 +95,6 @@ func (s *Solver) ImportClause(raw cnf.Clause) (ClauseID, bool) {
 	if _, dup := s.importSeen[key]; dup {
 		return 0, false
 	}
-	if s.importSeen == nil {
-		s.importSeen = make(map[uint64]struct{})
-	}
 	s.importSeen[key] = struct{}{}
 
 	s.cancelUntil(0)
@@ -106,6 +103,7 @@ func (s *Solver) ImportClause(raw cnf.Clause) (ClauseID, bool) {
 	}
 	id := s.nextID
 	s.nextID++
+	//bmclint:ignore hotpath the imported clause joins the long-lived clause database; one allocation per exchanged clause is the design, and imports happen at depth boundaries, not per decision
 	c := &clause{
 		id:      id,
 		learnt:  true,

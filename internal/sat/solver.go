@@ -121,6 +121,7 @@ func New(f *cnf.Formula, opts Options) *Solver {
 	s := &Solver{
 		opts:        opts,
 		nVars:       n,
+		importSeen:  make(map[uint64]struct{}),
 		watches:     make([][]watcher, 2*n+2),
 		assigns:     lits.NewAssignment(n),
 		reason:      make([]*clause, n+1),
@@ -518,6 +519,7 @@ func (s *Solver) analyze(confl *clause) (learnt []lits.Lit, btLevel int, ants []
 
 	for {
 		if s.recording {
+			//bmclint:ignore hotpath antecedent count is conflict-dependent and unbounded; recording is off in racing runs, and amortized append growth beats a worst-case preallocation
 			ants = append(ants, c.id)
 		}
 		c.act = s.conflictStamp()
@@ -704,6 +706,7 @@ func (s *Solver) computeLBD(cl []lits.Lit) int32 {
 // addLearned installs the learned clause, notifies the recorder, and
 // enqueues the asserting literal.
 func (s *Solver) addLearned(learnt []lits.Lit, ants []ClauseID) {
+	//bmclint:ignore hotpath the learned clause joins the long-lived clause database; one allocation per conflict is inherent to CDCL, not avoidable overhead
 	c := &clause{id: s.nextID, learnt: true, act: s.conflictStamp(), lbd: s.lastLBD, lits: learnt}
 	s.nextID++
 	s.stats.Learned++
@@ -945,6 +948,7 @@ func (s *Solver) analyzeFinal(p lits.Lit) (failed []lits.Lit, ants []ClauseID) {
 			failed = append(failed, s.trail[i])
 		} else {
 			if s.recording {
+				//bmclint:ignore hotpath analyzeFinal runs once per UNSAT answer, not per decision; the antecedent list is unbounded and recording is off in racing runs
 				ants = append(ants, r.id)
 			}
 			for _, q := range r.lits {
