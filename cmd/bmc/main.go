@@ -26,6 +26,13 @@
 // scripting; -v streams per-depth progress lines as the check runs,
 // through the session's event stream.
 //
+// -remote=host:port,host:port distributes the races across a fleet of
+// bmcworker daemons (cmd/bmcworker): each depth's attempts fan out over
+// the workers, the first verdict wins, and a worker lost mid-check is
+// evicted (its attempts re-race locally) and redialed in the background.
+// Requires a racing shape: -order=portfolio, or -engine=kind with
+// -incremental.
+//
 // Observability: -metrics dumps the session's metric registry after the
 // check; -metrics-addr=:9090 serves the same registry live at /metrics
 // (Prometheus exposition) plus the Go profiler at /debug/pprof/ while
@@ -62,6 +69,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/portfolio"
 	"repro/internal/racer"
+	"repro/internal/remote"
 	"repro/internal/sat"
 	"repro/internal/unroll"
 )
@@ -250,6 +258,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		metricsOut = fs.Bool("metrics", false, "dump the session's metric registry after the check")
 		metricAddr = fs.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/pprof/ on this address while the check runs (e.g. :9090)")
 		traceOut   = fs.String("trace", "", "write the check as a Chrome trace JSON to this file (view in chrome://tracing or ui.perfetto.dev)")
+		remotes    = fs.String("remote", "", "comma-separated bmcworker addresses to distribute races across (requires -order=portfolio, or -engine=kind -incremental)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -291,6 +300,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "bmc:", err)
 		return 2
 	}
+	workerAddrs := splitAddrs(*remotes)
+	if len(workerAddrs) > 0 && !(*order == "portfolio" || (*engineName == "kind" && *increment)) {
+		fmt.Fprintln(stderr, "bmc: -remote needs races to distribute: use -order=portfolio, or -engine=kind with -incremental")
+		return 2
+	}
 
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -322,6 +336,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *traceOut != "" {
 		tracer = obs.NewTracer()
 		eo = append(eo, engine.WithTracer(tracer))
+	}
+	if len(workerAddrs) > 0 {
+		// Clause traffic between workers follows the local bus switch: off
+		// unless the warm portfolio's -share is in effect.
+		shareOn := *order == "portfolio" && *increment && *share
+		rex, err := remote.New(workerAddrs, remote.Options{
+			Session: fs.Arg(0),
+			Share:   remote.ShareOptions{Off: !shareOn},
+			Metrics: reg,
+			Tracer:  tracer,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(stderr, "bmc: remote: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "bmc:", err)
+			return 2
+		}
+		defer rex.Close()
+		eo = append(eo, engine.WithExecutor(rex))
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "distributing races across %d worker(s)\n", len(workerAddrs))
+		}
 	}
 	if *metricAddr != "" {
 		ln, err := net.Listen("tcp", *metricAddr)
@@ -441,6 +478,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, "budget exhausted before a verdict")
 	}
 	return exitCode(res.Verdict)
+}
+
+// splitAddrs parses the -remote list, dropping empty entries.
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // exitCode maps the verdict onto the documented process exit code.

@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
 	"strings"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/aiger"
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/remote"
 )
 
 // validate runs the CLI's two-stage validation — flag translation, then
@@ -167,4 +169,85 @@ func TestCLIJSON(t *testing.T) {
 	if res.Trace == nil || res.Trace.Depth != 9 {
 		t.Error("JSON result is missing the counter-example trace")
 	}
+}
+
+// TestCLIRemote drives run() with -remote against a real in-process
+// worker daemon over TCP: the distributed check returns the same
+// verdict as local, shapes that have no races to distribute are
+// rejected up front, and an unreachable worker fails fast.
+func TestCLIRemote(t *testing.T) {
+	failing := writeModel(t, "cnt_w4_t9")
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		remote.NewWorker(remote.WorkerOptions{Name: "cli-test"}).Serve(ln) //nolint:errcheck // ends with listener close
+	}()
+	defer func() {
+		ln.Close()
+		<-served
+	}()
+	addr := ln.Addr().String()
+
+	t.Run("falsified via worker", func(t *testing.T) {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-remote", addr, "-order=portfolio", "-incremental", "-depth=12", failing}
+		if code := run(args, &stdout, &stderr); code != 1 {
+			t.Fatalf("exit code %d, want 1 (stderr: %s)", code, stderr.String())
+		}
+		for _, want := range []string{"distributing races across 1 worker(s)", "counter-example of length 9"} {
+			if !strings.Contains(stdout.String(), want) {
+				t.Errorf("stdout does not contain %q:\n%s", want, stdout.String())
+			}
+		}
+	})
+	t.Run("json verdict matches local", func(t *testing.T) {
+		var local, dist bytes.Buffer
+		var stderr bytes.Buffer
+		if code := run([]string{"-json", "-order=portfolio", "-incremental", "-depth=12", failing}, &local, &stderr); code != 1 {
+			t.Fatalf("local exit code %d (stderr: %s)", code, stderr.String())
+		}
+		args := []string{"-json", "-remote", addr, "-order=portfolio", "-incremental", "-depth=12", failing}
+		if code := run(args, &dist, &stderr); code != 1 {
+			t.Fatalf("remote exit code %d (stderr: %s)", code, stderr.String())
+		}
+		var lres, dres engine.Result
+		if err := json.Unmarshal(local.Bytes(), &lres); err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(dist.Bytes(), &dres); err != nil {
+			t.Fatalf("%v\n%s", err, dist.String())
+		}
+		if lres.Verdict != dres.Verdict || lres.K != dres.K {
+			t.Errorf("remote (%v@%d) diverges from local (%v@%d)",
+				dres.Verdict, dres.K, lres.Verdict, lres.K)
+		}
+	})
+	t.Run("rejects non-racing shape", func(t *testing.T) {
+		var stdout, stderr bytes.Buffer
+		args := []string{"-remote", addr, "-order=dynamic", "-depth=5", failing}
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("exit code %d, want 2", code)
+		}
+		if !strings.Contains(stderr.String(), "needs races to distribute") {
+			t.Errorf("stderr does not explain the rejection:\n%s", stderr.String())
+		}
+	})
+	t.Run("unreachable worker", func(t *testing.T) {
+		dead, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		deadAddr := dead.Addr().String()
+		dead.Close()
+		var stdout, stderr bytes.Buffer
+		args := []string{"-remote", deadAddr, "-order=portfolio", "-depth=5", failing}
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Fatalf("exit code %d, want 2 (stderr: %s)", code, stderr.String())
+		}
+	})
 }

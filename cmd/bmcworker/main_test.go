@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/remote"
+)
+
+// syncBuffer is a bytes.Buffer safe to read while the daemon goroutine
+// writes to it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitFor polls the buffer until re matches its contents, returning the
+// first submatch.
+func waitFor(t *testing.T, b *syncBuffer, re *regexp.Regexp) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := re.FindStringSubmatch(b.String()); m != nil {
+			return m[1]
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("output never matched %v:\n%s", re, b.String())
+	return ""
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+var metricsRE = regexp.MustCompile(`serving /metrics on (\S+)`)
+
+// TestDaemonServesCheck drives run() through its real flag surface: the
+// daemon comes up on an ephemeral port, a coordinator races a full BMC
+// check through it, the /metrics endpoint reports the traffic, and a
+// signal drains it to a clean exit.
+func TestDaemonServesCheck(t *testing.T) {
+	var stdout, stderr syncBuffer
+	sig := make(chan os.Signal, 1)
+	done := make(chan int, 1)
+	go func() {
+		done <- run([]string{
+			"-listen", "127.0.0.1:0",
+			"-name", "w-test",
+			"-metrics-addr", "127.0.0.1:0",
+			"-v",
+		}, &stdout, &stderr, sig)
+	}()
+	addr := waitFor(t, &stdout, listenRE)
+	maddr := waitFor(t, &stdout, metricsRE)
+
+	ex, err := remote.New([]string{addr}, remote.Options{Session: "daemon-test"})
+	if err != nil {
+		t.Fatalf("connect to daemon: %v", err)
+	}
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	sess, err := engine.New(m.Build(), 0,
+		engine.WithBudgets(9, 0),
+		engine.WithPortfolio(nil, 0), engine.WithIncremental(),
+		engine.WithExecutor(ex))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Check(context.Background())
+	if err != nil {
+		t.Fatalf("Check via daemon: %v", err)
+	}
+	if res.Verdict != engine.Falsified || res.K != 9 {
+		t.Errorf("verdict %v at k=%d, want Falsified at k=9", res.Verdict, res.K)
+	}
+	ex.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", maddr))
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"net_frames_recv_total", "remote_worker_races_total"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %s:\n%s", want, body)
+		}
+	}
+
+	sig <- os.Interrupt
+	select {
+	case code := <-done:
+		if code != 0 {
+			t.Errorf("exit code %d, want 0 (stderr: %s)", code, stderr.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain after signal")
+	}
+	if !strings.Contains(stdout.String(), "draining") {
+		t.Errorf("no drain notice in stdout:\n%s", stdout.String())
+	}
+}
+
+// TestDaemonFlagErrors: bad invocations exit 2 without starting the
+// listener.
+func TestDaemonFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"positional arg", []string{"design.aag"}},
+		{"unknown flag", []string{"-serve=:1"}},
+		{"bad listen addr", []string{"-listen", "256.0.0.1:bad"}},
+		{"bad metrics addr", []string{"-listen", "127.0.0.1:0", "-metrics-addr", "256.0.0.1:bad"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr syncBuffer
+			if code := run(tc.args, &stdout, &stderr, nil); code != 2 {
+				t.Errorf("exit code %d, want 2", code)
+			}
+		})
+	}
+}

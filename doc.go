@@ -15,7 +15,8 @@
 //	                     functional options validated in one place
 //	                     (Config.Validate), the Executor seam for
 //	                     local/remote race execution (LocalExecutor wraps
-//	                     the in-process goroutine pool), a per-depth
+//	                     the in-process goroutine pool; remote.Executor
+//	                     fans races out to worker daemons), a per-depth
 //	                     progress event stream, and all seven depth loops
 //	                     (BMC scratch/incremental/portfolio/warm;
 //	                     k-induction sequential/portfolio/warm)
@@ -48,6 +49,14 @@
 //	                     solvers living across the depths of one query
 //	                     sequence (Source: BMC/base or induction-step
 //	                     frames) plus the depth-boundary clause exchange bus
+//	internal/remote      the distributed portfolio: length-prefixed gob
+//	                     wire protocol (bounded decode, fuzzed), the
+//	                     worker daemon holding warm per-connection mirror
+//	                     solvers, and the coordinator-side remote.Executor
+//	                     (fan-out with first-verdict-wins cancellation,
+//	                     heartbeats, reconnect + frame replay, clause-bus
+//	                     forwarding under per-link diets, local re-race
+//	                     fallback when a worker dies mid-depth)
 //	internal/induction   deprecated thin wrappers over engine for the three
 //	                     legacy k-induction entrypoints (Prove,
 //	                     ProvePortfolio, ProvePortfolioIncremental)
@@ -62,7 +71,11 @@
 //	                     engine.Config.Validate before the circuit is
 //	                     opened, -v streams the session's progress
 //	                     events, -metrics/-metrics-addr/-trace expose the
-//	                     observability layer)
+//	                     observability layer, -remote=host:port,... fans
+//	                     portfolio races out to bmcworker daemons)
+//	cmd/bmcworker        the distributed portfolio's worker daemon
+//	                     (-listen accepts coordinators; -metrics-addr
+//	                     serves its wire/race counters as Prometheus)
 //
 // The root package holds the paper-artifact benchmarks (bench_test.go).
 package repro

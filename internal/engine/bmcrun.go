@@ -316,7 +316,7 @@ func (s *Session) runBMCPortfolio(ctx context.Context, u *unroll.Unroller) (*Res
 			attempts[i] = portfolio.Attempt{Name: st.String(), Opts: solverOpts}
 		}
 
-		race := exec.Race(f, attempts, s.cfg.Jobs, ctx.Done())
+		race := exec.Race(QueryBMC, f, attempts, s.cfg.Jobs, ctx.Done())
 		res.Telemetry.Observe(k, &race)
 		s.observeRace(QueryBMC, k, &race)
 
@@ -392,6 +392,12 @@ func (s *Session) poolConfig(ctx context.Context, query Query, exchange racer.Ex
 	exchange.OnExport = func(k int, from string, clauses []cnf.Clause) {
 		exec.OnClausePayload(query, k, from, clauses)
 	}
+	var onFrame func(k int, frame *cnf.Formula)
+	if sink, ok := exec.(FrameSink); ok {
+		onFrame = func(k int, frame *cnf.Formula) {
+			sink.OnFrame(query, k, frame)
+		}
+	}
 	cfg := racer.Config{
 		Strategies:           s.cfg.Strategies,
 		Jobs:                 s.cfg.Jobs,
@@ -401,9 +407,12 @@ func (s *Session) poolConfig(ctx context.Context, query Query, exchange racer.Ex
 		PerInstanceConflicts: s.cfg.PerInstanceConflicts,
 		ForceRecording:       s.cfg.ForceRecording,
 		Exchange:             exchange,
-		Race:                 exec.RaceLive,
-		Metrics:              s.cfg.Metrics,
-		Query:                string(query),
+		Race: func(q string, attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+			return exec.RaceLive(Query(q), attempts, assumps, jobs, stop)
+		},
+		OnFrame: onFrame,
+		Metrics: s.cfg.Metrics,
+		Query:   string(query),
 	}
 	if dl, ok := ctx.Deadline(); ok {
 		cfg.Deadline = dl

@@ -176,14 +176,14 @@ type countingExecutor struct {
 	races, liveRaces, payloads int
 }
 
-func (e *countingExecutor) Race(f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+func (e *countingExecutor) Race(q engine.Query, f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult {
 	e.races++
-	return e.LocalExecutor.Race(f, attempts, jobs, stop)
+	return e.LocalExecutor.Race(q, f, attempts, jobs, stop)
 }
 
-func (e *countingExecutor) RaceLive(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+func (e *countingExecutor) RaceLive(q engine.Query, attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
 	e.liveRaces++
-	return e.LocalExecutor.RaceLive(attempts, assumps, jobs, stop)
+	return e.LocalExecutor.RaceLive(q, attempts, assumps, jobs, stop)
 }
 
 func (e *countingExecutor) OnClausePayload(q engine.Query, k int, from string, clauses []cnf.Clause) {

@@ -10,48 +10,89 @@ import (
 // cold (throwaway solvers over one formula) or live (the warm pool's
 // persistent solvers under an assumption) — is submitted through this
 // interface, and every depth-boundary clause-bus payload flows through
-// its hook. LocalExecutor wraps today's in-process goroutine pool; a
-// remote executor (gRPC or plain TCP workers racing the same CNF, the
-// ROADMAP's distributed-portfolio direction) implements the same three
-// methods: ship the attempts out, report the first verdict back, cancel
-// the rest when stop closes, and forward the clause payloads — plain
-// literal slices, the designed wire format — to its workers.
+// its hook. LocalExecutor wraps the in-process goroutine pool;
+// remote.Executor (internal/remote) fans the same calls out across a
+// fleet of bmcworker daemons over TCP. Both are installed through
+// WithExecutor and observed through the same session API, so the depth
+// loops never know where their solvers actually run.
 //
-// Implementations must preserve the first-verdict-wins contract of
-// portfolio.Race/RaceLive: the returned RaceResult carries the first
-// Sat/Unsat verdict (Winner == -1 when none landed), and once stop is
-// closed the call returns promptly with every attempt at rest.
+// # The contract, method by method
+//
+// Race runs a cold race: one throwaway solver per attempt, all solving
+// the same formula f, at most jobs concurrently (jobs <= 0 means one
+// per attempt). The attempts' sat.Options carry everything a solver
+// needs (guidance, budgets, deadline, recorder); f and the options are
+// owned by the caller and must not be mutated. query labels which
+// instance sequence the race belongs to (bmc, base, step) — pure
+// routing/telemetry context, it does not change the formula.
+//
+// RaceLive races caller-owned persistent solvers on an assumption list;
+// the solvers' clause databases and heuristic state survive the race
+// (the warm pool's per-depth race). The solvers are single-threaded:
+// the executor may drive each one from at most one goroutine at a time,
+// and when the call returns every solver must be at rest — the caller
+// immediately runs depth-boundary work (clause exchange, core folding)
+// on them. An implementation that executes attempts elsewhere (remote
+// mirrors) may leave the local solvers untouched, but must still return
+// outcomes indexed exactly like the attempts slice.
+//
+// Both race methods block until the race is settled. They return the
+// first Sat/Unsat verdict in RaceResult.Result with Winner set to the
+// deciding attempt's index, or Winner == -1 when no attempt reached a
+// verdict (budgets exhausted, or stop closed first). When stop closes,
+// the implementation must cancel outstanding attempts cooperatively and
+// return promptly — bounded by the solvers' stop-poll interval, not by
+// the remaining search — with every attempt at rest. Closing stop is
+// the caller's only cancellation channel; implementations must never
+// require a second call to unwind a race.
+//
+// OnClausePayload observes one racer's exported clause-bus payload at a
+// depth boundary: query names the instance sequence, k the depth, from
+// the exporting strategy. The pool has already redistributed the
+// payload locally; the hook exists so a distributing executor can
+// forward it to its workers (the clauses are plain literal slices — the
+// designed wire format). The payload is shared with the local
+// importing side: implementations may retain the slices but must not
+// mutate them. The hook is called between races (solvers at rest) and
+// should return quickly; slow transports must buffer internally.
+//
+// # Concurrency
+//
+// The k-induction engine races its base and step queries in parallel:
+// implementations must accept concurrent Race/RaceLive calls (they are
+// always for distinct queries) and concurrent OnClausePayload calls.
 type Executor interface {
-	// Race runs a cold race: one throwaway solver per attempt, all
-	// solving formula f, at most jobs concurrently (jobs <= 0 means one
-	// per attempt).
-	Race(f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult
-	// RaceLive races caller-owned persistent solvers on an assumption
-	// list; the solvers' clause databases and heuristic state survive
-	// the race (the warm pool's per-depth race).
-	RaceLive(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult
-	// OnClausePayload observes one racer's exported clause-bus payload at
-	// a depth boundary: query names the instance sequence (bmc, base,
-	// step), k the depth, from the exporting strategy. Local execution
-	// redistributes in-process and needs nothing here; a remote executor
-	// forwards the payload to its workers. The clauses must not be
-	// mutated.
+	Race(query Query, f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult
+	RaceLive(query Query, attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult
 	OnClausePayload(query Query, k int, from string, clauses []cnf.Clause)
 }
 
+// FrameSink is an optional Executor extension for implementations that
+// mirror the warm pools' solver state elsewhere. When the configured
+// executor implements it, the session reports every unrolled frame —
+// query, depth, and the frame's delta formula — right after the local
+// pool has fed it to its own solvers and before the depth's RaceLive
+// call. The frame is owned by the pool and must not be mutated; an
+// implementation may retain it (remote.Executor replays retained frames
+// to reconnecting workers, whose mirrors restart empty).
+type FrameSink interface {
+	OnFrame(query Query, k int, frame *cnf.Formula)
+}
+
 // LocalExecutor runs races on the in-process goroutine pool
-// (portfolio.Race / portfolio.RaceLive). It is the only code path that
-// constructs racer goroutines; every engine configuration routes through
-// it unless WithExecutor installs a replacement.
+// (portfolio.Race / portfolio.RaceLive). It is the default and the only
+// code path that constructs racer goroutines in-process; every engine
+// configuration routes through it unless WithExecutor installs a
+// replacement.
 type LocalExecutor struct{}
 
 // Race implements Executor with portfolio.Race.
-func (LocalExecutor) Race(f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+func (LocalExecutor) Race(_ Query, f *cnf.Formula, attempts []portfolio.Attempt, jobs int, stop <-chan struct{}) portfolio.RaceResult {
 	return portfolio.Race(f, attempts, jobs, stop)
 }
 
 // RaceLive implements Executor with portfolio.RaceLive.
-func (LocalExecutor) RaceLive(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+func (LocalExecutor) RaceLive(_ Query, attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
 	return portfolio.RaceLive(attempts, assumps, jobs, stop)
 }
 

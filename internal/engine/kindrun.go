@@ -191,9 +191,9 @@ func (s *Session) runKindPortfolio(ctx context.Context, u *unroll.Unroller) (*Re
 		stepDone := make(chan struct{})
 		go func() {
 			defer close(stepDone)
-			stepRace, stepRecs = s.raceKindQuery(ctx, u, step, strategies, stepBoard, k, k+2, useCores, stopStep, stepMetrics)
+			stepRace, stepRecs = s.raceKindQuery(ctx, QueryStep, u, step, strategies, stepBoard, k, k+2, useCores, stopStep, stepMetrics)
 		}()
-		baseRace, baseRecs := s.raceKindQuery(ctx, u, base, strategies, baseBoard, k, k+1, useCores, ctx.Done(), baseMetrics)
+		baseRace, baseRecs := s.raceKindQuery(ctx, QueryBase, u, base, strategies, baseBoard, k, k+1, useCores, ctx.Done(), baseMetrics)
 		stepMoot := baseRace.Winner < 0 || baseRace.Result.Status != sat.Unsat
 		if stepMoot {
 			cancelStep()
@@ -279,7 +279,7 @@ func kindRaceStats(k int, race *portfolio.RaceResult, start time.Time) DepthStat
 // frames the instance spans (k+1 for base, k+2 for step) — the timeaxis
 // racers' guidance prefers earlier frames and leaves the step encoding's
 // auxiliary disequality variables unscored.
-func (s *Session) raceKindQuery(ctx context.Context, u *unroll.Unroller, f *cnf.Formula, strategies portfolio.StrategySet,
+func (s *Session) raceKindQuery(ctx context.Context, query Query, u *unroll.Unroller, f *cnf.Formula, strategies portfolio.StrategySet,
 	board *core.ScoreBoard, k, frames int, useCores bool, stop <-chan struct{}, metrics []*sat.Metrics) (portfolio.RaceResult, []*core.Recorder) {
 	attempts := make([]portfolio.Attempt, len(strategies))
 	recs := make([]*core.Recorder, len(strategies))
@@ -297,7 +297,7 @@ func (s *Session) raceKindQuery(ctx context.Context, u *unroll.Unroller, f *cnf.
 		}
 		attempts[i] = portfolio.Attempt{Name: st.String(), Opts: so}
 	}
-	return s.executor().Race(f, attempts, s.cfg.Jobs, stop), recs
+	return s.executor().Race(query, f, attempts, s.cfg.Jobs, stop), recs
 }
 
 // foldKindCore feeds the winning racer's unsat core into the query's

@@ -1,0 +1,39 @@
+// The distributed-portfolio shape: an accept loop spawning one
+// goroutine per connection. A joinable handler carries a WaitGroup or
+// drains a channel; a handler with neither leaks on every connection
+// the daemon ever accepts.
+package use
+
+import "sync"
+
+type conn struct{ frames chan int }
+
+type daemon struct {
+	wg    sync.WaitGroup
+	conns chan *conn
+}
+
+// Serve tracks every per-connection goroutine in the WaitGroup and
+// joins them before returning — the worker-daemon discipline.
+func (d *daemon) Serve(n int) {
+	for i := 0; i < n; i++ {
+		c := <-d.conns
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for f := range c.frames {
+				_ = f
+			}
+		}()
+	}
+	d.wg.Wait()
+}
+
+// LeakyServe spawns per-connection handlers nothing can stop or join.
+func (d *daemon) LeakyServe(n int) {
+	for i := 0; i < n; i++ {
+		go handle(i) // want `goroutine has no join or cancellation signal`
+	}
+}
+
+func handle(i int) { _ = i * i }

@@ -1,0 +1,35 @@
+// The remote-coordinator shape: a mutex guarding a pending-request
+// table whose values are per-request result channels. The send must
+// happen after the pop's unlock, never under it.
+package use
+
+import "sync"
+
+type link struct {
+	mu      sync.Mutex
+	pending map[int]chan int
+}
+
+// DeliverUnderLock sends the result while still holding the table
+// lock — if the receiver turns around and registers a new request,
+// both sides deadlock.
+func (l *link) DeliverUnderLock(id, v int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if ch, ok := l.pending[id]; ok {
+		delete(l.pending, id)
+		ch <- v // want `channel send while holding`
+	}
+}
+
+// Deliver pops the channel under the lock and sends after releasing
+// it — the coordinator read-loop discipline.
+func (l *link) Deliver(id, v int) {
+	l.mu.Lock()
+	ch, ok := l.pending[id]
+	delete(l.pending, id)
+	l.mu.Unlock()
+	if ok {
+		ch <- v
+	}
+}

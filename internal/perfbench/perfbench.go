@@ -23,6 +23,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/racer"
+	"repro/internal/remote"
 )
 
 // Shape is one engine configuration of the benchmark matrix, named so
@@ -34,6 +35,10 @@ type Shape struct {
 	Name          string
 	Deterministic bool
 	Options       func() []engine.Option
+	// Setup, when non-nil, replaces Options for shapes whose options
+	// need paired teardown — the remote-loopback shape spins up worker
+	// daemons per cell and must close them after it.
+	Setup func() (opts []engine.Option, cleanup func(), err error)
 }
 
 // Shapes returns the benchmark matrix's engine shapes in a fixed order.
@@ -64,6 +69,23 @@ func Shapes() []Shape {
 				engine.WithPortfolio(nil, 0),
 				engine.WithIncremental(),
 			}
+		}},
+		// The warm portfolio with its races shipped to two in-process
+		// loopback workers: bmc-warm-shared plus the full wire layer
+		// (gob framing, mirror feeding, clause forwarding), so remote
+		// overhead is trendable against the local shape on the same
+		// cells.
+		{Name: "bmc-warm-remote", Deterministic: false, Setup: func() ([]engine.Option, func(), error) {
+			ex, err := remote.NewLoopback(2, remote.Options{Session: "perfbench"}, remote.WorkerOptions{})
+			if err != nil {
+				return nil, nil, err
+			}
+			return []engine.Option{
+				engine.WithPortfolio(nil, 0),
+				engine.WithIncremental(),
+				engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+				engine.WithExecutor(ex),
+			}, func() { ex.Close() }, nil
 		}},
 	}
 }
@@ -125,6 +147,7 @@ func Suites() []Suite {
 		Cell{Model: "fifo_c6_bug", Shape: "bmc-dynamic"},
 		Cell{Model: "gcnt_m10", Shape: "bmc-warm-shared", MaxDepth: 8},
 		Cell{Model: "twin_w10", Shape: "kind-warm", MaxDepth: 10},
+		Cell{Model: "mix_w6", Shape: "bmc-warm-remote", MaxDepth: 8},
 	)
 	return []Suite{
 		{Name: "smoke", Cells: []Cell{
@@ -195,7 +218,18 @@ func runCell(ctx context.Context, cell Cell) (*CellResult, error) {
 		depth = cell.MaxDepth
 	}
 	reg := obs.NewRegistry()
-	opts := append(shape.Options(),
+	var shapeOpts []engine.Option
+	if shape.Setup != nil {
+		so, cleanup, err := shape.Setup()
+		if err != nil {
+			return nil, err
+		}
+		defer cleanup()
+		shapeOpts = so
+	} else {
+		shapeOpts = shape.Options()
+	}
+	opts := append(shapeOpts,
 		engine.WithBudgets(depth, cell.Conflicts),
 		engine.WithMetrics(reg))
 	sess, err := engine.New(m.Build(), 0, opts...)

@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -215,5 +216,35 @@ func TestAblationConverters(t *testing.T) {
 	}
 	if len(pf.Cells) != 3 {
 		t.Fatalf("portfolio conversion wrong: %+v", pf.Cells)
+	}
+}
+
+// TestRunRemoteShape: the bmc-warm-remote shape builds its loopback
+// fleet through Setup, races a cell over the wire, tears the workers
+// down afterwards, and lands the same verdict as the model's spec.
+func TestRunRemoteShape(t *testing.T) {
+	before := runtime.NumGoroutine()
+	suite := Suite{Name: "remote-smoke", Cells: []Cell{
+		{Model: "cnt_w4_t9", Shape: "bmc-warm-remote"},
+	}}
+	art, err := Run(context.Background(), suite, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &art.Cells[0]
+	if c.Verdict != "falsified" || c.K != 9 {
+		t.Errorf("verdict %s@%d, want falsified@9", c.Verdict, c.K)
+	}
+	if c.Deterministic {
+		t.Error("remote racing cells must not claim deterministic counters")
+	}
+	// The cell's cleanup must have shut the loopback workers down — no
+	// pingers or read loops may outlive the run.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > before {
+		t.Errorf("goroutines leaked across the cell: %d before, %d after", before, now)
 	}
 }

@@ -50,11 +50,14 @@ const (
 )
 
 // RaceFunc races a set of live solvers under an assumption list and
-// returns the first verdict, cancelling the rest — the signature of
-// portfolio.RaceLive. The pool calls it for every depth; injecting a
-// different implementation (engine.Executor) is how race execution is
-// swapped without the pool knowing where the solvers actually run.
-type RaceFunc func(attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult
+// returns the first verdict, cancelling the rest — portfolio.RaceLive
+// with the pool's query label prepended. The pool calls it for every
+// depth; injecting a different implementation (engine.Executor) is how
+// race execution is swapped without the pool knowing where the solvers
+// actually run. query is Config.Query verbatim, so a distributing
+// implementation can route the attempts to the mirrors of the right
+// instance sequence.
+type RaceFunc func(query string, attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult
 
 // Config configures a warm racer pool. The zero value is not usable on
 // its own — Strategies and the base Solver options come from the caller
@@ -93,6 +96,13 @@ type Config struct {
 	// in-process goroutine pool). engine.LocalExecutor injects itself
 	// here so the Executor seam covers warm races too.
 	Race RaceFunc
+	// OnFrame, when non-nil, observes every frame right after the pool
+	// has fed it to its own solvers and before the depth's race: depth k
+	// and the frame's delta formula. The frame must not be mutated but
+	// may be retained — this is how a frame-mirroring executor
+	// (engine.FrameSink) keeps remote solver mirrors in sync with the
+	// pool's solvers.
+	OnFrame func(k int, frame *cnf.Formula)
 	// Metrics, when non-nil, receives the pool's instrumentation: each
 	// racer's solver counters (via sat.Options.Metrics), per-racer
 	// warm/cold conflict attribution, and per-link clause-bus traffic.
@@ -159,7 +169,9 @@ func NewPool(src Source, cfg Config) *Pool {
 		cfg.Strategies = portfolio.DefaultSet()
 	}
 	if cfg.Race == nil {
-		cfg.Race = portfolio.RaceLive
+		cfg.Race = func(_ string, attempts []portfolio.LiveAttempt, assumps []lits.Lit, jobs int, stop <-chan struct{}) portfolio.RaceResult {
+			return portfolio.RaceLive(attempts, assumps, jobs, stop)
+		}
 	}
 	cfg.Exchange = cfg.Exchange.withDefaults()
 	p := &Pool{
@@ -286,6 +298,9 @@ func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
 	}
 	p.totalClauses += frame.NumClauses()
 	p.totalLits += frame.NumLiterals()
+	if p.cfg.OnFrame != nil {
+		p.cfg.OnFrame(k, frame)
+	}
 	encodeWall := time.Since(encodeStart)
 
 	attempts := make([]portfolio.LiveAttempt, len(p.racers))
@@ -299,7 +314,7 @@ func (p *Pool) RaceDepthStop(k int, stop <-chan struct{}) DepthOutcome {
 	}
 
 	out := DepthOutcome{
-		Race:         p.cfg.Race(attempts, []lits.Lit{p.src.Assumption(k)}, p.cfg.Jobs, stop),
+		Race:         p.cfg.Race(p.cfg.Query, attempts, []lits.Lit{p.src.Assumption(k)}, p.cfg.Jobs, stop),
 		FrameVars:    frame.NumVars,
 		TotalClauses: p.totalClauses,
 		TotalLits:    p.totalLits,

@@ -1,0 +1,407 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/racer"
+)
+
+// fastOpts are executor options tuned for tests: short timeouts, no
+// reconnects unless a test asks for them.
+func fastOpts() Options {
+	return Options{
+		Session:           "test",
+		ConnectTimeout:    2 * time.Second,
+		WriteTimeout:      2 * time.Second,
+		PingInterval:      200 * time.Millisecond,
+		PingMisses:        10,
+		ReconnectAttempts: -1,
+	}
+}
+
+// newLoopbackExecutor builds an n-worker loopback executor wired to a
+// fresh registry, closed via t.Cleanup.
+func newLoopbackExecutor(t *testing.T, n int, opts Options) (*Executor, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	e, err := NewLoopback(n, opts, WorkerOptions{})
+	if err != nil {
+		t.Fatalf("NewLoopback: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e, reg
+}
+
+func checkWith(t *testing.T, m bench.Model, opts ...engine.Option) *engine.Result {
+	t.Helper()
+	sess, err := engine.New(m.Build(), 0, opts...)
+	if err != nil {
+		t.Fatalf("%s: New: %v", m.Name, err)
+	}
+	res, err := sess.Check(context.Background())
+	if err != nil {
+		t.Fatalf("%s: Check: %v", m.Name, err)
+	}
+	return res
+}
+
+// equivalenceModels returns the named suite model.
+func equivalenceModel(t *testing.T, name string) bench.Model {
+	t.Helper()
+	switch name {
+	case "tlc_bug":
+		return bench.Model{Name: name, Build: func() *circuit.Circuit { return bench.TrafficLight(true, 0, 0) }}
+	case "gcnt_offset":
+		return bench.Model{Name: name, Build: func() *circuit.Circuit { return bench.OffsetCounter(4, 10, 12) }}
+	}
+	m, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("model %s missing", name)
+	}
+	return m
+}
+
+// remoteShapes are the executor-using engine configurations: every
+// portfolio shape, cold and warm, both engines, plus the single-solver
+// warm k-induction pool.
+func remoteShapes() []struct {
+	name   string
+	models []string
+	depth  int
+	opts   []engine.Option
+} {
+	exchange := engine.WithExchange(racer.ExchangeOptions{Enabled: true})
+	bmcModels := []string{"add_w8", "cnt_w4_t9", "twin_w8"}
+	kindModels := []string{"tlc_bug", "gcnt_offset"}
+	return []struct {
+		name   string
+		models []string
+		depth  int
+		opts   []engine.Option
+	}{
+		// Depth 4 for the cold portfolio: from-scratch races on add_w8
+		// grow steeply with depth, and depth 4 already races every
+		// strategy at every depth (the engine seam test's bound).
+		{"bmc-portfolio", bmcModels, 4, []engine.Option{engine.WithPortfolio(nil, 0)}},
+		{"bmc-warm", bmcModels, 6, []engine.Option{
+			engine.WithPortfolio(nil, 0), engine.WithIncremental(), exchange}},
+		{"kind-portfolio", kindModels, 6, []engine.Option{
+			engine.WithEngine(engine.KInduction), engine.WithPortfolio(nil, 0)}},
+		{"kind-warm", kindModels, 6, []engine.Option{
+			engine.WithEngine(engine.KInduction), engine.WithPortfolio(nil, 0),
+			engine.WithIncremental(), exchange}},
+		{"kind-warm-single", kindModels, 6, []engine.Option{
+			engine.WithEngine(engine.KInduction), engine.WithIncremental()}},
+	}
+}
+
+// TestLoopbackEquivalence: across every executor-using engine shape and
+// a mixed suite of models, a session whose races run on remote workers
+// returns the same verdict at the same depth as the all-local session,
+// with the races demonstrably flowing through the wire (remote races
+// counted, zero fallbacks).
+func TestLoopbackEquivalence(t *testing.T) {
+	for _, shape := range remoteShapes() {
+		for _, workers := range []int{1, 2} {
+			shape, workers := shape, workers
+			t.Run(fmt.Sprintf("%s/w%d", shape.name, workers), func(t *testing.T) {
+				t.Parallel()
+				for _, name := range shape.models {
+					m := equivalenceModel(t, name)
+					base := append([]engine.Option{engine.WithBudgets(shape.depth, 0)}, shape.opts...)
+					ref := checkWith(t, m, base...)
+
+					e, reg := newLoopbackExecutor(t, workers, fastOpts())
+					res := checkWith(t, m, append(base, engine.WithExecutor(e))...)
+					e.Close()
+
+					if res.Verdict != ref.Verdict || res.K != ref.K {
+						t.Errorf("%s: remote (%v@%d) disagrees with local (%v@%d)",
+							name, res.Verdict, res.K, ref.Verdict, ref.K)
+					}
+					snap := reg.Snapshot()
+					if snap.Counters[metricRemoteRaces] == 0 {
+						t.Errorf("%s: no races went through the remote executor", name)
+					}
+					if n := snap.Counters[metricRemoteFallbacks]; n != 0 {
+						t.Errorf("%s: %d local fallbacks on a healthy loopback", name, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestTCPEquivalence: the same equivalence holds over real sockets — a
+// bmcworker serving a TCP listener, the executor dialing it.
+func TestTCPEquivalence(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	w := NewWorker(WorkerOptions{Logf: t.Logf})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Serve(ln)
+	}()
+	defer func() {
+		ln.Close()
+		<-done
+	}()
+
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	base := []engine.Option{
+		engine.WithBudgets(9, 0), engine.WithPortfolio(nil, 0),
+		engine.WithIncremental(), engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+	}
+	ref := checkWith(t, m, base...)
+
+	reg := obs.NewRegistry()
+	opts := fastOpts()
+	opts.Metrics = reg
+	e, err := New([]string{ln.Addr().String()}, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	res := checkWith(t, m, append(base, engine.WithExecutor(e))...)
+	if res.Verdict != ref.Verdict || res.K != ref.K {
+		t.Errorf("tcp remote (%v@%d) disagrees with local (%v@%d)",
+			res.Verdict, res.K, ref.Verdict, ref.K)
+	}
+	if reg.Snapshot().Counters[metricRemoteRaces] == 0 {
+		t.Error("no races went through the TCP executor")
+	}
+}
+
+// failingConn wraps a worker-side conn that dies after n successful
+// writes — the worker crashes mid-check from the coordinator's point of
+// view (the write error also severs the pipe, as a dead process would).
+type failingConn struct {
+	net.Conn
+	writes atomic.Int64
+	limit  int64
+}
+
+func (c *failingConn) Write(b []byte) (int, error) {
+	if c.writes.Add(1) > c.limit {
+		c.Conn.Close()
+		return 0, errors.New("injected worker failure")
+	}
+	return c.Conn.Write(b)
+}
+
+// TestWorkerLostMidCheck: a worker that dies between depths is evicted
+// and the stranded attempts re-race locally; the check completes with
+// the correct verdict. Reconnects are disabled, so every later depth
+// exercises the zero-healthy-links degradation too.
+func TestWorkerLostMidCheck(t *testing.T) {
+	w := NewWorker(WorkerOptions{})
+	var handlers sync.WaitGroup
+	opts := fastOpts()
+	opts.Dial = func(string) (net.Conn, error) {
+		coord, worker := net.Pipe()
+		// HelloAck + two race responses, then the "process" dies.
+		fc := &failingConn{Conn: worker, limit: 3}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			w.ServeConn(fc)
+		}()
+		return coord, nil
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	e, err := New([]string{"w0"}, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	e.onClose = handlers.Wait
+
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	ref := checkWith(t, m, engine.WithBudgets(9, 0), engine.WithPortfolio(nil, 0))
+	res := checkWith(t, m, engine.WithBudgets(9, 0), engine.WithPortfolio(nil, 0),
+		engine.WithExecutor(e))
+	if res.Verdict != ref.Verdict || res.K != ref.K {
+		t.Errorf("after worker loss: (%v@%d), want (%v@%d)", res.Verdict, res.K, ref.Verdict, ref.K)
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters[obs.Name(metricRemoteEvictions, "worker", "w0")]; n == 0 {
+		t.Error("worker death not recorded as an eviction")
+	}
+	if n := snap.Counters[metricRemoteFallbacks]; n == 0 {
+		t.Error("stranded attempts never re-raced locally")
+	}
+}
+
+// TestWorkerReconnect: with reconnects enabled, a transiently failing
+// worker is redialed, the full frame history is replayed (its mirrors
+// restart empty), and the check finishes remotely with the correct
+// verdict.
+func TestWorkerReconnect(t *testing.T) {
+	w := NewWorker(WorkerOptions{})
+	var handlers sync.WaitGroup
+	var dials atomic.Int64
+	opts := fastOpts()
+	opts.ReconnectAttempts = 5
+	opts.ReconnectBackoff = 10 * time.Millisecond
+	opts.Dial = func(string) (net.Conn, error) {
+		coord, worker := net.Pipe()
+		nc := net.Conn(worker)
+		if dials.Add(1) == 1 {
+			nc = &failingConn{Conn: worker, limit: 3}
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			w.ServeConn(nc)
+		}()
+		return coord, nil
+	}
+	reg := obs.NewRegistry()
+	opts.Metrics = reg
+	e, err := New([]string{"w0"}, opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	e.onClose = handlers.Wait
+
+	m, ok := bench.ByName("cnt_w4_t9")
+	if !ok {
+		t.Fatal("model cnt_w4_t9 missing")
+	}
+	base := []engine.Option{
+		engine.WithBudgets(9, 0), engine.WithPortfolio(nil, 0),
+		engine.WithIncremental(), engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+	}
+	ref := checkWith(t, m, base...)
+	res := checkWith(t, m, append(base, engine.WithExecutor(e))...)
+	if res.Verdict != ref.Verdict || res.K != ref.K {
+		t.Errorf("after reconnect: (%v@%d), want (%v@%d)", res.Verdict, res.K, ref.Verdict, ref.K)
+	}
+	snap := reg.Snapshot()
+	if n := snap.Counters[obs.Name(metricRemoteReconnects, "worker", "w0")]; n == 0 {
+		t.Error("transient worker failure never reconnected")
+	}
+}
+
+// TestRemoteCancellation: cancelling a check mid-race through the
+// remote executor returns promptly with Unknown and leaks neither
+// goroutines nor connections — the remote analogue of the engine's
+// cancellation suite, run under -race in CI.
+func TestRemoteCancellation(t *testing.T) {
+	m, ok := bench.ByName("mix_w8")
+	if !ok {
+		t.Fatal("model mix_w8 missing")
+	}
+	before := runtime.NumGoroutine()
+
+	e, _ := newLoopbackExecutor(t, 2, fastOpts())
+	sess, err := engine.New(m.Build(), 0,
+		engine.WithBudgets(60, 0), engine.WithPortfolio(nil, 0),
+		engine.WithIncremental(), engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+		engine.WithExecutor(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type outcome struct {
+		res *engine.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := sess.Check(ctx)
+		done <- outcome{res, err}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case o := <-done:
+		if o.err != nil {
+			t.Fatalf("Check: %v", o.err)
+		}
+		if o.res.Verdict != engine.Unknown {
+			t.Errorf("cancelled check returned %v, want Unknown", o.res.Verdict)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled check did not return")
+	}
+	e.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before || time.Now().After(deadline) {
+			if g > before {
+				t.Errorf("goroutines leaked: %d before, %d after close", before, g)
+			}
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestClausePayloadReserve: local clause-bus payloads fan out to every
+// worker except the reserve link (the import-free diversity slot), and
+// the per-link filters apply.
+func TestClausePayloadReserve(t *testing.T) {
+	e, reg := newLoopbackExecutor(t, 3, fastOpts())
+	clauses := []cnf.Clause{{1, -2}, {3, 4}, make(cnf.Clause, 64)}
+	e.OnClausePayload(engine.QueryBMC, 0, "vsids", clauses)
+	// Two eligible clauses (the 64-literal one fails MaxLen) times two
+	// non-reserve links.
+	snap := reg.Snapshot()
+	if got, want := snap.Counters[metricRemoteClausesFwd], int64(4); got != want {
+		t.Errorf("forwarded %d clauses, want %d (reserve link must receive none)", got, want)
+	}
+
+	// With sharing off nothing moves.
+	opts := fastOpts()
+	opts.Share.Off = true
+	e2, reg2 := newLoopbackExecutor(t, 3, opts)
+	e2.OnClausePayload(engine.QueryBMC, 0, "vsids", clauses)
+	if got := reg2.Snapshot().Counters[metricRemoteClausesFwd]; got != 0 {
+		t.Errorf("Share.Off forwarded %d clauses", got)
+	}
+}
+
+// TestDistributedClauseBus: in a multi-worker warm run the worker
+// mirrors' learned clauses come back to the coordinator and are
+// rebroadcast to the other workers.
+func TestDistributedClauseBus(t *testing.T) {
+	m, ok := bench.ByName("mix_w6")
+	if !ok {
+		t.Fatal("model mix_w6 missing")
+	}
+	e, reg := newLoopbackExecutor(t, 2, fastOpts())
+	checkWith(t, m, engine.WithBudgets(8, 0), engine.WithPortfolio(nil, 0),
+		engine.WithIncremental(), engine.WithExchange(racer.ExchangeOptions{Enabled: true}),
+		engine.WithExecutor(e))
+	snap := reg.Snapshot()
+	if snap.Counters[metricRemoteClausesBack] == 0 {
+		t.Error("no worker-exported clauses returned to the coordinator")
+	}
+}

@@ -1,0 +1,42 @@
+package remote
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// NewLoopback builds an executor whose n workers live in this process,
+// each connection a synchronous net.Pipe served by one shared Worker —
+// the deterministic no-socket transport the equivalence tests and
+// benchmarks run on. Reconnects work (a redial just opens a new pipe to
+// the same Worker, whose per-connection mirrors restart empty — the
+// same cold-replay a real worker restart causes). Close tears down the
+// executor and joins every in-process handler.
+func NewLoopback(n int, opts Options, wopts WorkerOptions) (*Executor, error) {
+	if n <= 0 {
+		n = 1
+	}
+	w := NewWorker(wopts)
+	var handlers sync.WaitGroup
+	opts.Dial = func(string) (net.Conn, error) {
+		coord, worker := net.Pipe()
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			w.ServeConn(worker)
+		}()
+		return coord, nil
+	}
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = fmt.Sprintf("loopback-%d", i)
+	}
+	e, err := New(addrs, opts)
+	if err != nil {
+		handlers.Wait()
+		return nil, err
+	}
+	e.onClose = handlers.Wait
+	return e, nil
+}
